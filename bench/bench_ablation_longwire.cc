@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Ablation: sweep the long-compaction (wrap-wire) energy from our
+ * segmented-driver default up to the paper's Table 3 figure, and
+ * measure where activity toggling stops paying (see DESIGN.md's
+ * substitution notes).
+ */
+
+#include "bench_util.hh"
+
+namespace
+{
+
+using namespace tempest;
+using namespace tempest::experiments;
+
+const double kLongWire[] = {0.0123e-9, 0.015e-9, 0.03e-9,
+                            0.0687e-9};
+
+std::uint64_t
+cycles()
+{
+    return benchutil::runCycles();
+}
+
+void
+BM_LongWire(benchmark::State& state)
+{
+    const double energy =
+        kLongWire[static_cast<std::size_t>(state.range(0))];
+    SimConfig base = iqBase();
+    base.energy.iqLongCompaction = energy;
+    SimConfig tog = iqToggling();
+    tog.energy.iqLongCompaction = energy;
+    for (auto _ : state) {
+        const SimResult rb = runBenchmark(base, "eon", cycles());
+        const SimResult rt = runBenchmark(tog, "eon", cycles());
+        state.counters["long_nJ"] = energy * 1e9;
+        state.counters["base_ipc"] = rb.ipc;
+        state.counters["tog_ipc"] = rt.ipc;
+        state.counters["speedup_pct"] =
+            100.0 * (rt.ipc / rb.ipc - 1.0);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    tempest::setQuiet(true);
+    for (std::size_t i = 0; i < std::size(kLongWire); ++i) {
+        benchmark::RegisterBenchmark("LongWire", BM_LongWire)
+            ->Arg(static_cast<long>(i))
+            ->Iterations(1)
+            ->Unit(benchmark::kSecond);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Ablation: sensitivity of the fine-grain turnoff experiment to
+ * the sensor sampling interval (the paper samples every 100,000
+ * cycles) and to the re-enable hysteresis.
+ */
+
+#include "bench_util.hh"
+
+namespace
+{
+
+using namespace tempest;
+using namespace tempest::experiments;
+
+const std::uint64_t kIntervals[] = {12500, 25000, 50000, 100000,
+                                    200000};
+const double kHysteresis[] = {0.5, 1.5, 3.0, 6.0};
+
+std::uint64_t
+cycles()
+{
+    return benchutil::runCycles();
+}
+
+void
+BM_SampleInterval(benchmark::State& state)
+{
+    SimConfig config = aluFineGrain();
+    config.sampleIntervalCycles =
+        kIntervals[static_cast<std::size_t>(state.range(0))];
+    for (auto _ : state) {
+        const SimResult r =
+            runBenchmark(config, "perlbmk", cycles());
+        benchutil::setCounters(state, r);
+        state.counters["interval"] = static_cast<double>(
+            config.sampleIntervalCycles);
+        state.counters["max_alu0_K"] =
+            r.block("IntExec0").max;
+    }
+}
+
+void
+BM_Hysteresis(benchmark::State& state)
+{
+    SimConfig config = aluFineGrain();
+    config.dtm.reenableHysteresisK =
+        kHysteresis[static_cast<std::size_t>(state.range(0))];
+    for (auto _ : state) {
+        const SimResult r =
+            runBenchmark(config, "perlbmk", cycles());
+        benchutil::setCounters(state, r);
+        state.counters["hysteresis_K"] =
+            config.dtm.reenableHysteresisK;
+        state.counters["turnoffs"] =
+            static_cast<double>(r.dtm.aluTurnoffEvents);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    tempest::setQuiet(true);
+    for (std::size_t i = 0; i < std::size(kIntervals); ++i) {
+        benchmark::RegisterBenchmark("SampleInterval",
+                                     BM_SampleInterval)
+            ->Arg(static_cast<long>(i))
+            ->Iterations(1)
+            ->Unit(benchmark::kSecond);
+    }
+    for (std::size_t i = 0; i < std::size(kHysteresis); ++i) {
+        benchmark::RegisterBenchmark("Hysteresis", BM_Hysteresis)
+            ->Arg(static_cast<long>(i))
+            ->Iterations(1)
+            ->Unit(benchmark::kSecond);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Ablation: sweep the activity-toggling differential threshold
+ * (the paper fixes it at 0.5 K) and the proximity gate, on a
+ * representative constrained benchmark.
+ */
+
+#include "bench_util.hh"
+
+namespace
+{
+
+using namespace tempest;
+using namespace tempest::experiments;
+
+const double kDeltas[] = {0.1, 0.25, 0.5, 1.0, 2.0, 4.0};
+const double kProximities[] = {1.0, 3.0, 1e9};
+
+std::uint64_t
+cycles()
+{
+    return benchutil::runCycles();
+}
+
+void
+BM_ToggleDelta(benchmark::State& state)
+{
+    SimConfig config = iqToggling();
+    config.dtm.toggleDeltaK =
+        kDeltas[static_cast<std::size_t>(state.range(0))];
+    for (auto _ : state) {
+        const SimResult r =
+            runBenchmark(config, "perlbmk", cycles());
+        benchutil::setCounters(state, r);
+        state.counters["toggles"] =
+            static_cast<double>(r.dtm.iqToggles);
+        state.counters["delta_K"] = config.dtm.toggleDeltaK;
+    }
+}
+
+void
+BM_ToggleProximity(benchmark::State& state)
+{
+    SimConfig config = iqToggling();
+    config.dtm.toggleProximityK =
+        kProximities[static_cast<std::size_t>(state.range(0))];
+    for (auto _ : state) {
+        const SimResult r =
+            runBenchmark(config, "perlbmk", cycles());
+        benchutil::setCounters(state, r);
+        state.counters["toggles"] =
+            static_cast<double>(r.dtm.iqToggles);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    tempest::setQuiet(true);
+    for (std::size_t i = 0; i < std::size(kDeltas); ++i) {
+        benchmark::RegisterBenchmark("ToggleDelta",
+                                     BM_ToggleDelta)
+            ->Arg(static_cast<long>(i))
+            ->Iterations(1)
+            ->Unit(benchmark::kSecond);
+    }
+    for (std::size_t i = 0; i < std::size(kProximities); ++i) {
+        benchmark::RegisterBenchmark("ToggleProximity",
+                                     BM_ToggleProximity)
+            ->Arg(static_cast<long>(i))
+            ->Iterations(1)
+            ->Unit(benchmark::kSecond);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Reproduces Figure 6: IPC with and without activity toggling for
+ * all 22 benchmarks on the IQ-constrained floorplan, plus the
+ * toggle-count statistics quoted in §4.1 (toggles are infrequent;
+ * frequency does not correlate with speedup).
+ */
+
+#include "bench_util.hh"
+
+namespace
+{
+
+using namespace tempest;
+using namespace tempest::experiments;
+
+benchutil::ResultTable g_results;
+std::vector<std::string> g_benchmarks;
+
+std::uint64_t
+cycles()
+{
+    return benchutil::runCycles();
+}
+
+void
+BM_Fig6(benchmark::State& state)
+{
+    const std::string bench =
+        g_benchmarks[static_cast<std::size_t>(state.range(0))];
+    const bool toggling = state.range(1) != 0;
+    const SimConfig config = toggling ? iqToggling() : iqBase();
+    const std::string name = toggling ? "toggling" : "base";
+    for (auto _ : state) {
+        const SimResult& r =
+            g_results.run(name, config, bench, cycles());
+        benchutil::setCounters(state, r);
+        state.counters["toggles"] =
+            static_cast<double>(r.dtm.iqToggles);
+    }
+    state.SetLabel(bench + "/" + name);
+}
+
+void
+printFigure()
+{
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"Benchmark", "Base IPC", "Toggling IPC",
+                    "Speedup %", "Toggles", "BaseStall%"});
+    char buf[32];
+    std::vector<double> base_ipc, tog_ipc;
+    std::vector<double> base_c, tog_c; // constrained subset
+    for (const auto& b : g_benchmarks) {
+        const SimResult& base = g_results.get("base", b);
+        const SimResult& tog = g_results.get("toggling", b);
+        std::vector<std::string> row{b};
+        std::snprintf(buf, sizeof(buf), "%.2f", base.ipc);
+        row.push_back(buf);
+        std::snprintf(buf, sizeof(buf), "%.2f", tog.ipc);
+        row.push_back(buf);
+        std::snprintf(buf, sizeof(buf), "%+.1f",
+                      100.0 * (tog.ipc / base.ipc - 1.0));
+        row.push_back(buf);
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(
+                          tog.dtm.iqToggles));
+        row.push_back(buf);
+        std::snprintf(buf, sizeof(buf), "%.1f",
+                      100.0 * base.stallCycles / base.cycles);
+        row.push_back(buf);
+        rows.push_back(row);
+        base_ipc.push_back(base.ipc);
+        tog_ipc.push_back(tog.ipc);
+        if (base.dtm.globalStalls > 0) {
+            base_c.push_back(base.ipc);
+            tog_c.push_back(tog.ipc);
+        }
+    }
+    std::printf("\n== Figure 6: IQ-constrained IPC, activity "
+                "toggling vs base ==\n%s\n",
+                renderTable(rows).c_str());
+    std::printf("average speedup, all %zu benchmarks: %+.1f%%\n",
+                base_ipc.size(),
+                benchutil::averageSpeedup(base_ipc, tog_ipc));
+    std::printf("average speedup, %zu issue-queue-constrained "
+                "benchmarks: %+.1f%%\n",
+                base_c.size(),
+                benchutil::averageSpeedup(base_c, tog_c));
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    tempest::setQuiet(true);
+    g_benchmarks = benchutil::benchmarkList();
+    for (std::size_t b = 0; b < g_benchmarks.size(); ++b) {
+        for (int t = 0; t < 2; ++t) {
+            benchmark::RegisterBenchmark("Fig6", BM_Fig6)
+                ->Args({static_cast<long>(b), t})
+                ->Iterations(1)
+                ->Unit(benchmark::kSecond);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    printFigure();
+    return 0;
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Reproduces Figure 7: IPC for all 22 benchmarks under ideal
+ * round-robin, fine-grain turnoff, and base, on the
+ * ALU-constrained floorplan.
+ */
+
+#include "bench_util.hh"
+
+namespace
+{
+
+using namespace tempest;
+using namespace tempest::experiments;
+
+benchutil::ResultTable g_results;
+std::vector<std::string> g_benchmarks;
+const char* const kConfigs[] = {"round-robin", "fine-grain",
+                                "base"};
+
+std::uint64_t
+cycles()
+{
+    return benchutil::runCycles();
+}
+
+SimConfig
+configFor(int idx)
+{
+    switch (idx) {
+      case 0: return aluRoundRobin();
+      case 1: return aluFineGrain();
+      default: return aluBase();
+    }
+}
+
+void
+BM_Fig7(benchmark::State& state)
+{
+    const std::string bench =
+        g_benchmarks[static_cast<std::size_t>(state.range(0))];
+    const int cfg = static_cast<int>(state.range(1));
+    for (auto _ : state) {
+        const SimResult& r = g_results.run(
+            kConfigs[cfg], configFor(cfg), bench, cycles());
+        benchutil::setCounters(state, r);
+        state.counters["turnoffs"] = static_cast<double>(
+            r.dtm.aluTurnoffEvents + r.dtm.fpAdderTurnoffEvents);
+    }
+    state.SetLabel(bench + std::string("/") + kConfigs[cfg]);
+}
+
+void
+printFigure()
+{
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"Benchmark", "RR IPC", "FG IPC", "Base IPC",
+                    "FG vs base %", "RR vs FG %"});
+    char buf[32];
+    std::vector<double> base, fg, rr, base_c, fg_c;
+    for (const auto& b : g_benchmarks) {
+        const SimResult& r_rr = g_results.get("round-robin", b);
+        const SimResult& r_fg = g_results.get("fine-grain", b);
+        const SimResult& r_b = g_results.get("base", b);
+        std::vector<std::string> row{b};
+        for (double v : {r_rr.ipc, r_fg.ipc, r_b.ipc}) {
+            std::snprintf(buf, sizeof(buf), "%.2f", v);
+            row.push_back(buf);
+        }
+        std::snprintf(buf, sizeof(buf), "%+.1f",
+                      100.0 * (r_fg.ipc / r_b.ipc - 1.0));
+        row.push_back(buf);
+        std::snprintf(buf, sizeof(buf), "%+.1f",
+                      100.0 * (r_rr.ipc / r_fg.ipc - 1.0));
+        row.push_back(buf);
+        rows.push_back(row);
+        base.push_back(r_b.ipc);
+        fg.push_back(r_fg.ipc);
+        rr.push_back(r_rr.ipc);
+        if (r_b.dtm.globalStalls > 0) {
+            base_c.push_back(r_b.ipc);
+            fg_c.push_back(r_fg.ipc);
+        }
+    }
+    std::printf("\n== Figure 7: ALU-constrained IPC ==\n%s\n",
+                renderTable(rows).c_str());
+    std::printf("fine-grain turnoff vs base, all %zu benchmarks: "
+                "%+.1f%%\n",
+                base.size(),
+                benchutil::averageSpeedup(base, fg));
+    std::printf("fine-grain turnoff vs base, %zu ALU-constrained "
+                "benchmarks: %+.1f%%\n",
+                base_c.size(),
+                benchutil::averageSpeedup(base_c, fg_c));
+    std::printf("round-robin vs fine-grain, all benchmarks: "
+                "%+.1f%%\n",
+                benchutil::averageSpeedup(fg, rr));
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    tempest::setQuiet(true);
+    g_benchmarks = benchutil::benchmarkList();
+    for (std::size_t b = 0; b < g_benchmarks.size(); ++b) {
+        for (int c = 0; c < 3; ++c) {
+            benchmark::RegisterBenchmark("Fig7", BM_Fig7)
+                ->Args({static_cast<long>(b), c})
+                ->Iterations(1)
+                ->Unit(benchmark::kSecond);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    printFigure();
+    return 0;
+}

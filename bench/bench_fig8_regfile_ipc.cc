@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Reproduces Figure 8: IPC for all 22 benchmarks under the four
+ * register-file configurations (priority/balanced mapping, with
+ * and without fine-grain copy turnoff) on the regfile-constrained
+ * floorplan, plus the §4.3 suite averages.
+ */
+
+#include "bench_util.hh"
+
+namespace
+{
+
+using namespace tempest;
+using namespace tempest::experiments;
+
+benchutil::ResultTable g_results;
+std::vector<std::string> g_benchmarks;
+
+struct Combo
+{
+    const char* name;
+    PortMapping mapping;
+    bool fineGrain;
+};
+
+const Combo kCombos[] = {
+    {"priority+FG", PortMapping::Priority, true},
+    {"balanced+FG", PortMapping::Balanced, true},
+    {"balanced-only", PortMapping::Balanced, false},
+    {"priority-only", PortMapping::Priority, false},
+};
+
+std::uint64_t
+cycles()
+{
+    return benchutil::runCycles();
+}
+
+void
+BM_Fig8(benchmark::State& state)
+{
+    const std::string bench =
+        g_benchmarks[static_cast<std::size_t>(state.range(0))];
+    const Combo& combo = kCombos[state.range(1)];
+    const SimConfig config =
+        regfileConfig(combo.mapping, combo.fineGrain);
+    for (auto _ : state) {
+        const SimResult& r =
+            g_results.run(combo.name, config, bench, cycles());
+        benchutil::setCounters(state, r);
+    }
+    state.SetLabel(bench + std::string("/") + combo.name);
+}
+
+void
+printFigure()
+{
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"Benchmark", "prio+FG", "bal+FG",
+                    "bal-only", "prio-only"});
+    char buf[32];
+    std::vector<double> pf, bf, bo, po, pf_c, bo_c, po_c;
+    std::vector<double> bf_c;
+    for (const auto& b : g_benchmarks) {
+        const double v_pf = g_results.get("priority+FG", b).ipc;
+        const double v_bf = g_results.get("balanced+FG", b).ipc;
+        const double v_bo = g_results.get("balanced-only", b).ipc;
+        const double v_po = g_results.get("priority-only", b).ipc;
+        std::vector<std::string> row{b};
+        for (double v : {v_pf, v_bf, v_bo, v_po}) {
+            std::snprintf(buf, sizeof(buf), "%.2f", v);
+            row.push_back(buf);
+        }
+        rows.push_back(row);
+        pf.push_back(v_pf);
+        bf.push_back(v_bf);
+        bo.push_back(v_bo);
+        po.push_back(v_po);
+        if (g_results.get("priority-only", b).dtm.globalStalls >
+            0) {
+            pf_c.push_back(v_pf);
+            bf_c.push_back(v_bf);
+            bo_c.push_back(v_bo);
+            po_c.push_back(v_po);
+        }
+    }
+    std::printf("\n== Figure 8: regfile-constrained IPC, four "
+                "configurations ==\n%s\n",
+                renderTable(rows).c_str());
+    std::printf(
+        "balanced-only vs priority-only: all %+.1f%%, "
+        "constrained %+.1f%% (%zu benchmarks)\n",
+        benchutil::averageSpeedup(po, bo),
+        benchutil::averageSpeedup(po_c, bo_c), po_c.size());
+    std::printf("priority+FG vs priority-only: all %+.1f%%, "
+                "constrained %+.1f%%\n",
+                benchutil::averageSpeedup(po, pf),
+                benchutil::averageSpeedup(po_c, pf_c));
+    std::printf("priority+FG vs balanced-only: all %+.1f%%, "
+                "constrained %+.1f%%\n",
+                benchutil::averageSpeedup(bo, pf),
+                benchutil::averageSpeedup(bo_c, pf_c));
+    std::printf("priority+FG vs balanced+FG: all %+.1f%%, "
+                "constrained %+.1f%%\n",
+                benchutil::averageSpeedup(bf, pf),
+                benchutil::averageSpeedup(bf_c, pf_c));
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    tempest::setQuiet(true);
+    g_benchmarks = benchutil::benchmarkList();
+    for (std::size_t b = 0; b < g_benchmarks.size(); ++b) {
+        for (int c = 0; c < 4; ++c) {
+            benchmark::RegisterBenchmark("Fig8", BM_Fig8)
+                ->Args({static_cast<long>(b), c})
+                ->Iterations(1)
+                ->Unit(benchmark::kSecond);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    printFigure();
+    return 0;
+}

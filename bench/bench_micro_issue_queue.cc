@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Microbenchmarks for the issue queue and the whole core: cost of
+ * compaction accounting per cycle and end-to-end simulation rate.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "uarch/core.hh"
+
+namespace
+{
+
+using namespace tempest;
+
+void
+BM_CompactionCycle(benchmark::State& state)
+{
+    IssueQueue iq(32, 6, QueueKind::Int);
+    ActivityRecord act;
+    Rng rng(1);
+    std::uint64_t seq = 0;
+    for (auto _ : state) {
+        iq.compactStep(act);
+        int grants = 0;
+        iq.forEachReadyInPriorityOrder(
+            [&](int phys, const IqEntry&) {
+                if (grants < 3) {
+                    iq.markIssued(phys, act);
+                    ++grants;
+                }
+                return grants < 3;
+            });
+        while (iq.canDispatch() && iq.count() < 28) {
+            IqEntry e;
+            e.seq = ++seq;
+            iq.dispatch(e, act);
+        }
+        benchmark::DoNotOptimize(act.iqEntryMoves[0][1]);
+    }
+}
+BENCHMARK(BM_CompactionCycle);
+
+void
+BM_CoreTick(benchmark::State& state)
+{
+    PipelineConfig cfg;
+    OooCore core(cfg, spec2000("eon"), 1);
+    ActivityRecord act;
+    for (auto _ : state)
+        core.tick(act);
+    state.counters["ipc"] = core.ipc();
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(core.cycle()));
+}
+BENCHMARK(BM_CoreTick);
+
+void
+BM_CoreTickMemoryBound(benchmark::State& state)
+{
+    PipelineConfig cfg;
+    OooCore core(cfg, spec2000("mcf"), 1);
+    ActivityRecord act;
+    for (auto _ : state)
+        core.tick(act);
+    state.counters["ipc"] = core.ipc();
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(core.cycle()));
+}
+BENCHMARK(BM_CoreTickMemoryBound);
+
+} // namespace
+
+BENCHMARK_MAIN();

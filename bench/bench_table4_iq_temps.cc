@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Reproduces Table 4: average temperature of the issue-queue
+ * halves (tail vs head) for art, facerec and mesa, with and
+ * without activity toggling, on the IQ-constrained floorplan.
+ */
+
+#include "bench_util.hh"
+
+namespace
+{
+
+using namespace tempest;
+using namespace tempest::experiments;
+using benchutil::ResultTable;
+
+ResultTable g_results;
+const char* const kBenchmarks[] = {"art", "facerec", "mesa"};
+
+std::uint64_t
+cycles()
+{
+    return benchutil::runCycles(16'000'000);
+}
+
+void
+BM_Table4(benchmark::State& state)
+{
+    const std::string bench =
+        kBenchmarks[state.range(0)];
+    const bool toggling = state.range(1) != 0;
+    const SimConfig config = toggling ? iqToggling() : iqBase();
+    const std::string name = toggling ? "toggling" : "base";
+    for (auto _ : state) {
+        const SimResult& r =
+            g_results.run(name, config, bench, cycles());
+        benchutil::setCounters(state, r);
+        state.counters["tail_K"] = r.block("IntQ1").avg;
+        state.counters["head_K"] = r.block("IntQ0").avg;
+    }
+    state.SetLabel(bench + "/" + name);
+}
+
+void
+printTable()
+{
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"Benchmark", "Technique", "Tail (K)",
+                    "Head (K)"});
+    char buf[32];
+    for (const char* b : kBenchmarks) {
+        for (const char* cfg : {"toggling", "base"}) {
+            if (!g_results.has(cfg, b))
+                continue;
+            const SimResult& r = g_results.get(cfg, b);
+            std::vector<std::string> row;
+            row.push_back(b);
+            row.push_back(cfg == std::string("toggling")
+                              ? "Activity-toggling"
+                              : "Base");
+            std::snprintf(buf, sizeof(buf), "%.1f",
+                          r.block("IntQ1").avg);
+            row.push_back(buf);
+            std::snprintf(buf, sizeof(buf), "%.1f",
+                          r.block("IntQ0").avg);
+            row.push_back(buf);
+            rows.push_back(row);
+        }
+    }
+    std::printf("\n== Table 4: average temp. of issue-queue "
+                "halves (IQ-constrained) ==\n%s\n",
+                renderTable(rows).c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    tempest::setQuiet(true);
+    for (int b = 0; b < 3; ++b) {
+        for (int t = 0; t < 2; ++t) {
+            benchmark::RegisterBenchmark("Table4", BM_Table4)
+                ->Args({b, t})
+                ->Iterations(1)
+                ->Unit(benchmark::kSecond);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    printTable();
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Reproduces Table 5: IPC and per-ALU average temperatures for
+ * parser (not ALU-constrained) and perlbmk (constrained) under
+ * round-robin (ideal), fine-grain turnoff, and base, on the
+ * ALU-constrained floorplan.
+ */
+
+#include "bench_util.hh"
+
+namespace
+{
+
+using namespace tempest;
+using namespace tempest::experiments;
+
+benchutil::ResultTable g_results;
+const char* const kBenchmarks[] = {"parser", "perlbmk"};
+const char* const kConfigs[] = {"round-robin", "fine-grain",
+                                "base"};
+
+std::uint64_t
+cycles()
+{
+    return benchutil::runCycles(16'000'000);
+}
+
+SimConfig
+configFor(int idx)
+{
+    switch (idx) {
+      case 0: return aluRoundRobin();
+      case 1: return aluFineGrain();
+      default: return aluBase();
+    }
+}
+
+void
+BM_Table5(benchmark::State& state)
+{
+    const std::string bench = kBenchmarks[state.range(0)];
+    const int cfg = static_cast<int>(state.range(1));
+    for (auto _ : state) {
+        const SimResult& r = g_results.run(
+            kConfigs[cfg], configFor(cfg), bench, cycles());
+        benchutil::setCounters(state, r);
+        state.counters["alu0_K"] = r.block("IntExec0").avg;
+        state.counters["alu5_K"] = r.block("IntExec5").avg;
+    }
+    state.SetLabel(bench + std::string("/") + kConfigs[cfg]);
+}
+
+void
+printTable()
+{
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"Benchmark", "Technique", "IPC", "ALU0 (K)",
+                    "ALU1 (K)", "ALU2 (K)", "ALU3 (K)",
+                    "ALU4 (K)", "ALU5 (K)"});
+    char buf[32];
+    for (const char* b : kBenchmarks) {
+        for (const char* cfg : kConfigs) {
+            const SimResult& r = g_results.get(cfg, b);
+            std::vector<std::string> row{b, cfg};
+            std::snprintf(buf, sizeof(buf), "%.1f", r.ipc);
+            row.push_back(buf);
+            for (int a = 0; a < 6; ++a) {
+                std::snprintf(
+                    buf, sizeof(buf), "%.1f",
+                    r.block("IntExec" + std::to_string(a)).avg);
+                row.push_back(buf);
+            }
+            rows.push_back(row);
+        }
+    }
+    std::printf("\n== Table 5: average integer-ALU temperatures "
+                "(ALU-constrained) ==\n%s\n",
+                renderTable(rows).c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    tempest::setQuiet(true);
+    for (int b = 0; b < 2; ++b) {
+        for (int c = 0; c < 3; ++c) {
+            benchmark::RegisterBenchmark("Table5", BM_Table5)
+                ->Args({b, c})
+                ->Iterations(1)
+                ->Unit(benchmark::kSecond);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    printTable();
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Reproduces Table 6: IPC and register-file copy temperatures for
+ * eon under the four mapping/turnoff combinations, plus the
+ * §4.3 turnoff-count comparison (priority mapping turns copies
+ * off more often yet achieves higher IPC).
+ */
+
+#include "bench_util.hh"
+
+namespace
+{
+
+using namespace tempest;
+using namespace tempest::experiments;
+
+benchutil::ResultTable g_results;
+
+struct Combo
+{
+    const char* name;
+    PortMapping mapping;
+    bool fineGrain;
+};
+
+const Combo kCombos[] = {
+    {"priority+fine-grain", PortMapping::Priority, true},
+    {"balanced+fine-grain", PortMapping::Balanced, true},
+    {"balanced-only", PortMapping::Balanced, false},
+    {"priority-only", PortMapping::Priority, false},
+};
+
+std::uint64_t
+cycles()
+{
+    return benchutil::runCycles(16'000'000);
+}
+
+void
+BM_Table6(benchmark::State& state)
+{
+    const Combo& combo = kCombos[state.range(0)];
+    const SimConfig config =
+        regfileConfig(combo.mapping, combo.fineGrain);
+    for (auto _ : state) {
+        const SimResult& r =
+            g_results.run(combo.name, config, "eon", cycles());
+        benchutil::setCounters(state, r);
+        state.counters["copy0_K"] = r.block("IntReg0").avg;
+        state.counters["copy1_K"] = r.block("IntReg1").avg;
+        state.counters["turnoffs"] =
+            static_cast<double>(r.dtm.regfileTurnoffEvents);
+    }
+    state.SetLabel(combo.name);
+}
+
+void
+printTable()
+{
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"Technique", "IPC", "Copy 0 (K)",
+                    "Copy 1 (K)", "Turnoffs"});
+    char buf[32];
+    for (const Combo& combo : kCombos) {
+        const SimResult& r = g_results.get(combo.name, "eon");
+        std::vector<std::string> row{combo.name};
+        std::snprintf(buf, sizeof(buf), "%.1f", r.ipc);
+        row.push_back(buf);
+        std::snprintf(buf, sizeof(buf), "%.1f",
+                      r.block("IntReg0").avg);
+        row.push_back(buf);
+        std::snprintf(buf, sizeof(buf), "%.1f",
+                      r.block("IntReg1").avg);
+        row.push_back(buf);
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(
+                          r.dtm.regfileTurnoffEvents));
+        row.push_back(buf);
+        rows.push_back(row);
+    }
+    std::printf("\n== Table 6: register-file copy temperatures "
+                "for eon (regfile-constrained) ==\n%s\n",
+                renderTable(rows).c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    tempest::setQuiet(true);
+    for (int c = 0; c < 4; ++c) {
+        benchmark::RegisterBenchmark("Table6", BM_Table6)
+            ->Arg(c)
+            ->Iterations(1)
+            ->Unit(benchmark::kSecond);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    printTable();
+    return 0;
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Shared helpers for the experiment benches.
+ *
+ * Every bench binary regenerates one of the paper's tables or
+ * figures: it runs the relevant simulations once per
+ * (configuration, benchmark) pair, reports IPC and thermal
+ * counters through google-benchmark, and prints the paper-style
+ * rows (and suite averages) after the sweep.
+ *
+ * Environment knobs:
+ * - TEMPEST_CYCLES: simulated cycles per run (default below)
+ * - TEMPEST_BENCHMARKS: comma-separated benchmark subset
+ */
+
+#ifndef TEMPEST_BENCH_BENCH_UTIL_HH
+#define TEMPEST_BENCH_BENCH_UTIL_HH
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "sim/experiment.hh"
+
+namespace tempest
+{
+namespace benchutil
+{
+
+/** Cycles per simulation, overridable via TEMPEST_CYCLES. */
+inline std::uint64_t
+runCycles(std::uint64_t fallback = 8'000'000)
+{
+    if (const char* env = std::getenv("TEMPEST_CYCLES"))
+        return static_cast<std::uint64_t>(std::atoll(env));
+    return fallback;
+}
+
+/** Benchmark list, overridable via TEMPEST_BENCHMARKS. */
+inline std::vector<std::string>
+benchmarkList()
+{
+    if (const char* env = std::getenv("TEMPEST_BENCHMARKS")) {
+        std::vector<std::string> out;
+        std::stringstream ss(env);
+        std::string item;
+        while (std::getline(ss, item, ','))
+            out.push_back(item);
+        return out;
+    }
+    return spec2000Names();
+}
+
+/** Result cache so summary rows reuse the measured runs. */
+class ResultTable
+{
+  public:
+    SimResult&
+    run(const std::string& config_name, const SimConfig& config,
+        const std::string& benchmark, std::uint64_t cycles)
+    {
+        const std::string key = config_name + "/" + benchmark;
+        auto it = results_.find(key);
+        if (it == results_.end()) {
+            it = results_
+                     .emplace(key,
+                              experiments::runBenchmark(
+                                  config, benchmark, cycles))
+                     .first;
+        }
+        return it->second;
+    }
+
+    bool
+    has(const std::string& config_name,
+        const std::string& benchmark) const
+    {
+        return results_.count(config_name + "/" + benchmark) != 0;
+    }
+
+    const SimResult&
+    get(const std::string& config_name,
+        const std::string& benchmark) const
+    {
+        auto it = results_.find(config_name + "/" + benchmark);
+        if (it == results_.end())
+            fatal("missing result ", config_name, "/", benchmark);
+        return it->second;
+    }
+
+  private:
+    std::map<std::string, SimResult> results_;
+};
+
+/** Attach the standard counters to a benchmark state. */
+inline void
+setCounters(benchmark::State& state, const SimResult& r)
+{
+    state.counters["ipc"] = r.ipc;
+    state.counters["stall_frac"] =
+        r.cycles ? static_cast<double>(r.stallCycles) /
+                       static_cast<double>(r.cycles)
+                 : 0.0;
+    state.counters["stalls"] =
+        static_cast<double>(r.dtm.globalStalls);
+}
+
+/** Arithmetic-mean percent speedup over paired result sets. */
+inline double
+averageSpeedup(const std::vector<double>& base,
+               const std::vector<double>& improved)
+{
+    double sum = 0;
+    for (std::size_t i = 0; i < base.size(); ++i)
+        sum += 100.0 * (improved[i] / base[i] - 1.0);
+    return base.empty() ? 0.0
+                        : sum / static_cast<double>(base.size());
+}
+
+} // namespace benchutil
+} // namespace tempest
+
+#endif // TEMPEST_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * DTM playground: run one benchmark under every thermal-management
+ * configuration the paper evaluates — across all three constrained
+ * floorplans — and print a comparison table.
+ *
+ *   ./dtm_comparison [benchmark] [million-cycles]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/experiment.hh"
+
+using namespace tempest;
+using namespace tempest::experiments;
+
+int
+main(int argc, char** argv)
+{
+    const std::string bench = argc > 1 ? argv[1] : "perlbmk";
+    const std::uint64_t cycles =
+        (argc > 2 ? std::atoll(argv[2]) : 12) * 1'000'000ULL;
+
+    struct Row
+    {
+        const char* floorplan;
+        const char* technique;
+        SimConfig config;
+    };
+    const Row grid[] = {
+        {"iq-constrained", "temporal only (base)", iqBase()},
+        {"iq-constrained", "activity toggling", iqToggling()},
+        {"alu-constrained", "temporal only (base)", aluBase()},
+        {"alu-constrained", "fine-grain turnoff",
+         aluFineGrain()},
+        {"alu-constrained", "round-robin (ideal)",
+         aluRoundRobin()},
+        {"regfile-constrained", "priority-only",
+         regfileConfig(PortMapping::Priority, false)},
+        {"regfile-constrained", "balanced-only",
+         regfileConfig(PortMapping::Balanced, false)},
+        {"regfile-constrained", "balanced + turnoff",
+         regfileConfig(PortMapping::Balanced, true)},
+        {"regfile-constrained", "priority + turnoff",
+         regfileConfig(PortMapping::Priority, true)},
+    };
+
+    std::printf("DTM comparison for %s (%llu cycles per run)\n\n",
+                bench.c_str(),
+                static_cast<unsigned long long>(cycles));
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"Floorplan", "Technique", "IPC", "Stall%",
+                    "Stalls", "Toggles", "Turnoffs"});
+    char buf[32];
+    for (const Row& row : grid) {
+        const SimResult r =
+            runBenchmark(row.config, bench, cycles);
+        std::vector<std::string> out{row.floorplan,
+                                     row.technique};
+        std::snprintf(buf, sizeof(buf), "%.2f", r.ipc);
+        out.push_back(buf);
+        std::snprintf(buf, sizeof(buf), "%.1f",
+                      100.0 * r.stallCycles / r.cycles);
+        out.push_back(buf);
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(
+                          r.dtm.globalStalls));
+        out.push_back(buf);
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(
+                          r.dtm.iqToggles));
+        out.push_back(buf);
+        std::snprintf(
+            buf, sizeof(buf), "%llu",
+            static_cast<unsigned long long>(
+                r.dtm.aluTurnoffEvents +
+                r.dtm.fpAdderTurnoffEvents +
+                r.dtm.regfileTurnoffEvents));
+        out.push_back(buf);
+        rows.push_back(out);
+    }
+    std::printf("%s", renderTable(rows).c_str());
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Quickstart: simulate one benchmark on the IQ-constrained
+ * processor with and without activity toggling, and print the
+ * headline numbers.
+ *
+ *   ./quickstart [benchmark] [million-cycles]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/experiment.hh"
+
+using namespace tempest;
+using namespace tempest::experiments;
+
+int
+main(int argc, char** argv)
+{
+    const std::string bench = argc > 1 ? argv[1] : "eon";
+    const std::uint64_t cycles =
+        (argc > 2 ? std::atoll(argv[2]) : 12) * 1'000'000ULL;
+
+    std::printf("tempest quickstart: %s for %llu cycles on the "
+                "IQ-constrained floorplan\n\n",
+                bench.c_str(),
+                static_cast<unsigned long long>(cycles));
+
+    // Baseline: the temporal technique only (stop-go cooling).
+    SimResult base = runBenchmark(iqBase(), bench, cycles);
+    // The paper's activity toggling on top.
+    SimResult tog = runBenchmark(iqToggling(), bench, cycles);
+
+    auto report = [](const char* name, const SimResult& r) {
+        std::printf("%-18s ipc=%.2f  stalls=%llu "
+                    "(%.1f%% of cycles)  toggles=%llu\n",
+                    name, r.ipc,
+                    static_cast<unsigned long long>(
+                        r.dtm.globalStalls),
+                    100.0 * r.stallCycles / r.cycles,
+                    static_cast<unsigned long long>(
+                        r.dtm.iqToggles));
+        std::printf("%-18s IntQ tail/head avg = %.1f / %.1f K "
+                    "(max %.1f K)\n",
+                    "", r.block("IntQ1").avg,
+                    r.block("IntQ0").avg, r.block("IntQ1").max);
+    };
+    report("base:", base);
+    report("activity-toggling:", tog);
+    std::printf("\nspeedup from activity toggling: %+.1f%%\n",
+                speedupPercent(base, tog));
+    return 0;
+}

@@ -1,0 +1,201 @@
+#include "common/config.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace tempest
+{
+
+namespace
+{
+
+std::string
+trim(const std::string& s)
+{
+    auto begin = s.find_first_not_of(" \t\r\n");
+    if (begin == std::string::npos)
+        return "";
+    auto end = s.find_last_not_of(" \t\r\n");
+    return s.substr(begin, end - begin + 1);
+}
+
+std::string
+lower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return s;
+}
+
+} // namespace
+
+void
+Config::set(const std::string& key, const std::string& value)
+{
+    entries_[key] = value;
+}
+
+void
+Config::setInt(const std::string& key, std::int64_t value)
+{
+    entries_[key] = std::to_string(value);
+}
+
+void
+Config::setDouble(const std::string& key, double value)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << value;
+    entries_[key] = os.str();
+}
+
+void
+Config::setBool(const std::string& key, bool value)
+{
+    entries_[key] = value ? "true" : "false";
+}
+
+bool
+Config::has(const std::string& key) const
+{
+    return entries_.count(key) != 0;
+}
+
+std::string
+Config::getString(const std::string& key) const
+{
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+        fatal("missing config key '", key, "'");
+    return it->second;
+}
+
+std::string
+Config::getString(const std::string& key, const std::string& def) const
+{
+    auto it = entries_.find(key);
+    return it == entries_.end() ? def : it->second;
+}
+
+std::int64_t
+Config::getInt(const std::string& key) const
+{
+    const std::string raw = getString(key);
+    std::size_t pos = 0;
+    std::int64_t value = 0;
+    try {
+        value = std::stoll(raw, &pos, 0);
+    } catch (const std::exception&) {
+        fatal("config key '", key, "' = '", raw,
+              "' is not an integer");
+    }
+    if (pos != raw.size())
+        fatal("config key '", key, "' = '", raw,
+              "' has trailing characters");
+    return value;
+}
+
+std::int64_t
+Config::getInt(const std::string& key, std::int64_t def) const
+{
+    return has(key) ? getInt(key) : def;
+}
+
+double
+Config::getDouble(const std::string& key) const
+{
+    const std::string raw = getString(key);
+    std::size_t pos = 0;
+    double value = 0.0;
+    try {
+        value = std::stod(raw, &pos);
+    } catch (const std::exception&) {
+        fatal("config key '", key, "' = '", raw,
+              "' is not a number");
+    }
+    if (pos != raw.size())
+        fatal("config key '", key, "' = '", raw,
+              "' has trailing characters");
+    return value;
+}
+
+double
+Config::getDouble(const std::string& key, double def) const
+{
+    return has(key) ? getDouble(key) : def;
+}
+
+bool
+Config::getBool(const std::string& key) const
+{
+    const std::string raw = lower(getString(key));
+    if (raw == "true" || raw == "1" || raw == "yes")
+        return true;
+    if (raw == "false" || raw == "0" || raw == "no")
+        return false;
+    fatal("config key '", key, "' = '", raw, "' is not a boolean");
+}
+
+bool
+Config::getBool(const std::string& key, bool def) const
+{
+    return has(key) ? getBool(key) : def;
+}
+
+void
+Config::parseText(const std::string& text)
+{
+    std::istringstream in(text);
+    std::string line;
+    std::string section;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        // Strip comments.
+        auto hash = line.find_first_of("#;");
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        if (line.front() == '[') {
+            if (line.back() != ']')
+                fatal("config line ", lineno,
+                      ": unterminated section header");
+            section = trim(line.substr(1, line.size() - 2));
+            continue;
+        }
+        auto eq = line.find('=');
+        if (eq == std::string::npos)
+            fatal("config line ", lineno, ": expected 'key = value'");
+        std::string key = trim(line.substr(0, eq));
+        std::string value = trim(line.substr(eq + 1));
+        if (key.empty())
+            fatal("config line ", lineno, ": empty key");
+        if (!section.empty())
+            key = section + "." + key;
+        set(key, value);
+    }
+}
+
+void
+Config::overlay(const Config& other)
+{
+    for (const auto& [key, value] : other.entries_)
+        entries_[key] = value;
+}
+
+std::string
+Config::render() const
+{
+    std::ostringstream os;
+    for (const auto& [key, value] : entries_)
+        os << key << " = " << value << '\n';
+    return os.str();
+}
+
+} // namespace tempest

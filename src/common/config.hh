@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Simple typed key/value configuration store with INI-style text
+ * parsing and layered overrides.
+ *
+ * Keys are dotted paths ("thermal.time_scale"). Values are stored as
+ * strings and converted on access; conversion failures are fatal()
+ * (user error). Unknown-key reads with a default never fail, which is
+ * what experiment sweeps want.
+ */
+
+#ifndef TEMPEST_COMMON_CONFIG_HH
+#define TEMPEST_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace tempest
+{
+
+/** Layered key/value configuration. */
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Set a key from a string value (overwrites). */
+    void set(const std::string& key, const std::string& value);
+
+    /** Convenience setters. */
+    void setInt(const std::string& key, std::int64_t value);
+    void setDouble(const std::string& key, double value);
+    void setBool(const std::string& key, bool value);
+
+    /** @return true if the key is present. */
+    bool has(const std::string& key) const;
+
+    /** Raw string access; fatal if missing. */
+    std::string getString(const std::string& key) const;
+    std::string getString(const std::string& key,
+                          const std::string& def) const;
+
+    /** Integer access with strict parsing; fatal on bad value. */
+    std::int64_t getInt(const std::string& key) const;
+    std::int64_t getInt(const std::string& key,
+                        std::int64_t def) const;
+
+    /** Floating-point access; fatal on bad value. */
+    double getDouble(const std::string& key) const;
+    double getDouble(const std::string& key, double def) const;
+
+    /** Boolean access: true/false/1/0/yes/no; fatal otherwise. */
+    bool getBool(const std::string& key) const;
+    bool getBool(const std::string& key, bool def) const;
+
+    /**
+     * Parse INI-style text: "[section]" lines prefix following keys
+     * with "section."; "key = value" lines set entries; '#' and ';'
+     * start comments. Malformed lines are fatal.
+     */
+    void parseText(const std::string& text);
+
+    /** Merge another config on top of this one (other wins). */
+    void overlay(const Config& other);
+
+    /** Render all entries as sorted "key = value" lines. */
+    std::string render() const;
+
+    const std::map<std::string, std::string>& entries() const
+    {
+        return entries_;
+    }
+
+  private:
+    std::map<std::string, std::string> entries_;
+};
+
+} // namespace tempest
+
+#endif // TEMPEST_COMMON_CONFIG_HH

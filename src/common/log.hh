@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers, in the spirit of gem5's
+ * logging.hh.
+ *
+ * fatal() is for user errors (bad configuration): prints and throws
+ * FatalError so embedders (and tests) can recover. panic() is for
+ * internal invariant violations: prints and aborts. warn()/inform()
+ * print to stderr/stdout and never stop the simulation.
+ */
+
+#ifndef TEMPEST_COMMON_LOG_HH
+#define TEMPEST_COMMON_LOG_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tempest
+{
+
+/** Exception thrown by fatal() for unrecoverable user errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string& msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+namespace detail
+{
+
+/** Concatenate any streamable arguments into one string. */
+template <typename... Args>
+std::string
+concat(Args&&... args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+[[noreturn]] void fatalImpl(const std::string& msg);
+[[noreturn]] void panicImpl(const std::string& msg);
+void warnImpl(const std::string& msg);
+void informImpl(const std::string& msg);
+
+} // namespace detail
+
+/**
+ * Report an unrecoverable error caused by the user (bad configuration,
+ * invalid arguments) and throw FatalError.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args&&... args)
+{
+    detail::fatalImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Report a condition that should never happen regardless of user input
+ * (an internal bug) and abort.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args&&... args)
+{
+    detail::panicImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Alert the user to suspicious but non-terminal behaviour. */
+template <typename... Args>
+void
+warn(Args&&... args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Provide a normal operating status message. */
+template <typename... Args>
+void
+inform(Args&&... args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Globally silence inform()/warn() output (used by benches). */
+void setQuiet(bool quiet);
+
+/** @return true if inform()/warn() output is suppressed. */
+bool isQuiet();
+
+} // namespace tempest
+
+#endif // TEMPEST_COMMON_LOG_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for reproducible
+ * simulation.
+ *
+ * Tempest never uses std::random_device or global generators; every
+ * stochastic component owns an Rng seeded from the experiment
+ * configuration so that a given (seed, config) pair always produces
+ * bit-identical results. The core generator is xoshiro256**, which is
+ * fast, high-quality, and trivially portable.
+ */
+
+#ifndef TEMPEST_COMMON_RNG_HH
+#define TEMPEST_COMMON_RNG_HH
+
+#include <array>
+#include <cstdint>
+
+namespace tempest
+{
+
+/**
+ * xoshiro256** pseudo-random generator with convenience draws for the
+ * distributions the workload generator and tests need.
+ */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion of a single 64-bit seed. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** @return next raw 64-bit draw. */
+    std::uint64_t next();
+
+    /** @return uniform double in [0, 1). */
+    double uniform();
+
+    /** @return uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /**
+     * @return uniform integer in [0, bound) using rejection sampling
+     * (unbiased). bound must be > 0.
+     */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** @return uniform integer in [lo, hi] inclusive. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** @return true with probability p (p clamped to [0, 1]). */
+    bool chance(double p);
+
+    /**
+     * Geometric draw: number of failures before the first success with
+     * success probability p in (0, 1]. Mean (1-p)/p.
+     */
+    std::uint64_t geometric(double p);
+
+    /** Standard normal draw (Box-Muller, no caching). */
+    double gaussian();
+
+    /** Normal draw with given mean and standard deviation. */
+    double gaussian(double mean, double stddev);
+
+    /**
+     * Draw an index from a discrete distribution given cumulative
+     * weights (last element is the total weight).
+     */
+    int categoricalFromCdf(const double* cdf, int n);
+
+    /** Re-seed the generator (resets the stream). */
+    void reseed(std::uint64_t seed);
+
+  private:
+    std::array<std::uint64_t, 4> state_;
+};
+
+} // namespace tempest
+
+#endif // TEMPEST_COMMON_RNG_HH

@@ -1,0 +1,94 @@
+#include "common/stats.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace tempest
+{
+
+Histogram::Histogram(double lo, double hi, int bins)
+    : lo_(lo), hi_(hi)
+{
+    if (bins < 1)
+        fatal("Histogram requires at least one bin");
+    if (!(hi > lo))
+        fatal("Histogram requires hi > lo");
+    width_ = (hi - lo) / bins;
+    counts_.assign(static_cast<std::size_t>(bins), 0);
+}
+
+void
+Histogram::sample(double x)
+{
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+    } else if (x >= hi_) {
+        ++overflow_;
+    } else {
+        auto idx = static_cast<std::size_t>((x - lo_) / width_);
+        if (idx >= counts_.size())
+            idx = counts_.size() - 1; // guard FP edge at hi_
+        ++counts_[idx];
+    }
+}
+
+double
+Histogram::binCenter(int i) const
+{
+    return lo_ + (i + 0.5) * width_;
+}
+
+double
+Histogram::approxMean() const
+{
+    const std::uint64_t interior = total_ - underflow_ - overflow_;
+    if (interior == 0)
+        return 0.0;
+    double sum = 0.0;
+    for (int i = 0; i < bins(); ++i)
+        sum += binCenter(i) * static_cast<double>(counts_[i]);
+    return sum / static_cast<double>(interior);
+}
+
+void
+Histogram::reset()
+{
+    for (auto& c : counts_)
+        c = 0;
+    underflow_ = overflow_ = total_ = 0;
+}
+
+void
+StatGroup::set(const std::string& stat, double value)
+{
+    values_[stat] = value;
+}
+
+double
+StatGroup::get(const std::string& stat) const
+{
+    auto it = values_.find(stat);
+    if (it == values_.end())
+        fatal("StatGroup '", name_, "' has no stat '", stat, "'");
+    return it->second;
+}
+
+bool
+StatGroup::has(const std::string& stat) const
+{
+    return values_.count(stat) != 0;
+}
+
+std::string
+StatGroup::render() const
+{
+    std::ostringstream os;
+    for (const auto& [stat, value] : values_)
+        os << name_ << '.' << stat << ' ' << value << '\n';
+    return os.str();
+}
+
+} // namespace tempest

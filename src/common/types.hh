@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fundamental scalar types and unit aliases used throughout Tempest.
+ *
+ * All physical quantities carry their unit in the alias name so call
+ * sites read unambiguously (e.g. a Kelvin is never confused with a
+ * Celsius delta).
+ */
+
+#ifndef TEMPEST_COMMON_TYPES_HH
+#define TEMPEST_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace tempest
+{
+
+/** Simulated core clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Simulated wall-clock time in seconds. */
+using Seconds = double;
+
+/** Absolute temperature in Kelvin. */
+using Kelvin = double;
+
+/** Energy in Joules. */
+using Joule = double;
+
+/** Power in Watts. */
+using Watt = double;
+
+/** Thermal resistance in Kelvin per Watt. */
+using KelvinPerWatt = double;
+
+/** Heat capacity in Joules per Kelvin. */
+using JoulePerKelvin = double;
+
+/** Physical length in meters. */
+using Meter = double;
+
+/** Physical area in square meters. */
+using SquareMeter = double;
+
+/** Invalid/unassigned index sentinel. */
+inline constexpr int invalidIndex = -1;
+
+} // namespace tempest
+
+#endif // TEMPEST_COMMON_TYPES_HH

@@ -1,0 +1,240 @@
+#include "dtm/dtm_policy.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace tempest
+{
+
+ResourceBalancingDtm::ResourceBalancingDtm(const DtmConfig& config,
+                                           OooCore& core,
+                                           const Floorplan& floorplan)
+    : config_(config),
+      core_(core),
+      numIntAlus_(core.config().numIntAlus),
+      numFpAdders_(core.config().numFpAdders),
+      numRegCopies_(core.config().numIntRegfileCopies)
+{
+    intQHalf_[0] = floorplan.indexOf("IntQ0");
+    intQHalf_[1] = floorplan.indexOf("IntQ1");
+    fpQHalf_[0] = floorplan.indexOf("FPQ0");
+    fpQHalf_[1] = floorplan.indexOf("FPQ1");
+    for (int i = 0; i < numIntAlus_; ++i)
+        intExec_[i] = floorplan.indexOf("IntExec" +
+                                        std::to_string(i));
+    for (int i = 0; i < numFpAdders_; ++i)
+        fpAdd_[i] = floorplan.indexOf("FPAdd" + std::to_string(i));
+    for (int c = 0; c < numRegCopies_; ++c)
+        intReg_[c] = floorplan.indexOf("IntReg" +
+                                       std::to_string(c));
+
+    // Everything else is monitored for the temporal fallback only.
+    for (int b = 0; b < floorplan.numBlocks(); ++b) {
+        const std::string& name = floorplan.block(b).name;
+        if (name.rfind("IntQ", 0) == 0 ||
+            name.rfind("FPQ", 0) == 0 ||
+            name.rfind("IntExec", 0) == 0 ||
+            name.rfind("FPAdd", 0) == 0 ||
+            name.rfind("IntReg", 0) == 0) {
+            continue;
+        }
+        otherMonitored_.push_back(b);
+    }
+
+    core_.setRoundRobin(config_.roundRobin);
+    core_.intRegfile().setMapping(config_.mapping);
+}
+
+bool
+ResourceBalancingDtm::aluOffForRegfile(int alu) const
+{
+    if (config_.mapping == PortMapping::CompletelyBalanced) {
+        for (int c = 0; c < numRegCopies_; ++c) {
+            if (regCopyOff_[c])
+                return true;
+        }
+        return false;
+    }
+    const int copy = core_.intRegfile().copyForAlu(alu);
+    return regCopyOff_[copy];
+}
+
+void
+ResourceBalancingDtm::sampleQueue(IssueQueue& iq,
+                                  const std::vector<Kelvin>& t,
+                                  const int half_blocks[2])
+{
+    // The activity-heavy half is the one holding the tail region:
+    // physical half 1 in the conventional configuration, half 0
+    // after a toggle (§2.1.1).
+    const int tail_half =
+        iq.mode() == CompactionMode::Conventional ? 1 : 0;
+    const int head_half = 1 - tail_half;
+    const Kelvin t_tail = t[static_cast<std::size_t>(
+        half_blocks[tail_half])];
+    const Kelvin t_head = t[static_cast<std::size_t>(
+        half_blocks[head_half])];
+    // Toggle before either half overheats (overheating is the
+    // temporal fallback's business), and only once the hot half
+    // approaches the threshold — far below it the toggled
+    // configuration's long-wire cost buys nothing.
+    if (t_tail - t_head > config_.toggleDeltaK &&
+        t_tail >= config_.maxTemperature - config_.toggleProximityK &&
+        t_tail < config_.maxTemperature &&
+        t_head < config_.maxTemperature) {
+        iq.toggleMode();
+        ++stats_.iqToggles;
+    }
+}
+
+DtmAction
+ResourceBalancingDtm::sample(const std::vector<Kelvin>& temps)
+{
+    const Kelvin max_t = config_.maxTemperature;
+    bool stall = false;
+
+    // ---- activity toggling (§2.1) ----
+    if (config_.iqToggling) {
+        sampleQueue(core_.intQueue(), temps, intQHalf_);
+        sampleQueue(core_.fpQueue(), temps, fpQHalf_);
+    }
+
+    // An overheated issue-queue half can never be turned off
+    // (broadcast must reach all entries), so it always stalls.
+    for (int h = 0; h < 2; ++h) {
+        if (temps[static_cast<std::size_t>(intQHalf_[h])] >= max_t)
+            stall = true;
+        if (temps[static_cast<std::size_t>(fpQHalf_[h])] >= max_t)
+            stall = true;
+    }
+
+    // ---- fine-grain ALU turnoff (§2.2) ----
+    AluPool& alus = core_.alus();
+    if (config_.aluTurnoff) {
+        for (int i = 0; i < numIntAlus_; ++i) {
+            const Kelvin t =
+                temps[static_cast<std::size_t>(intExec_[i])];
+            if (t >= max_t) {
+                if (aluUnitOff_[i] == 0) {
+                    alus.setIntAluOff(i, TurnoffReason::UnitThermal,
+                                      true);
+                    aluUnitOff_[i] = 1;
+                    ++stats_.aluTurnoffEvents;
+                }
+            } else if (aluUnitOff_[i] != 0 &&
+                       t <= max_t - config_.reenableHysteresisK) {
+                alus.setIntAluOff(i, TurnoffReason::UnitThermal,
+                                  false);
+                aluUnitOff_[i] = 0;
+            }
+        }
+        for (int i = 0; i < numFpAdders_; ++i) {
+            const Kelvin t =
+                temps[static_cast<std::size_t>(fpAdd_[i])];
+            if (t >= max_t) {
+                if (fpUnitOff_[i] == 0) {
+                    alus.setFpAdderOff(
+                        i, TurnoffReason::UnitThermal, true);
+                    fpUnitOff_[i] = 1;
+                    ++stats_.fpAdderTurnoffEvents;
+                }
+            } else if (fpUnitOff_[i] != 0 &&
+                       t <= max_t - config_.reenableHysteresisK) {
+                alus.setFpAdderOff(i, TurnoffReason::UnitThermal,
+                                   false);
+                fpUnitOff_[i] = 0;
+            }
+        }
+        if (alus.allIntAlusOff())
+            stall = true;
+        if (alus.allFpAddersOff() && core_.fpQueue().count() > 0)
+            stall = true;
+    } else {
+        for (int i = 0; i < numIntAlus_; ++i) {
+            if (temps[static_cast<std::size_t>(intExec_[i])] >=
+                max_t) {
+                stall = true;
+            }
+        }
+        for (int i = 0; i < numFpAdders_; ++i) {
+            if (temps[static_cast<std::size_t>(fpAdd_[i])] >=
+                max_t) {
+                stall = true;
+            }
+        }
+    }
+
+    // ---- fine-grain register-file copy turnoff (§2.3) ----
+    if (config_.regfileTurnoff) {
+        const Kelvin off_t = max_t - config_.regfileTurnoffMarginK;
+        for (int c = 0; c < numRegCopies_; ++c) {
+            const Kelvin t =
+                temps[static_cast<std::size_t>(intReg_[c])];
+            if (!regCopyOff_[c] && t >= off_t) {
+                regCopyOff_[c] = true;
+                ++stats_.regfileTurnoffEvents;
+                for (int alu :
+                     core_.intRegfile().alusOfCopy(c)) {
+                    alus.setIntAluOff(
+                        alu, TurnoffReason::RegfileThermal, true);
+                }
+            } else if (regCopyOff_[c] &&
+                       t <= off_t - config_.reenableHysteresisK) {
+                regCopyOff_[c] = false;
+                for (int alu :
+                     core_.intRegfile().alusOfCopy(c)) {
+                    alus.setIntAluOff(
+                        alu, TurnoffReason::RegfileThermal, false);
+                }
+            }
+            // Writes continue while cooling; only past the full
+            // critical threshold does the fallback engage.
+            if (t >= max_t)
+                stall = true;
+        }
+        bool all_off = true;
+        for (int c = 0; c < numRegCopies_; ++c)
+            all_off = all_off && regCopyOff_[c];
+        if (all_off)
+            stall = true;
+        if (alus.allIntAlusOff())
+            stall = true;
+    } else {
+        for (int c = 0; c < numRegCopies_; ++c) {
+            if (temps[static_cast<std::size_t>(intReg_[c])] >=
+                max_t) {
+                stall = true;
+            }
+        }
+    }
+
+    // ---- everything else: temporal technique only ----
+    for (int b : otherMonitored_) {
+        if (temps[static_cast<std::size_t>(b)] >= max_t)
+            stall = true;
+    }
+
+    // ---- fetch throttling (related-work temporal comparator) ----
+    if (config_.fetchThrottling) {
+        Kelvin hottest = 0;
+        for (const Kelvin t : temps)
+            hottest = std::max(hottest, t);
+        const Kelvin on_t = max_t - config_.fetchThrottleMarginK;
+        if (hottest >= on_t) {
+            if (core_.fetchInterval() == 1)
+                ++stats_.fetchThrottleEvents;
+            core_.setFetchInterval(
+                config_.fetchThrottleInterval);
+        } else if (hottest <=
+                   on_t - config_.reenableHysteresisK) {
+            core_.setFetchInterval(1);
+        }
+    }
+
+    if (stall)
+        ++stats_.globalStalls;
+    return stall ? DtmAction::GlobalStall : DtmAction::Continue;
+}
+
+} // namespace tempest

@@ -1,0 +1,144 @@
+#include "power/power_model.hh"
+
+#include "common/log.hh"
+
+namespace tempest
+{
+
+PowerModel::PowerModel(const EnergyParams& params,
+                       const Floorplan& floorplan,
+                       const PipelineConfig& config,
+                       double frequency_hz)
+    : params_(params),
+      frequencyHz_(frequency_hz),
+      numIntAlus_(config.numIntAlus),
+      numFpAdders_(config.numFpAdders),
+      numRegCopies_(config.numIntRegfileCopies)
+{
+    if (frequency_hz <= 0)
+        fatal("power model needs a positive frequency");
+
+    blockArea_.resize(
+        static_cast<std::size_t>(floorplan.numBlocks()));
+    for (int i = 0; i < floorplan.numBlocks(); ++i)
+        blockArea_[static_cast<std::size_t>(i)] =
+            floorplan.block(i).area();
+
+    intQ_[0] = floorplan.indexOf("IntQ0");
+    intQ_[1] = floorplan.indexOf("IntQ1");
+    fpQ_[0] = floorplan.indexOf("FPQ0");
+    fpQ_[1] = floorplan.indexOf("FPQ1");
+    for (int i = 0; i < numIntAlus_; ++i)
+        intExec_[i] = floorplan.indexOf("IntExec" +
+                                        std::to_string(i));
+    for (int i = 0; i < numFpAdders_; ++i)
+        fpAdd_[i] = floorplan.indexOf("FPAdd" + std::to_string(i));
+    for (int i = 0; i < numRegCopies_; ++i)
+        intReg_[i] = floorplan.indexOf("IntReg" +
+                                       std::to_string(i));
+    fpReg_ = floorplan.indexOf("FPReg");
+    fpMul_ = floorplan.indexOf("FPMul");
+    icache_ = floorplan.indexOf("Icache");
+    dcache_ = floorplan.indexOf("Dcache");
+    bpred_ = floorplan.indexOf("Bpred");
+    ldstq_ = floorplan.indexOf("LdStQ");
+    intMap_ = floorplan.indexOf("IntMap");
+    fpMap_ = floorplan.indexOf("FPMap");
+}
+
+Joule
+PowerModel::iqHalfEnergy(const ActivityRecord& a, int queue,
+                         int half) const
+{
+    if (queue < 0 || queue >= kNumIssueQueues ||
+        (half != 0 && half != 1)) {
+        panic("iqHalfEnergy: bad queue or half index");
+    }
+    const EnergyParams& p = params_;
+    Joule e = 0.0;
+    // Per-half components (§3.1 / Table 3).
+    e += a.iqEntryMoves[queue][half] * p.iqCompactEntry;
+    e += a.iqMuxSelects[queue][half] * p.iqCompactMux;
+    e += a.iqCounterOps[queue][half] *
+         (p.iqCounterStage1 + p.iqCounterStage2);
+    e += a.iqDispatchWrites[queue][half] * p.iqDispatchWrite;
+    // Global components, distributed evenly across the halves.
+    // Long-compaction wires span the whole queue, so their energy
+    // dissipates across both halves regardless of which entry
+    // drives them.
+    const std::uint64_t long_total =
+        a.iqLongCompactions[queue][0] +
+        a.iqLongCompactions[queue][1];
+    e += 0.5 * long_total * p.iqLongCompaction;
+    e += 0.5 * (a.iqTagBroadcasts[queue] * p.iqTagBroadcast +
+                a.iqPayloadAccesses[queue] * p.iqPayloadAccess +
+                a.iqSelectAccesses[queue] * p.iqSelectAccess +
+                a.iqClockGateCycles[queue] * p.iqClockGateLogic);
+    return e;
+}
+
+Watt
+PowerModel::idlePower(int block) const
+{
+    return params_.idleWattsPerSquareMeter *
+           blockArea_[static_cast<std::size_t>(block)];
+}
+
+void
+PowerModel::blockPowers(const ActivityRecord& a,
+                        std::vector<Watt>& powers) const
+{
+    if (a.cycles == 0)
+        fatal("blockPowers: interval with zero cycles");
+    const Seconds dt =
+        static_cast<double>(a.cycles) / frequencyHz_;
+    const EnergyParams& p = params_;
+
+    powers.assign(blockArea_.size(), 0.0);
+    auto add = [&powers, dt](int block, Joule energy) {
+        powers[static_cast<std::size_t>(block)] += energy / dt;
+    };
+
+    // Issue-queue halves.
+    for (int h = 0; h < 2; ++h) {
+        add(intQ_[h], iqHalfEnergy(a, 0, h));
+        add(fpQ_[h], iqHalfEnergy(a, 1, h));
+    }
+
+    // Functional units.
+    for (int i = 0; i < numIntAlus_; ++i)
+        add(intExec_[i], a.intAluOps[i] * p.intAluOp);
+    for (int i = 0; i < numFpAdders_; ++i)
+        add(fpAdd_[i], a.fpAddOps[i] * p.fpAddOp);
+    add(fpMul_, a.fpMulOps * p.fpMulOp);
+
+    // Register files.
+    for (int c = 0; c < numRegCopies_; ++c) {
+        add(intReg_[c], a.intRegReads[c] * p.intRegRead +
+                            a.intRegWrites[c] * p.intRegWrite);
+    }
+    add(fpReg_, a.fpRegReads * p.fpRegRead +
+                    a.fpRegWrites * p.fpRegWrite);
+
+    // Memory hierarchy and frontend. L2 dynamic energy is outside
+    // the core floorplan and intentionally not attributed.
+    add(icache_, a.l1iAccesses * p.l1iAccess);
+    add(dcache_, a.l1dAccesses * p.l1dAccess);
+    add(bpred_, a.bpredAccesses * p.bpredAccess);
+    add(ldstq_, a.lsqOps * p.lsqOp);
+    add(intMap_, a.renameOps * p.renameOp +
+                     a.commits * p.commitOp);
+
+    // Leakage everywhere (including stalled intervals), plus the
+    // clock tree in proportion to non-stalled time.
+    const double active_frac =
+        1.0 - static_cast<double>(a.stallCycles) /
+                  static_cast<double>(a.cycles);
+    const double density =
+        params_.idleWattsPerSquareMeter +
+        params_.clockWattsPerSquareMeter * active_frac;
+    for (std::size_t i = 0; i < powers.size(); ++i)
+        powers[i] += density * blockArea_[i];
+}
+
+} // namespace tempest

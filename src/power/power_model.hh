@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Wattch-like power model: converts an interval's microarchitectural
+ * activity into average per-floorplan-block power.
+ *
+ * Dynamic energy is per-event (EnergyParams); every block also
+ * dissipates an idle (leakage + residual clock) power proportional
+ * to its area, which persists through thermal stalls. Globally
+ * distributed issue-queue components (tag broadcast/match, payload
+ * RAM, select, clock-gate control) are split evenly across the two
+ * physical halves, as §3.1 of the paper specifies. L2 dynamic
+ * energy is not attributed to any core block: the L2 lives outside
+ * the modeled core floorplan (Figure 5).
+ */
+
+#ifndef TEMPEST_POWER_POWER_MODEL_HH
+#define TEMPEST_POWER_POWER_MODEL_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "power/energy_params.hh"
+#include "thermal/floorplan.hh"
+#include "uarch/activity.hh"
+
+namespace tempest
+{
+
+/** Activity -> per-block power conversion. */
+class PowerModel
+{
+  public:
+    /**
+     * @param params per-event energies
+     * @param floorplan block layout (indices are cached)
+     * @param config pipeline shape (FU/copy counts)
+     * @param frequency_hz core clock
+     */
+    PowerModel(const EnergyParams& params, const Floorplan& floorplan,
+               const PipelineConfig& config, double frequency_hz);
+
+    /**
+     * Average power per floorplan block over the interval covered
+     * by `activity` (activity.cycles must be > 0).
+     *
+     * @param activity event counts for the interval
+     * @param powers output, sized to the floorplan's block count
+     */
+    void blockPowers(const ActivityRecord& activity,
+                     std::vector<Watt>& powers) const;
+
+    /**
+     * Dynamic energy of one physical issue-queue half over an
+     * interval (exposed for unit tests and the ablation benches).
+     *
+     * @param queue 0 = integer, 1 = floating-point
+     * @param half physical half (0 = lower)
+     */
+    Joule iqHalfEnergy(const ActivityRecord& activity, int queue,
+                       int half) const;
+
+    const EnergyParams& params() const { return params_; }
+    double frequencyHz() const { return frequencyHz_; }
+
+    /** Idle power of a block (area * idle density). */
+    Watt idlePower(int block) const;
+
+  private:
+    EnergyParams params_;
+    double frequencyHz_;
+    int numIntAlus_;
+    int numFpAdders_;
+    int numRegCopies_;
+
+    // Cached floorplan indices.
+    std::vector<SquareMeter> blockArea_;
+    int intQ_[2];
+    int fpQ_[2];
+    int intExec_[kMaxIntAlus];
+    int fpAdd_[kMaxFpAdders];
+    int intReg_[kMaxRegfileCopies];
+    int fpReg_;
+    int fpMul_;
+    int icache_;
+    int dcache_;
+    int bpred_;
+    int ldstq_;
+    int intMap_;
+    int fpMap_;
+};
+
+} // namespace tempest
+
+#endif // TEMPEST_POWER_POWER_MODEL_HH

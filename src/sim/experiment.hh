@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Named experiment configurations reproducing the paper's
+ * evaluation (§4), plus helpers the benches and examples share.
+ *
+ * Each table/figure maps to a set of SimConfigs:
+ *
+ * - Figure 6 / Table 4: IQ-constrained floorplan; "base"
+ *   (temporal fallback only) vs "activity toggling".
+ * - Figure 7 / Table 5: ALU-constrained floorplan; "base" vs
+ *   "fine-grain turnoff" vs ideal "round-robin".
+ * - Figure 8 / Table 6: regfile-constrained floorplan; the four
+ *   combinations of {priority, balanced} x {turnoff, none}.
+ *
+ * Experiments run with compressed thermal time (timeScale) so a
+ * few tens of millions of cycles traverse many thermal time
+ * constants; the sampling-interval : time-constant : cooling-time
+ * ratios match the paper's (see DESIGN.md).
+ */
+
+#ifndef TEMPEST_SIM_EXPERIMENT_HH
+#define TEMPEST_SIM_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace tempest
+{
+namespace experiments
+{
+
+/** Default thermal time compression for experiments. */
+inline constexpr double kTimeScale = 0.04;
+
+/** Default simulated cycles per benchmark run. */
+inline constexpr std::uint64_t kRunCycles = 24'000'000;
+
+/** Shorter runs for smoke tests. */
+inline constexpr std::uint64_t kSmokeCycles = 4'000'000;
+
+/** Common base: Table 2 pipeline, default energies, compressed
+ * thermal time. */
+SimConfig baseConfig(FloorplanVariant variant,
+                     double time_scale = kTimeScale);
+
+// ---- Figure 6 / Table 4 (issue queue) ----
+/** IQ-constrained, temporal technique only. */
+SimConfig iqBase(double time_scale = kTimeScale);
+/** IQ-constrained with activity toggling. */
+SimConfig iqToggling(double time_scale = kTimeScale);
+
+// ---- Figure 7 / Table 5 (ALUs) ----
+/** ALU-constrained, static priority, temporal only. */
+SimConfig aluBase(double time_scale = kTimeScale);
+/** ALU-constrained with fine-grain turnoff. */
+SimConfig aluFineGrain(double time_scale = kTimeScale);
+/** ALU-constrained with ideal round-robin (upper bound). */
+SimConfig aluRoundRobin(double time_scale = kTimeScale);
+
+// ---- Figure 8 / Table 6 (register file) ----
+/** Regfile-constrained with a given mapping, with or without
+ * fine-grain copy turnoff. */
+SimConfig regfileConfig(PortMapping mapping, bool fine_grain,
+                        double time_scale = kTimeScale);
+
+/** Run one benchmark under one configuration. */
+SimResult runBenchmark(const SimConfig& config,
+                       const std::string& benchmark,
+                       std::uint64_t cycles = kRunCycles);
+
+/** Percentage speedup of `b` over `a` (in IPC). */
+double speedupPercent(const SimResult& a, const SimResult& b);
+
+/**
+ * Geometric-mean IPC speedup (percent) of config B over config A
+ * across paired results.
+ */
+double meanSpeedupPercent(const std::vector<SimResult>& base,
+                          const std::vector<SimResult>& improved);
+
+/** Render a fixed-width ASCII table; columns sized to content. */
+std::string renderTable(
+    const std::vector<std::vector<std::string>>& rows);
+
+} // namespace experiments
+} // namespace tempest
+
+#endif // TEMPEST_SIM_EXPERIMENT_HH

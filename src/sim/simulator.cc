@@ -1,0 +1,141 @@
+#include "sim/simulator.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace tempest
+{
+
+const BlockTempStats&
+SimResult::block(const std::string& name) const
+{
+    for (const BlockTempStats& b : blocks) {
+        if (b.name == name)
+            return b;
+    }
+    fatal("SimResult has no block named '", name, "'");
+}
+
+Simulator::Simulator(const SimConfig& config,
+                     const BenchmarkProfile& profile)
+    : config_(config),
+      floorplan_(Floorplan::ev6Like(config.variant))
+{
+    config_.pipeline.validate();
+    config_.thermal.validate();
+
+    core_ = std::make_unique<OooCore>(config_.pipeline, profile,
+                                      config_.runSeed);
+    power_ = std::make_unique<PowerModel>(
+        config_.energy, floorplan_, config_.pipeline,
+        config_.pipeline.frequencyHz);
+    rc_ = std::make_unique<RcModel>(floorplan_, config_.thermal);
+    sensors_ = std::make_unique<SensorBank>(
+        *rc_, config_.sensorQuantum, 0.0, config_.runSeed ^ 0x5e);
+    dtm_ = std::make_unique<ResourceBalancingDtm>(
+        config_.dtm, *core_, floorplan_);
+
+    blockAvg_.resize(
+        static_cast<std::size_t>(floorplan_.numBlocks()));
+    blockMax_.assign(
+        static_cast<std::size_t>(floorplan_.numBlocks()), 0.0);
+}
+
+void
+Simulator::runInterval(bool stalled)
+{
+    ActivityRecord interval;
+    if (stalled) {
+        core_->stallCycles(config_.sampleIntervalCycles, interval);
+    } else {
+        for (std::uint64_t c = 0; c < config_.sampleIntervalCycles;
+             ++c) {
+            core_->tick(interval);
+        }
+    }
+
+    power_->blockPowers(interval, powerScratch_);
+    rc_->setPowers(powerScratch_);
+
+    if (!warmed_) {
+        // Warm start: steady state of the first interval's power,
+        // clamped to the threshold per block (a managed processor
+        // never sits above it; package nodes keep their steady
+        // values).
+        warmed_ = true;
+        if (config_.warmStart) {
+            rc_->solveSteadyState();
+            for (int b = 0; b < rc_->numBlocks(); ++b) {
+                if (rc_->temperature(b) >
+                    config_.dtm.maxTemperature) {
+                    rc_->setTemperature(
+                        b, config_.dtm.maxTemperature);
+                }
+            }
+        }
+    }
+
+    const Seconds dt =
+        static_cast<double>(interval.cycles) /
+        config_.pipeline.frequencyHz;
+    rc_->step(dt);
+
+    total_.add(interval);
+
+    const std::vector<Kelvin> temps = sensors_->readAll();
+    for (int b = 0; b < floorplan_.numBlocks(); ++b) {
+        const auto i = static_cast<std::size_t>(b);
+        if (!stalled)
+            blockAvg_[i].sample(temps[i]);
+        blockMax_[i] = std::max(blockMax_[i], temps[i]);
+    }
+
+    if (trace_) {
+        trace_->record(core_->cycle(), stalled,
+                       interval.instructions, temps,
+                       powerScratch_);
+    }
+
+    if (!stalled && dtm_->sample(temps) == DtmAction::GlobalStall) {
+        // Stall for the cooling time, advanced in interval-sized
+        // chunks so the thermal trace stays smooth. The cooling
+        // time scales with the thermal time compression.
+        const Seconds cooling =
+            config_.dtm.coolingTime * config_.thermal.timeScale;
+        const auto cooling_cycles = static_cast<std::uint64_t>(
+            cooling * config_.pipeline.frequencyHz);
+        const std::uint64_t chunks = std::max<std::uint64_t>(
+            1, cooling_cycles / config_.sampleIntervalCycles);
+        for (std::uint64_t k = 0; k < chunks; ++k)
+            runInterval(/*stalled=*/true);
+    }
+}
+
+SimResult
+Simulator::run(std::uint64_t max_cycles)
+{
+    const std::uint64_t end_cycle = core_->cycle() + max_cycles;
+    while (core_->cycle() < end_cycle)
+        runInterval(/*stalled=*/false);
+
+    SimResult result;
+    result.benchmark = core_->profile().name;
+    result.cycles = core_->cycle();
+    result.instructions = core_->committed();
+    result.ipc = core_->ipc();
+    result.stallCycles = total_.stallCycles;
+    result.dtm = dtm_->stats();
+    result.activity = total_;
+    result.blocks.resize(
+        static_cast<std::size_t>(floorplan_.numBlocks()));
+    for (int b = 0; b < floorplan_.numBlocks(); ++b) {
+        const auto i = static_cast<std::size_t>(b);
+        result.blocks[i].name = floorplan_.block(b).name;
+        result.blocks[i].avg = blockAvg_[i].mean();
+        result.blocks[i].max = blockMax_[i];
+    }
+    return result;
+}
+
+} // namespace tempest

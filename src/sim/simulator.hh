@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The closed-loop thermal simulator: couples the out-of-order core,
+ * the power model, the RC thermal network, the sensor bank, and the
+ * DTM policy.
+ *
+ * The loop mirrors the paper's methodology (§3): execute in
+ * 100,000-cycle sampling intervals, convert the interval's activity
+ * to per-block power, advance the thermal network, read the
+ * sensors, and let the DTM act. A GlobalStall action freezes the
+ * core for the thermal cooling time (advanced in sample-interval
+ * chunks with clock-gated power). Initial temperatures come from a
+ * steady-state solve of the first interval's power, clamped to the
+ * thermal threshold, so runs begin thermally warmed.
+ */
+
+#ifndef TEMPEST_SIM_SIMULATOR_HH
+#define TEMPEST_SIM_SIMULATOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dtm/dtm_policy.hh"
+#include "power/power_model.hh"
+#include "sim/trace.hh"
+#include "thermal/rc_model.hh"
+#include "thermal/sensor.hh"
+#include "uarch/core.hh"
+#include "workload/profile.hh"
+
+namespace tempest
+{
+
+/** Everything needed to instantiate one simulation. */
+struct SimConfig
+{
+    PipelineConfig pipeline;
+    EnergyParams energy;
+    ThermalParams thermal;
+    DtmConfig dtm;
+    FloorplanVariant variant = FloorplanVariant::Baseline;
+
+    /** Sensor sampling interval (paper: 100,000 cycles). */
+    std::uint64_t sampleIntervalCycles = 100000;
+
+    /** Sensor quantization (0 = ideal). */
+    Kelvin sensorQuantum = 0.0;
+
+    /** Experiment-level seed, combined with the profile seed. */
+    std::uint64_t runSeed = 1;
+
+    /** Start from the steady state of the first interval's power
+     * (clamped at the threshold) instead of ambient. */
+    bool warmStart = true;
+};
+
+/** Per-block temperature summary. */
+struct BlockTempStats
+{
+    std::string name;
+    Kelvin avg = 0;  ///< average over non-stalled samples
+    Kelvin max = 0;  ///< maximum over all samples
+};
+
+/** End-of-run results. */
+struct SimResult
+{
+    std::string benchmark;
+    double ipc = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t stallCycles = 0;
+    DtmStats dtm;
+    std::vector<BlockTempStats> blocks;
+    ActivityRecord activity; ///< totals over the whole run
+
+    /** Temperature stats of a named block; fatal if absent. */
+    const BlockTempStats& block(const std::string& name) const;
+};
+
+/** Closed-loop simulator for one benchmark run. */
+class Simulator
+{
+  public:
+    Simulator(const SimConfig& config,
+              const BenchmarkProfile& profile);
+
+    /**
+     * Run until the core has advanced `max_cycles` cycles
+     * (including stall cycles).
+     */
+    SimResult run(std::uint64_t max_cycles);
+
+    /** Access to the live pieces (examples, tests). */
+    OooCore& core() { return *core_; }
+    RcModel& thermalModel() { return *rc_; }
+    ResourceBalancingDtm& dtm() { return *dtm_; }
+    const Floorplan& floorplan() const { return floorplan_; }
+
+    /** Attach a trace recorder (not owned); nullptr detaches. */
+    void setTrace(ThermalTrace* trace) { trace_ = trace; }
+
+  private:
+    /** Simulate one sampling interval; false if stalled interval. */
+    void runInterval(bool stalled);
+
+    SimConfig config_;
+    Floorplan floorplan_;
+    std::unique_ptr<OooCore> core_;
+    std::unique_ptr<PowerModel> power_;
+    std::unique_ptr<RcModel> rc_;
+    std::unique_ptr<SensorBank> sensors_;
+    std::unique_ptr<ResourceBalancingDtm> dtm_;
+
+    std::vector<Watt> powerScratch_;
+
+    // Accumulated statistics.
+    ActivityRecord total_;
+    std::vector<RunningStat> blockAvg_;  ///< non-stalled samples
+    std::vector<Kelvin> blockMax_;
+    bool warmed_ = false;
+    ThermalTrace* trace_ = nullptr;
+};
+
+} // namespace tempest
+
+#endif // TEMPEST_SIM_SIMULATOR_HH

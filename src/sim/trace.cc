@@ -1,0 +1,88 @@
+#include "sim/trace.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace tempest
+{
+
+ThermalTrace::ThermalTrace(const Floorplan& floorplan, int stride)
+    : stride_(stride)
+{
+    if (stride < 1)
+        fatal("trace stride must be >= 1");
+    for (int b = 0; b < floorplan.numBlocks(); ++b)
+        blockNames_.push_back(floorplan.block(b).name);
+}
+
+void
+ThermalTrace::record(Cycle cycle, bool stalled,
+                     std::uint64_t instructions,
+                     const std::vector<Kelvin>& temperature,
+                     const std::vector<Watt>& power)
+{
+    if (temperature.size() != blockNames_.size() ||
+        power.size() != blockNames_.size()) {
+        fatal("trace record size mismatch");
+    }
+    if (seen_++ % static_cast<std::uint64_t>(stride_) != 0)
+        return;
+    samples_.push_back(
+        {cycle, stalled, instructions, temperature, power});
+}
+
+const TraceSample&
+ThermalTrace::sample(std::size_t i) const
+{
+    if (i >= samples_.size())
+        panic("trace sample index out of range");
+    return samples_[i];
+}
+
+Kelvin
+ThermalTrace::peak(int block) const
+{
+    Kelvin best = 0;
+    for (const TraceSample& s : samples_) {
+        best = std::max(
+            best, s.temperature[static_cast<std::size_t>(block)]);
+    }
+    return best;
+}
+
+std::string
+ThermalTrace::toCsv() const
+{
+    std::ostringstream os;
+    os << "cycle,stalled,instructions";
+    for (const std::string& name : blockNames_)
+        os << ",T_" << name;
+    for (const std::string& name : blockNames_)
+        os << ",P_" << name;
+    os << '\n';
+    for (const TraceSample& s : samples_) {
+        os << s.cycle << ',' << (s.stalled ? 1 : 0) << ','
+           << s.instructions;
+        for (const Kelvin t : s.temperature)
+            os << ',' << t;
+        for (const Watt p : s.power)
+            os << ',' << p;
+        os << '\n';
+    }
+    return os.str();
+}
+
+void
+ThermalTrace::writeCsv(const std::string& path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open trace file '", path, "'");
+    out << toCsv();
+    if (!out)
+        fatal("failed writing trace file '", path, "'");
+}
+
+} // namespace tempest

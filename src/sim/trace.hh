@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Thermal/performance trace recording.
+ *
+ * A ThermalTrace collects one sample per sensing interval — cycle,
+ * per-block temperature and power, commit count, and stall state —
+ * and renders them as CSV for plotting (the time-series views the
+ * paper's figures are derived from).
+ */
+
+#ifndef TEMPEST_SIM_TRACE_HH
+#define TEMPEST_SIM_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "thermal/floorplan.hh"
+
+namespace tempest
+{
+
+/** One recorded sampling interval. */
+struct TraceSample
+{
+    Cycle cycle = 0;
+    bool stalled = false;
+    std::uint64_t instructions = 0; ///< committed in the interval
+    std::vector<Kelvin> temperature; ///< per floorplan block
+    std::vector<Watt> power;         ///< per floorplan block
+};
+
+/** A growable thermal/performance trace. */
+class ThermalTrace
+{
+  public:
+    /**
+     * @param floorplan block naming for the CSV header
+     * @param stride record every Nth sample (1 = all)
+     */
+    explicit ThermalTrace(const Floorplan& floorplan,
+                          int stride = 1);
+
+    /** Record one interval (called by the Simulator). */
+    void record(Cycle cycle, bool stalled,
+                std::uint64_t instructions,
+                const std::vector<Kelvin>& temperature,
+                const std::vector<Watt>& power);
+
+    std::size_t size() const { return samples_.size(); }
+    const TraceSample& sample(std::size_t i) const;
+
+    /** Peak temperature of one block across the trace. */
+    Kelvin peak(int block) const;
+
+    /**
+     * Render as CSV: cycle, stalled, instructions, then one
+     * temperature and one power column per block.
+     */
+    std::string toCsv() const;
+
+    /** Write the CSV to a file; fatal() on I/O failure. */
+    void writeCsv(const std::string& path) const;
+
+  private:
+    std::vector<std::string> blockNames_;
+    int stride_;
+    std::uint64_t seen_ = 0;
+    std::vector<TraceSample> samples_;
+};
+
+} // namespace tempest
+
+#endif // TEMPEST_SIM_TRACE_HH

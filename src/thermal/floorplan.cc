@@ -1,0 +1,251 @@
+#include "thermal/floorplan.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace tempest
+{
+
+namespace
+{
+constexpr double mm = 1e-3;
+constexpr double eps = 1e-9;
+
+/**
+ * Floorplan grid unit: the ev6Like layout is expressed on an
+ * 8x8 grid that maps to a 4 mm x 4 mm core die (90 nm). Halving
+ * the EV6-era linear dimensions quadruples power density, which is
+ * what makes the constrained variants approach the 358 K threshold
+ * for the paper's hot benchmarks.
+ */
+constexpr double gridUnit = 0.5 * mm;
+} // namespace
+
+const char*
+floorplanVariantName(FloorplanVariant variant)
+{
+    switch (variant) {
+      case FloorplanVariant::Baseline: return "baseline";
+      case FloorplanVariant::IqConstrained: return "iq-constrained";
+      case FloorplanVariant::AluConstrained:
+        return "alu-constrained";
+      case FloorplanVariant::RegfileConstrained:
+        return "regfile-constrained";
+    }
+    return "invalid";
+}
+
+int
+Floorplan::addBlock(const std::string& name, Meter x, Meter y,
+                    Meter width, Meter height)
+{
+    if (has(name))
+        fatal("duplicate floorplan block '", name, "'");
+    if (width <= 0 || height <= 0)
+        fatal("block '", name, "' must have positive dimensions");
+    blocks_.push_back({name, x, y, width, height});
+    return static_cast<int>(blocks_.size()) - 1;
+}
+
+const Block&
+Floorplan::block(int index) const
+{
+    if (index < 0 || index >= numBlocks())
+        panic("floorplan block index out of range");
+    return blocks_[static_cast<std::size_t>(index)];
+}
+
+int
+Floorplan::indexOf(const std::string& name) const
+{
+    for (int i = 0; i < numBlocks(); ++i) {
+        if (blocks_[static_cast<std::size_t>(i)].name == name)
+            return i;
+    }
+    fatal("no floorplan block named '", name, "'");
+}
+
+bool
+Floorplan::has(const std::string& name) const
+{
+    for (const Block& b : blocks_) {
+        if (b.name == name)
+            return true;
+    }
+    return false;
+}
+
+Meter
+Floorplan::sharedEdge(int a, int b) const
+{
+    const Block& p = block(a);
+    const Block& q = block(b);
+
+    auto overlap = [](Meter lo1, Meter hi1, Meter lo2, Meter hi2) {
+        return std::max(0.0, std::min(hi1, hi2) - std::max(lo1, lo2));
+    };
+
+    // Vertical edges (blocks side by side).
+    if (std::abs((p.x + p.width) - q.x) < eps ||
+        std::abs((q.x + q.width) - p.x) < eps) {
+        return overlap(p.y, p.y + p.height, q.y, q.y + q.height);
+    }
+    // Horizontal edges (blocks stacked).
+    if (std::abs((p.y + p.height) - q.y) < eps ||
+        std::abs((q.y + q.height) - p.y) < eps) {
+        return overlap(p.x, p.x + p.width, q.x, q.x + q.width);
+    }
+    return 0.0;
+}
+
+SquareMeter
+Floorplan::totalArea() const
+{
+    SquareMeter total = 0.0;
+    for (const Block& b : blocks_)
+        total += b.area();
+    return total;
+}
+
+void
+Floorplan::validate() const
+{
+    for (int i = 0; i < numBlocks(); ++i) {
+        for (int j = i + 1; j < numBlocks(); ++j) {
+            const Block& a = block(i);
+            const Block& b = block(j);
+            const double ox =
+                std::min(a.x + a.width, b.x + b.width) -
+                std::max(a.x, b.x);
+            const double oy =
+                std::min(a.y + a.height, b.y + b.height) -
+                std::max(a.y, b.y);
+            if (ox > eps && oy > eps) {
+                fatal("floorplan blocks '", a.name, "' and '",
+                      b.name, "' overlap");
+            }
+        }
+    }
+}
+
+namespace
+{
+
+/** Lay out one row of (name, width-mm) cells; widths must fill the
+ * die width. */
+void
+layoutRow(Floorplan& fp, double y_mm, double h_mm,
+          const std::vector<std::pair<std::string, double>>& cells,
+          double die_w_mm)
+{
+    double x = 0.0;
+    for (const auto& [name, w] : cells) {
+        fp.addBlock(name, x * gridUnit, y_mm * gridUnit,
+                    w * gridUnit, h_mm * gridUnit);
+        x += w;
+    }
+    if (std::abs(x - die_w_mm) > 1e-6)
+        fatal("floorplan row at y=", y_mm, "mm sums to ", x,
+              "mm, expected ", die_w_mm, "mm");
+}
+
+} // namespace
+
+Floorplan
+Floorplan::ev6Like(FloorplanVariant variant)
+{
+    // Die: 8x8 grid units = 4 mm x 4 mm core. Rows (grid units):
+    //   A [0.0, 2.4)  caches
+    //   B [2.4, 3.6)  predictor/TLBs/LSQ
+    //   C [3.6, 4.8)  map + register files
+    //   D [4.8, 6.4)  FP queue halves + FP adders
+    //   E [6.4, 8.0)  Int queue halves + Int ALUs
+    const double die_w = 8.0;
+
+    // Row widths per variant. The constrained resource shrinks; a
+    // neighbour in the same row grows to keep total area (and thus
+    // total chip power) constant, per §3.2.
+    double int_q = 1.4, int_exec = (8.0 - 2 * 1.4) / 6.0;
+    double fp_q = 1.4, fp_add = (8.0 - 2 * 1.4) / 4.0;
+    double fp_map = 1.2, fp_mul = 1.3, fp_reg = 1.3;
+    double int_map = 1.6, int_reg = 1.3;
+
+    switch (variant) {
+      case FloorplanVariant::Baseline:
+        // In the unscaled Alpha-like layout the register file is
+        // the hottest backend resource [17].
+        break;
+      case FloorplanVariant::IqConstrained:
+        int_q = 0.56;
+        int_exec = (8.0 - 2 * int_q) / 6.0;
+        fp_q = 0.56;
+        fp_add = (8.0 - 2 * fp_q) / 4.0;
+        // Cool the register file and rename map so the queue is
+        // the bottleneck.
+        int_reg = 1.7;
+        fp_map = 0.8;
+        fp_mul = 1.0;
+        fp_reg = 1.0;
+        int_map = 8.0 - fp_map - fp_mul - fp_reg - 2 * int_reg;
+        break;
+      case FloorplanVariant::AluConstrained:
+        int_exec = 0.40;
+        int_q = (8.0 - 6 * int_exec) / 2.0;
+        fp_add = 0.45;
+        fp_q = (8.0 - 4 * fp_add) / 2.0;
+        int_reg = 1.7;
+        fp_map = 0.8;
+        fp_mul = 1.0;
+        fp_reg = 1.0;
+        int_map = 8.0 - fp_map - fp_mul - fp_reg - 2 * int_reg;
+        break;
+      case FloorplanVariant::RegfileConstrained:
+        int_reg = 0.68;
+        fp_map = 1.1;
+        fp_mul = 1.35;
+        fp_reg = 1.35;
+        int_map = 8.0 - fp_map - fp_mul - fp_reg - 2 * int_reg;
+        break;
+    }
+
+    // Placement notes:
+    // - The queue halves sit side by side at the centre of their
+    //   row with the functional units mirrored around them
+    //   (priorities interleaved left/right), so both halves see
+    //   near-identical surroundings and the head/tail temperature
+    //   gap comes from activity, not placement. Activity toggling
+    //   depends on this symmetry. The paper's Figure 5 likewise
+    //   places the queue halves in matching environments.
+    // - The register-file copies are flanked by the two FP blocks
+    //   of similar activity (FPMul/FPReg) for the same reason;
+    //   balanced mapping relies on the copies' symmetry.
+    Floorplan fp;
+    layoutRow(fp, 0.0, 2.4,
+              {{"Icache", 4.0}, {"Dcache", 4.0}}, die_w);
+    layoutRow(fp, 2.4, 1.2,
+              {{"Bpred", 2.0}, {"ITB", 2.0}, {"DTB", 2.0},
+               {"LdStQ", 2.0}},
+              die_w);
+    layoutRow(fp, 3.6, 1.2,
+              {{"IntMap", int_map}, {"FPMul", fp_mul},
+               {"IntReg0", int_reg}, {"IntReg1", int_reg},
+               {"FPReg", fp_reg}, {"FPMap", fp_map}},
+              die_w);
+    layoutRow(fp, 4.8, 1.6,
+              {{"FPAdd2", fp_add}, {"FPAdd0", fp_add},
+               {"FPQ0", fp_q}, {"FPQ1", fp_q},
+               {"FPAdd1", fp_add}, {"FPAdd3", fp_add}},
+              die_w);
+    layoutRow(fp, 6.4, 1.6,
+              {{"IntExec4", int_exec}, {"IntExec2", int_exec},
+               {"IntExec0", int_exec}, {"IntQ0", int_q},
+               {"IntQ1", int_q}, {"IntExec1", int_exec},
+               {"IntExec3", int_exec}, {"IntExec5", int_exec}},
+              die_w);
+    fp.validate();
+    return fp;
+}
+
+} // namespace tempest

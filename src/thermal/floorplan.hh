@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Die floorplan: named rectangular blocks with adjacency queries.
+ *
+ * The EV6-like floorplan follows the paper's Figure 5: the integer
+ * issue queue is split into two physical halves (IntQ0/IntQ1), the
+ * integer register file into two copies (IntReg0/IntReg1), the
+ * integer execution area into six per-ALU blocks (IntExec0..5) and
+ * the FP add area into four per-adder blocks (FPAdd0..3) — the
+ * per-copy granularity that lets the thermal model see the heating
+ * asymmetries previous work aggregated away.
+ *
+ * Three "constrained" variants reproduce §3.2's methodology: the
+ * target resource's area is scaled down (a neighbour grows to fill
+ * the row) until it is the hottest block at peak utilization, with
+ * total chip power unchanged.
+ */
+
+#ifndef TEMPEST_THERMAL_FLOORPLAN_HH
+#define TEMPEST_THERMAL_FLOORPLAN_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace tempest
+{
+
+/** One rectangular floorplan block (all units meters). */
+struct Block
+{
+    std::string name;
+    Meter x = 0;
+    Meter y = 0;
+    Meter width = 0;
+    Meter height = 0;
+
+    SquareMeter area() const { return width * height; }
+};
+
+/** Which resource the floorplan is power-density constrained by. */
+enum class FloorplanVariant
+{
+    Baseline,           ///< unscaled EV6-like layout
+    IqConstrained,      ///< Figure 5a
+    AluConstrained,     ///< Figure 5b
+    RegfileConstrained  ///< Figure 5c
+};
+
+/** @return printable variant name. */
+const char* floorplanVariantName(FloorplanVariant variant);
+
+/** A validated collection of non-overlapping blocks. */
+class Floorplan
+{
+  public:
+    Floorplan() = default;
+
+    /** Add a block; returns its index. fatal() on duplicate name. */
+    int addBlock(const std::string& name, Meter x, Meter y,
+                 Meter width, Meter height);
+
+    int numBlocks() const { return static_cast<int>(blocks_.size()); }
+
+    const Block& block(int index) const;
+
+    /** Index of a named block; fatal() if absent. */
+    int indexOf(const std::string& name) const;
+
+    /** @return true if a named block exists. */
+    bool has(const std::string& name) const;
+
+    /**
+     * Length of the shared edge between two blocks (0 if they do
+     * not abut). Blocks touching only at a corner share no edge.
+     */
+    Meter sharedEdge(int a, int b) const;
+
+    /** Total die area covered by blocks. */
+    SquareMeter totalArea() const;
+
+    /** fatal() if any two blocks overlap. */
+    void validate() const;
+
+    /**
+     * Build the EV6-like floorplan (8 mm x 8 mm core at 90 nm)
+     * for a given constraint variant.
+     */
+    static Floorplan ev6Like(FloorplanVariant variant);
+
+  private:
+    std::vector<Block> blocks_;
+};
+
+} // namespace tempest
+
+#endif // TEMPEST_THERMAL_FLOORPLAN_HH

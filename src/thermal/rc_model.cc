@@ -1,0 +1,316 @@
+#include "thermal/rc_model.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/log.hh"
+
+namespace tempest
+{
+
+void
+ThermalParams::validate() const
+{
+    if (dieThickness <= 0 || spreaderThickness <= 0)
+        fatal("layer thicknesses must be positive");
+    if (rTimPerArea < 0)
+        fatal("rTimPerArea must be non-negative");
+    if (kSilicon <= 0 || kSpreader <= 0)
+        fatal("conductivities must be positive");
+    if (cvSilicon <= 0 || cvSpreader <= 0 || cSink <= 0)
+        fatal("capacitances must be positive");
+    if (rSpreaderSink <= 0 || rConvection <= 0)
+        fatal("package resistances must be positive");
+    if (ambient <= 0)
+        fatal("ambient must be an absolute temperature");
+    if (timeScale <= 0 || timeScale > 1.0)
+        fatal("timeScale must be in (0, 1]");
+}
+
+RcModel::RcModel(const Floorplan& floorplan,
+                 const ThermalParams& params)
+    : params_(params), numBlocks_(floorplan.numBlocks())
+{
+    params_.validate();
+    if (numBlocks_ < 1)
+        fatal("thermal model needs at least one block");
+
+    spreaderNode_ = numBlocks_;
+    sinkNode_ = numBlocks_ + 1;
+    numNodes_ = numBlocks_ + 2;
+
+    capacitance_.assign(static_cast<std::size_t>(numNodes_), 0.0);
+    temp_.assign(static_cast<std::size_t>(numNodes_),
+                 params_.ambient);
+    power_.assign(static_cast<std::size_t>(numBlocks_), 0.0);
+    nodeGtotal_.assign(static_cast<std::size_t>(numNodes_), 0.0);
+    flux_.assign(static_cast<std::size_t>(numNodes_), 0.0);
+
+    // Block nodes: capacitance and vertical path to the spreader.
+    for (int i = 0; i < numBlocks_; ++i) {
+        const Block& b = floorplan.block(i);
+        const SquareMeter area = b.area();
+        capacitance_[static_cast<std::size_t>(i)] =
+            params_.cvSilicon * params_.dieThickness * area *
+            params_.timeScale;
+
+        // Conduction through the die and interface material, plus
+        // constriction spreading into the much larger spreader.
+        const double r_die =
+            params_.dieThickness / (params_.kSilicon * area);
+        const double r_tim = params_.rTimPerArea / area;
+        const double r_spread =
+            1.0 / (2.0 * params_.kSpreader *
+                   std::sqrt(area / M_PI));
+        addEdge(i, spreaderNode_,
+                1.0 / (r_die + r_tim + r_spread));
+    }
+
+    // Lateral edges between abutting blocks.
+    for (int i = 0; i < numBlocks_; ++i) {
+        for (int j = i + 1; j < numBlocks_; ++j) {
+            const Meter edge = floorplan.sharedEdge(i, j);
+            if (edge <= 0)
+                continue;
+            const Block& a = floorplan.block(i);
+            const Block& b = floorplan.block(j);
+            // Half-extent of each block perpendicular to the
+            // shared edge: vertical edge -> width, else height.
+            const bool vertical_edge =
+                std::abs((a.x + a.width) - b.x) < 1e-9 ||
+                std::abs((b.x + b.width) - a.x) < 1e-9;
+            const double da =
+                0.5 * (vertical_edge ? a.width : a.height);
+            const double db =
+                0.5 * (vertical_edge ? b.width : b.height);
+            const double r =
+                (da + db) /
+                (params_.kSilicon * params_.dieThickness * edge);
+            addEdge(i, j, 1.0 / r);
+        }
+    }
+
+    // Spreader and sink.
+    const SquareMeter die_area = floorplan.totalArea();
+    capacitance_[static_cast<std::size_t>(spreaderNode_)] =
+        params_.cvSpreader * params_.spreaderThickness * die_area *
+        params_.spreaderAreaFactor * params_.timeScale;
+    capacitance_[static_cast<std::size_t>(sinkNode_)] =
+        params_.cSink * params_.timeScale;
+    addEdge(spreaderNode_, sinkNode_, 1.0 / params_.rSpreaderSink);
+
+    gSinkAmbient_ = 1.0 / params_.rConvection;
+    nodeGtotal_[static_cast<std::size_t>(sinkNode_)] +=
+        gSinkAmbient_;
+
+    // Stability bound for explicit Euler: dt < min C/Gtotal. Use a
+    // quarter of it for accuracy.
+    maxStableDt_ = 1e30;
+    for (int n = 0; n < numNodes_; ++n) {
+        const auto idx = static_cast<std::size_t>(n);
+        if (nodeGtotal_[idx] > 0) {
+            maxStableDt_ = std::min(
+                maxStableDt_, capacitance_[idx] / nodeGtotal_[idx]);
+        }
+    }
+    maxStableDt_ *= 0.25;
+}
+
+void
+RcModel::addEdge(int a, int b, double conductance)
+{
+    edges_.push_back({a, b, conductance});
+    nodeGtotal_[static_cast<std::size_t>(a)] += conductance;
+    nodeGtotal_[static_cast<std::size_t>(b)] += conductance;
+}
+
+void
+RcModel::setPower(int block, Watt power)
+{
+    if (block < 0 || block >= numBlocks_)
+        panic("setPower: block index out of range");
+    if (power < 0)
+        panic("setPower: negative power");
+    power_[static_cast<std::size_t>(block)] = power;
+}
+
+void
+RcModel::setPowers(const std::vector<Watt>& powers)
+{
+    if (static_cast<int>(powers.size()) != numBlocks_)
+        fatal("setPowers: expected ", numBlocks_, " block powers");
+    for (int i = 0; i < numBlocks_; ++i)
+        setPower(i, powers[static_cast<std::size_t>(i)]);
+}
+
+Watt
+RcModel::power(int block) const
+{
+    if (block < 0 || block >= numBlocks_)
+        panic("power: block index out of range");
+    return power_[static_cast<std::size_t>(block)];
+}
+
+Watt
+RcModel::totalPower() const
+{
+    Watt total = 0;
+    for (Watt p : power_)
+        total += p;
+    return total;
+}
+
+void
+RcModel::eulerStep(Seconds dt)
+{
+    std::fill(flux_.begin(), flux_.end(), 0.0);
+    for (int i = 0; i < numBlocks_; ++i)
+        flux_[static_cast<std::size_t>(i)] =
+            power_[static_cast<std::size_t>(i)];
+    flux_[static_cast<std::size_t>(sinkNode_)] +=
+        gSinkAmbient_ *
+        (params_.ambient - temp_[static_cast<std::size_t>(sinkNode_)]);
+
+    for (const Edge& e : edges_) {
+        const double q =
+            e.conductance * (temp_[static_cast<std::size_t>(e.a)] -
+                             temp_[static_cast<std::size_t>(e.b)]);
+        flux_[static_cast<std::size_t>(e.a)] -= q;
+        flux_[static_cast<std::size_t>(e.b)] += q;
+    }
+    for (int n = 0; n < numNodes_; ++n) {
+        const auto idx = static_cast<std::size_t>(n);
+        temp_[idx] += dt * flux_[idx] / capacitance_[idx];
+    }
+}
+
+void
+RcModel::step(Seconds dt)
+{
+    if (dt <= 0)
+        return;
+    const int substeps = std::max(
+        1, static_cast<int>(std::ceil(dt / maxStableDt_)));
+    const Seconds h = dt / substeps;
+    for (int s = 0; s < substeps; ++s)
+        eulerStep(h);
+}
+
+void
+RcModel::solveSteadyState()
+{
+    // Dense Gaussian elimination on the conductance matrix; the
+    // network is ~25 nodes so this is exact and cheap.
+    const int n = numNodes_;
+    std::vector<double> m(static_cast<std::size_t>(n) * n, 0.0);
+    std::vector<double> rhs(static_cast<std::size_t>(n), 0.0);
+    auto at = [&m, n](int r, int c) -> double& {
+        return m[static_cast<std::size_t>(r) * n + c];
+    };
+
+    for (const Edge& e : edges_) {
+        at(e.a, e.a) += e.conductance;
+        at(e.b, e.b) += e.conductance;
+        at(e.a, e.b) -= e.conductance;
+        at(e.b, e.a) -= e.conductance;
+    }
+    at(sinkNode_, sinkNode_) += gSinkAmbient_;
+    rhs[static_cast<std::size_t>(sinkNode_)] +=
+        gSinkAmbient_ * params_.ambient;
+    for (int i = 0; i < numBlocks_; ++i)
+        rhs[static_cast<std::size_t>(i)] +=
+            power_[static_cast<std::size_t>(i)];
+
+    // Forward elimination with partial pivoting.
+    std::vector<int> perm(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        perm[static_cast<std::size_t>(i)] = i;
+    for (int col = 0; col < n; ++col) {
+        int pivot = col;
+        for (int r = col + 1; r < n; ++r) {
+            if (std::abs(at(r, col)) > std::abs(at(pivot, col)))
+                pivot = r;
+        }
+        if (std::abs(at(pivot, col)) < 1e-20)
+            panic("singular thermal conductance matrix");
+        if (pivot != col) {
+            for (int c = 0; c < n; ++c)
+                std::swap(at(pivot, c), at(col, c));
+            std::swap(rhs[static_cast<std::size_t>(pivot)],
+                      rhs[static_cast<std::size_t>(col)]);
+        }
+        for (int r = col + 1; r < n; ++r) {
+            const double f = at(r, col) / at(col, col);
+            if (f == 0.0)
+                continue;
+            for (int c = col; c < n; ++c)
+                at(r, c) -= f * at(col, c);
+            rhs[static_cast<std::size_t>(r)] -=
+                f * rhs[static_cast<std::size_t>(col)];
+        }
+    }
+    // Back substitution.
+    for (int r = n - 1; r >= 0; --r) {
+        double v = rhs[static_cast<std::size_t>(r)];
+        for (int c = r + 1; c < n; ++c)
+            v -= at(r, c) * temp_[static_cast<std::size_t>(c)];
+        temp_[static_cast<std::size_t>(r)] = v / at(r, r);
+    }
+}
+
+Kelvin
+RcModel::temperature(int block) const
+{
+    if (block < 0 || block >= numBlocks_)
+        panic("temperature: block index out of range");
+    return temp_[static_cast<std::size_t>(block)];
+}
+
+Kelvin
+RcModel::spreaderTemperature() const
+{
+    return temp_[static_cast<std::size_t>(spreaderNode_)];
+}
+
+Kelvin
+RcModel::sinkTemperature() const
+{
+    return temp_[static_cast<std::size_t>(sinkNode_)];
+}
+
+void
+RcModel::setAllTemperatures(Kelvin t)
+{
+    std::fill(temp_.begin(), temp_.end(), t);
+}
+
+void
+RcModel::setTemperature(int block, Kelvin t)
+{
+    if (block < 0 || block >= numBlocks_)
+        panic("setTemperature: block index out of range");
+    temp_[static_cast<std::size_t>(block)] = t;
+}
+
+KelvinPerWatt
+RcModel::verticalResistance(int block) const
+{
+    for (const Edge& e : edges_) {
+        if (e.a == block && e.b == spreaderNode_)
+            return 1.0 / e.conductance;
+    }
+    panic("no vertical edge for block ", block);
+}
+
+KelvinPerWatt
+RcModel::lateralResistance(int a, int b) const
+{
+    for (const Edge& e : edges_) {
+        if ((e.a == a && e.b == b) || (e.a == b && e.b == a))
+            return 1.0 / e.conductance;
+    }
+    return std::numeric_limits<double>::infinity(); // not adjacent
+}
+
+} // namespace tempest

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * HotSpot-like compact thermal RC network.
+ *
+ * One node per floorplan block (silicon layer), plus a heat
+ * spreader node and a heatsink node coupled to a fixed ambient
+ * through the package's convection resistance. Each block couples
+ * vertically to the spreader (die conduction + constriction) and
+ * laterally to every block it shares a floorplan edge with. The
+ * lateral resistances are several times the vertical ones for
+ * small blocks, which yields the paper's key physical property:
+ * adjacent resource copies can sit several Kelvin apart.
+ *
+ * Transient integration is explicit Euler with automatic
+ * substepping below the smallest node time constant; a dense
+ * steady-state solver provides warmed-up initial conditions.
+ *
+ * `timeScale` scales every capacitance, compressing the thermal
+ * dynamics so short simulations traverse multiple time constants
+ * while keeping the sampling-interval : time-constant :
+ * cooling-time ratios intact (see DESIGN.md §1).
+ */
+
+#ifndef TEMPEST_THERMAL_RC_MODEL_HH
+#define TEMPEST_THERMAL_RC_MODEL_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "thermal/floorplan.hh"
+
+namespace tempest
+{
+
+/** Package and material parameters. */
+struct ThermalParams
+{
+    Meter dieThickness = 0.15e-3;   ///< HotSpot-class thinned die
+    double kSilicon = 100.0;        ///< W/(m K)
+    /**
+     * Lumped volumetric heat capacity. Physical silicon is
+     * 1.75e6 J/(m^3 K); HotSpot-style compact models lump the
+     * interface layers and local spreader volume into the block
+     * node, raising the effective value (factor ~4 here) so block
+     * time constants land in the low-millisecond range the paper
+     * reports.
+     */
+    double cvSilicon = 7.0e6;
+
+    /**
+     * Thermal-interface material between die and spreader,
+     * expressed as resistance times area (K m^2/W). Scaling with
+     * 1/A makes small blocks' vertical paths dominate their
+     * lateral ones — the paper's key physical premise.
+     */
+    double rTimPerArea = 1.0e-6;
+
+    double kSpreader = 400.0;       ///< copper
+    Meter spreaderThickness = 0.5e-3;
+    double cvSpreader = 3.45e6;
+    double spreaderAreaFactor = 1.0; ///< spreader area / die area
+
+    /** Spreader-to-sink conduction (Table 2: 6.9 mm sink). */
+    KelvinPerWatt rSpreaderSink = 0.05;
+    /** Sink-to-ambient convection (Table 2: 0.8 K/W). */
+    KelvinPerWatt rConvection = 0.8;
+    /**
+     * Effective package heat capacity. Together with the 0.8 K/W
+     * convection this gives the ~10 ms package time constant the
+     * paper bases its thermal cooling time on; the package is the
+     * slow integrator that sets the stop-go duty cycle.
+     */
+    JoulePerKelvin cSink = 0.0125;
+
+    Kelvin ambient = 318.15; ///< 45 C, HotSpot's default
+
+    /** Thermal threshold (Table 2: 358 K). Carried here for
+     * convenience; enforcement is the DTM layer's job. */
+    Kelvin maxTemperature = 358.0;
+
+    /** Capacitance compression for short simulations. */
+    double timeScale = 1.0;
+
+    void validate() const;
+};
+
+/** The RC network and its solvers. */
+class RcModel
+{
+  public:
+    RcModel(const Floorplan& floorplan, const ThermalParams& params);
+
+    int numBlocks() const { return numBlocks_; }
+
+    /** Set the current power of one block (W). */
+    void setPower(int block, Watt power);
+
+    /** Set all block powers at once. */
+    void setPowers(const std::vector<Watt>& powers);
+
+    Watt power(int block) const;
+
+    /** Sum of all block powers. */
+    Watt totalPower() const;
+
+    /** Advance the transient solution by dt (substepped). */
+    void step(Seconds dt);
+
+    /** Jump to the steady state for the current powers. */
+    void solveSteadyState();
+
+    Kelvin temperature(int block) const;
+    Kelvin spreaderTemperature() const;
+    Kelvin sinkTemperature() const;
+
+    /** Force every node to one temperature (e.g. ambient). */
+    void setAllTemperatures(Kelvin t);
+
+    /** Force one block node's temperature (warm-start clamping). */
+    void setTemperature(int block, Kelvin t);
+
+    /** Largest stable explicit-Euler step. */
+    Seconds maxStableDt() const { return maxStableDt_; }
+
+    /** Vertical block-to-spreader resistance (for tests). */
+    KelvinPerWatt verticalResistance(int block) const;
+
+    /** Lateral resistance between two blocks; 0 conductance
+     * (infinite resistance) if not adjacent. */
+    KelvinPerWatt lateralResistance(int a, int b) const;
+
+    const ThermalParams& params() const { return params_; }
+
+  private:
+    struct Edge
+    {
+        int a;
+        int b;
+        double conductance; ///< W/K
+    };
+
+    void addEdge(int a, int b, double conductance);
+    void eulerStep(Seconds dt);
+
+    ThermalParams params_;
+    int numBlocks_;
+    int spreaderNode_;
+    int sinkNode_;
+    int numNodes_;
+
+    std::vector<Edge> edges_;
+    std::vector<double> capacitance_;  ///< J/K per node
+    std::vector<double> nodeGtotal_;   ///< sum of conductances
+    std::vector<Kelvin> temp_;
+    std::vector<Watt> power_;          ///< block nodes only
+    double gSinkAmbient_ = 0.0;
+    Seconds maxStableDt_ = 0.0;
+
+    // Scratch for the Euler step.
+    std::vector<double> flux_;
+};
+
+} // namespace tempest
+
+#endif // TEMPEST_THERMAL_RC_MODEL_HH

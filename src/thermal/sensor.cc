@@ -1,0 +1,36 @@
+#include "thermal/sensor.hh"
+
+#include <cmath>
+
+namespace tempest
+{
+
+SensorBank::SensorBank(const RcModel& model, Kelvin quantum,
+                       Kelvin noise_sigma, std::uint64_t seed)
+    : model_(model), quantum_(quantum), noiseSigma_(noise_sigma),
+      rng_(seed)
+{
+}
+
+Kelvin
+SensorBank::read(int block)
+{
+    Kelvin t = model_.temperature(block);
+    if (noiseSigma_ > 0.0)
+        t += rng_.gaussian(0.0, noiseSigma_);
+    if (quantum_ > 0.0)
+        t = std::round(t / quantum_) * quantum_;
+    return t;
+}
+
+std::vector<Kelvin>
+SensorBank::readAll()
+{
+    std::vector<Kelvin> out(
+        static_cast<std::size_t>(model_.numBlocks()));
+    for (int i = 0; i < model_.numBlocks(); ++i)
+        out[static_cast<std::size_t>(i)] = read(i);
+    return out;
+}
+
+} // namespace tempest

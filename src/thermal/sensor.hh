@@ -1,0 +1,54 @@
+/**
+ * @file
+ * On-chip temperature sensors.
+ *
+ * The paper assumes per-resource-copy sensors (POWER5 ships 24 of
+ * them) sampled every 100,000 cycles. A SensorBank reads block
+ * temperatures from the RC model with optional quantization and
+ * offset noise so controller robustness can be studied.
+ */
+
+#ifndef TEMPEST_THERMAL_SENSOR_HH
+#define TEMPEST_THERMAL_SENSOR_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "thermal/rc_model.hh"
+
+namespace tempest
+{
+
+/** Per-block temperature sensors. */
+class SensorBank
+{
+  public:
+    /**
+     * @param model thermal model to observe
+     * @param quantum sensor resolution in K (0 = ideal)
+     * @param noise_sigma Gaussian read noise in K (0 = ideal)
+     * @param seed noise stream seed
+     */
+    explicit SensorBank(const RcModel& model, Kelvin quantum = 0.0,
+                        Kelvin noise_sigma = 0.0,
+                        std::uint64_t seed = 17);
+
+    /** Read one block's sensor. */
+    Kelvin read(int block);
+
+    /** Read every sensor into a vector (index = block). */
+    std::vector<Kelvin> readAll();
+
+    int numSensors() const { return model_.numBlocks(); }
+
+  private:
+    const RcModel& model_;
+    Kelvin quantum_;
+    Kelvin noiseSigma_;
+    Rng rng_;
+};
+
+} // namespace tempest
+
+#endif // TEMPEST_THERMAL_SENSOR_HH

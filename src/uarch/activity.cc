@@ -1,0 +1,77 @@
+#include "uarch/activity.hh"
+
+#include "common/log.hh"
+
+namespace tempest
+{
+
+void
+PipelineConfig::validate() const
+{
+    if (fetchWidth < 1 || issueWidth < 1 || commitWidth < 1)
+        fatal("pipeline widths must be >= 1");
+    if (numIntAlus < 1 || numIntAlus > kMaxIntAlus)
+        fatal("numIntAlus out of range [1, ", kMaxIntAlus, "]");
+    if (numFpAdders < 1 || numFpAdders > kMaxFpAdders)
+        fatal("numFpAdders out of range [1, ", kMaxFpAdders, "]");
+    if (numIntRegfileCopies < 1 ||
+        numIntRegfileCopies > kMaxRegfileCopies) {
+        fatal("numIntRegfileCopies out of range");
+    }
+    if (numIntAlus % numIntRegfileCopies != 0)
+        fatal("ALU count must divide evenly across regfile copies");
+    if (intIqEntries < 2 || intIqEntries % 2 != 0)
+        fatal("intIqEntries must be even and >= 2");
+    if (fpIqEntries < 2 || fpIqEntries % 2 != 0)
+        fatal("fpIqEntries must be even and >= 2");
+    if (activeListEntries < issueWidth)
+        fatal("active list smaller than issue width");
+    if (lsqEntries < 1)
+        fatal("lsqEntries must be >= 1");
+    if (l1dPorts < 1)
+        fatal("l1dPorts must be >= 1");
+    if (frequencyHz <= 0.0)
+        fatal("frequency must be positive");
+}
+
+void
+ActivityRecord::add(const ActivityRecord& other)
+{
+    for (int q = 0; q < kNumIssueQueues; ++q) {
+        for (int h = 0; h < 2; ++h) {
+            iqEntryMoves[q][h] += other.iqEntryMoves[q][h];
+            iqMuxSelects[q][h] += other.iqMuxSelects[q][h];
+            iqLongCompactions[q][h] += other.iqLongCompactions[q][h];
+            iqCounterOps[q][h] += other.iqCounterOps[q][h];
+            iqOccupiedCycles[q][h] += other.iqOccupiedCycles[q][h];
+            iqDispatchWrites[q][h] += other.iqDispatchWrites[q][h];
+        }
+        iqTagBroadcasts[q] += other.iqTagBroadcasts[q];
+        iqPayloadAccesses[q] += other.iqPayloadAccesses[q];
+        iqSelectAccesses[q] += other.iqSelectAccesses[q];
+        iqClockGateCycles[q] += other.iqClockGateCycles[q];
+    }
+    for (int i = 0; i < kMaxIntAlus; ++i)
+        intAluOps[i] += other.intAluOps[i];
+    for (int i = 0; i < kMaxFpAdders; ++i)
+        fpAddOps[i] += other.fpAddOps[i];
+    fpMulOps += other.fpMulOps;
+    for (int i = 0; i < kMaxRegfileCopies; ++i) {
+        intRegReads[i] += other.intRegReads[i];
+        intRegWrites[i] += other.intRegWrites[i];
+    }
+    fpRegReads += other.fpRegReads;
+    fpRegWrites += other.fpRegWrites;
+    l1iAccesses += other.l1iAccesses;
+    l1dAccesses += other.l1dAccesses;
+    l2Accesses += other.l2Accesses;
+    bpredAccesses += other.bpredAccesses;
+    renameOps += other.renameOps;
+    lsqOps += other.lsqOps;
+    commits += other.commits;
+    cycles += other.cycles;
+    stallCycles += other.stallCycles;
+    instructions += other.instructions;
+}
+
+} // namespace tempest

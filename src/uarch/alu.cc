@@ -1,0 +1,130 @@
+#include "uarch/alu.hh"
+
+#include "common/log.hh"
+
+namespace tempest
+{
+
+AluPool::AluPool(const PipelineConfig& config)
+    : numIntAlus_(config.numIntAlus),
+      numFpAdders_(config.numFpAdders),
+      intAluLatency_(config.intAluLatency),
+      intMulLatency_(config.intMulLatency),
+      fpAddLatency_(config.fpAddLatency),
+      fpMulLatency_(config.fpMulLatency)
+{
+    config.validate();
+}
+
+bool
+AluPool::intAluAvailable(int alu) const
+{
+    if (alu < 0 || alu >= numIntAlus_)
+        panic("intAluAvailable: index out of range");
+    return intAluOff_[alu] == 0;
+}
+
+bool
+AluPool::fpAdderAvailable(int adder) const
+{
+    if (adder < 0 || adder >= numFpAdders_)
+        panic("fpAdderAvailable: index out of range");
+    return fpAdderOff_[adder] == 0;
+}
+
+void
+AluPool::setIntAluOff(int alu, TurnoffReason reason, bool off)
+{
+    if (alu < 0 || alu >= numIntAlus_)
+        panic("setIntAluOff: index out of range");
+    const auto bit = static_cast<std::uint8_t>(reason);
+    if (off)
+        intAluOff_[alu] |= bit;
+    else
+        intAluOff_[alu] &= static_cast<std::uint8_t>(~bit);
+}
+
+void
+AluPool::setFpAdderOff(int adder, TurnoffReason reason, bool off)
+{
+    if (adder < 0 || adder >= numFpAdders_)
+        panic("setFpAdderOff: index out of range");
+    const auto bit = static_cast<std::uint8_t>(reason);
+    if (off)
+        fpAdderOff_[adder] |= bit;
+    else
+        fpAdderOff_[adder] &= static_cast<std::uint8_t>(~bit);
+}
+
+int
+AluPool::numIntAlusOff() const
+{
+    int n = 0;
+    for (int i = 0; i < numIntAlus_; ++i)
+        n += intAluOff_[i] != 0;
+    return n;
+}
+
+int
+AluPool::numFpAddersOff() const
+{
+    int n = 0;
+    for (int i = 0; i < numFpAdders_; ++i)
+        n += fpAdderOff_[i] != 0;
+    return n;
+}
+
+bool
+AluPool::allIntAlusOff() const
+{
+    return numIntAlusOff() == numIntAlus_;
+}
+
+bool
+AluPool::allFpAddersOff() const
+{
+    return numFpAddersOff() == numFpAdders_;
+}
+
+bool
+AluPool::intAluExecutes(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu:
+      case OpClass::IntMul:
+      case OpClass::Load:
+      case OpClass::Store:
+      case OpClass::Branch:
+        return true;
+      default:
+        return false;
+    }
+}
+
+int
+AluPool::latencyOf(OpClass cls) const
+{
+    switch (cls) {
+      case OpClass::IntAlu: return intAluLatency_;
+      case OpClass::IntMul: return intMulLatency_;
+      case OpClass::FpAdd: return fpAddLatency_;
+      case OpClass::FpMul: return fpMulLatency_;
+      case OpClass::Branch: return intAluLatency_;
+      case OpClass::Store: return intAluLatency_;
+      case OpClass::Load:
+        panic("load latency comes from the cache hierarchy");
+      default:
+        panic("latencyOf: invalid op class");
+    }
+}
+
+void
+AluPool::reset()
+{
+    for (auto& mask : intAluOff_)
+        mask = 0;
+    for (auto& mask : fpAdderOff_)
+        mask = 0;
+}
+
+} // namespace tempest

@@ -1,0 +1,71 @@
+#include "uarch/bpred.hh"
+
+#include "common/log.hh"
+
+namespace tempest
+{
+
+GsharePredictor::GsharePredictor(int table_bits)
+    : tableBits_(table_bits)
+{
+    if (table_bits < 2 || table_bits > 24)
+        fatal("gshare table bits out of range [2, 24]");
+    mask_ = (1ULL << table_bits) - 1;
+    counters_.assign(1ULL << table_bits, 2); // weakly taken
+}
+
+int
+GsharePredictor::index(std::uint64_t pc) const
+{
+    return static_cast<int>((pc ^ history_) & mask_);
+}
+
+bool
+GsharePredictor::predict(std::uint64_t pc) const
+{
+    ++predLookups_;
+    return counters_[index(pc)] >= 2;
+}
+
+void
+GsharePredictor::update(std::uint64_t pc, bool taken)
+{
+    ++lookups_;
+    const int idx = index(pc);
+    const bool predicted = counters_[idx] >= 2;
+    if (predicted != taken)
+        ++mispredicts_;
+    std::uint8_t& ctr = counters_[idx];
+    if (taken) {
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+    history_ = (history_ << 1) | (taken ? 1 : 0);
+}
+
+void
+GsharePredictor::speculate(bool taken)
+{
+    history_ = (history_ << 1) | (taken ? 1 : 0);
+}
+
+double
+GsharePredictor::mispredictRate() const
+{
+    return lookups_ ? static_cast<double>(mispredicts_) /
+                          static_cast<double>(lookups_)
+                    : 0.0;
+}
+
+void
+GsharePredictor::resetStats()
+{
+    lookups_ = 0;
+    predLookups_ = 0;
+    mispredicts_ = 0;
+}
+
+} // namespace tempest

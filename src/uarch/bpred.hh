@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Gshare branch predictor.
+ *
+ * A real two-level predictor with a global history register XOR'd
+ * into a table of 2-bit saturating counters. The default core runs
+ * with profile-driven branch outcomes (the paper's techniques are
+ * backend-only and the profile pins misprediction rates exactly);
+ * GsharePredictor is the frontend substrate used by examples, tests,
+ * and cores configured with real prediction.
+ */
+
+#ifndef TEMPEST_UARCH_BPRED_HH
+#define TEMPEST_UARCH_BPRED_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace tempest
+{
+
+/** Gshare predictor with 2-bit saturating counters. */
+class GsharePredictor
+{
+  public:
+    /** @param table_bits log2 of the pattern table size. */
+    explicit GsharePredictor(int table_bits = 14);
+
+    /** @return predicted direction for a branch at pc. */
+    bool predict(std::uint64_t pc) const;
+
+    /** Train with the actual outcome and update history. */
+    void update(std::uint64_t pc, bool taken);
+
+    /** Speculatively shift history (recovered via restoreHistory). */
+    void speculate(bool taken);
+
+    /** Snapshot of the global history register. */
+    std::uint64_t history() const { return history_; }
+
+    /** Restore history after a squash. */
+    void restoreHistory(std::uint64_t history) { history_ = history; }
+
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t mispredicts() const { return mispredicts_; }
+
+    /** @return observed misprediction rate. */
+    double mispredictRate() const;
+
+    void resetStats();
+
+  private:
+    int index(std::uint64_t pc) const;
+
+    int tableBits_;
+    std::uint64_t mask_;
+    std::vector<std::uint8_t> counters_; ///< 2-bit, init weakly taken
+    std::uint64_t history_ = 0;
+    std::uint64_t lookups_ = 0;
+    mutable std::uint64_t predLookups_ = 0;
+    std::uint64_t mispredicts_ = 0;
+};
+
+} // namespace tempest
+
+#endif // TEMPEST_UARCH_BPRED_HH

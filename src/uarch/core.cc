@@ -1,0 +1,349 @@
+#include "uarch/core.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace tempest
+{
+
+OooCore::OooCore(const PipelineConfig& config,
+                 const BenchmarkProfile& profile,
+                 std::uint64_t run_seed)
+    : config_(config),
+      stream_(profile, run_seed),
+      intIq_(config.intIqEntries, config.issueWidth, QueueKind::Int),
+      fpIq_(config.fpIqEntries, config.issueWidth, QueueKind::Fp),
+      intSelect_(config.numIntAlus),
+      fpSelect_(config.numFpAdders + 1), // last tree = FP multiplier
+      alus_(config),
+      intRegfile_(config.numIntRegfileCopies, config.numIntAlus,
+                  PortMapping::Priority),
+      caches_(config)
+{
+    config_.validate();
+    rob_.assign(static_cast<std::size_t>(config.activeListEntries),
+                RobEntry{});
+    const int wheel_size =
+        std::max(512, 2 * (config.memCycles + config.l2HitCycles));
+    wheel_.assign(static_cast<std::size_t>(wheel_size), {});
+    done_.assign(doneMask_ + 1, 1);
+}
+
+void
+OooCore::setRoundRobin(bool enabled)
+{
+    intSelect_.setRoundRobin(enabled);
+    fpSelect_.setRoundRobin(enabled);
+}
+
+std::uint64_t
+OooCore::robHeadSeq() const
+{
+    if (robCount_ == 0)
+        return stream_.generated() + 1;
+    return rob_[static_cast<std::size_t>(robHead_)].seq;
+}
+
+bool
+OooCore::producerReady(std::uint64_t producer_seq) const
+{
+    if (producer_seq == 0 || producer_seq < robHeadSeq())
+        return true; // committed (or no producer)
+    return done_[producer_seq & doneMask_] != 0;
+}
+
+void
+OooCore::schedule(const Completion& completion, int latency)
+{
+    if (latency < 1)
+        latency = 1;
+    const auto slot = (cycle_ + static_cast<Cycle>(latency)) %
+                      wheel_.size();
+    wheel_[slot].push_back(completion);
+}
+
+void
+OooCore::doWriteback(ActivityRecord& activity)
+{
+    auto& events = wheel_[cycle_ % wheel_.size()];
+    if (events.empty())
+        return;
+    // Result tags completing this cycle, broadcast together in one
+    // CAM pass per queue.
+    std::uint64_t tags[64];
+    int num_tags = 0;
+    for (const Completion& c : events) {
+        rob_[static_cast<std::size_t>(c.robIdx)].completed = true;
+        done_[c.seq & doneMask_] = 1;
+        if (c.hasDest) {
+            if (num_tags < 64)
+                tags[num_tags++] = c.seq;
+            // Result write: all integer copies, or the FP file.
+            if (c.fpDest)
+                ++activity.fpRegWrites;
+            else
+                intRegfile_.chargeWrite(activity);
+        }
+        if (c.mispredictedBranch) {
+            // Redirect: frontend refills after the penalty.
+            fetchBlocked_ = false;
+            blockingBranchSeq_ = 0;
+            fetchResumeCycle_ =
+                cycle_ +
+                static_cast<Cycle>(config_.branchRedirectPenalty);
+        }
+    }
+    events.clear();
+    // Clock-gated empty queues skip the broadcast entirely.
+    if (intIq_.count() > 0)
+        intIq_.broadcastMany(tags, num_tags, activity);
+    if (fpIq_.count() > 0)
+        fpIq_.broadcastMany(tags, num_tags, activity);
+}
+
+void
+OooCore::doCommit(ActivityRecord& activity)
+{
+    for (int n = 0; n < config_.commitWidth && robCount_ > 0; ++n) {
+        RobEntry& head = rob_[static_cast<std::size_t>(robHead_)];
+        if (!head.completed)
+            break;
+        if (head.isMem)
+            --lsqCount_;
+        robHead_ = (robHead_ + 1) % config_.activeListEntries;
+        --robCount_;
+        ++committed_;
+        ++activity.commits;
+        ++activity.instructions;
+    }
+}
+
+void
+OooCore::doIssue(ActivityRecord& activity)
+{
+    int budget = config_.issueWidth;
+    int mem_ports_left = config_.l1dPorts;
+
+    // Alternate which queue selects first so FP workloads are not
+    // starved by the integer queue's address traffic.
+    const bool int_first = (cycle_ % 2) == 0;
+
+    auto select_int = [&]() {
+        if (budget <= 0 || intIq_.count() == 0)
+            return;
+        grantScratch_.clear();
+        intSelect_.select(
+            intIq_, cycle_, budget,
+            [this](int fu) { return alus_.intAluAvailable(fu); },
+            [&mem_ports_left](int, const IqEntry& e) {
+                if (!AluPool::intAluExecutes(e.cls))
+                    return false;
+                if (isMemClass(e.cls)) {
+                    if (mem_ports_left <= 0)
+                        return false;
+                    // A true return is always granted, so the
+                    // port is consumed here.
+                    --mem_ports_left;
+                }
+                return true;
+            },
+            grantScratch_);
+        for (const Grant& g : grantScratch_) {
+            const IqEntry entry = intIq_.entryAtPhys(g.physIdx);
+            intIq_.markIssued(g.physIdx, activity);
+            --budget;
+            ++activity.intAluOps[g.fu];
+            intRegfile_.chargeReads(g.fu, entry.numSrcs, activity);
+
+            int latency = 0;
+            if (entry.cls == OpClass::Load) {
+                const MemLevel level =
+                    caches_.access(entry.lineAddr, activity);
+                latency = caches_.latency(level);
+                ++activity.lsqOps;
+            } else if (entry.cls == OpClass::Store) {
+                caches_.access(entry.lineAddr, activity);
+                latency = config_.intAluLatency;
+                ++activity.lsqOps;
+            } else {
+                latency = alus_.latencyOf(entry.cls);
+            }
+
+            const int rob_idx = static_cast<int>(
+                (static_cast<std::uint64_t>(robHead_) +
+                 (entry.seq - robHeadSeq())) %
+                static_cast<std::uint64_t>(
+                    config_.activeListEntries));
+            schedule({entry.seq, rob_idx, entry.hasDest,
+                      /*fpDest=*/false,
+                      entry.cls == OpClass::Branch &&
+                          entry.mispredicted},
+                     latency);
+        }
+    };
+
+    auto select_fp = [&]() {
+        if (budget <= 0 || fpIq_.count() == 0)
+            return;
+        const int mul_fu = config_.numFpAdders;
+        grantScratch_.clear();
+        fpSelect_.select(
+            fpIq_, cycle_, budget,
+            [this, mul_fu](int fu) {
+                if (fu == mul_fu)
+                    return true; // multiplier is never turned off
+                return alus_.fpAdderAvailable(fu);
+            },
+            [mul_fu](int fu, const IqEntry& e) {
+                return fu == mul_fu ? e.cls == OpClass::FpMul
+                                    : e.cls == OpClass::FpAdd;
+            },
+            grantScratch_);
+        for (const Grant& g : grantScratch_) {
+            const IqEntry entry = fpIq_.entryAtPhys(g.physIdx);
+            fpIq_.markIssued(g.physIdx, activity);
+            --budget;
+            if (g.fu == mul_fu)
+                ++activity.fpMulOps;
+            else
+                ++activity.fpAddOps[g.fu];
+            activity.fpRegReads +=
+                static_cast<std::uint64_t>(entry.numSrcs);
+
+            const int latency = alus_.latencyOf(entry.cls);
+            const int rob_idx = static_cast<int>(
+                (static_cast<std::uint64_t>(robHead_) +
+                 (entry.seq - robHeadSeq())) %
+                static_cast<std::uint64_t>(
+                    config_.activeListEntries));
+            schedule({entry.seq, rob_idx, entry.hasDest,
+                      /*fpDest=*/true, false},
+                     latency);
+        }
+    };
+
+    if (int_first) {
+        select_int();
+        select_fp();
+    } else {
+        select_fp();
+        select_int();
+    }
+}
+
+void
+OooCore::doDispatch(ActivityRecord& activity)
+{
+    for (int n = 0; n < config_.issueWidth; ++n) {
+        if (fetchBuffer_.empty())
+            return;
+        if (robCount_ >= config_.activeListEntries)
+            return;
+        const MicroOp& op = fetchBuffer_.front();
+        const bool is_mem = isMemClass(op.cls);
+        if (is_mem && lsqCount_ >= config_.lsqEntries)
+            return;
+        IssueQueue& iq = isFpClass(op.cls) ? fpIq_ : intIq_;
+        if (!iq.canDispatch())
+            return;
+
+        IqEntry entry;
+        entry.seq = op.seq;
+        entry.cls = op.cls;
+        entry.numSrcs = op.numSrcs;
+        entry.hasDest = op.hasDest;
+        entry.lineAddr = op.lineAddr;
+        entry.mispredicted = op.mispredicted;
+        for (int s = 0; s < op.numSrcs; ++s) {
+            entry.src[s] = op.src[s];
+            entry.srcReady[s] = producerReady(op.src[s]);
+        }
+
+        // Allocate the active-list slot before inserting so the
+        // in-flight window check in producerReady stays correct.
+        const int rob_idx =
+            (robHead_ + robCount_) % config_.activeListEntries;
+        rob_[static_cast<std::size_t>(rob_idx)] = {op.seq, false,
+                                                   is_mem};
+        ++robCount_;
+        done_[op.seq & doneMask_] = 0;
+        if (is_mem) {
+            ++lsqCount_;
+            ++activity.lsqOps;
+        }
+        if (op.cls == OpClass::Branch)
+            ++activity.bpredAccesses;
+        ++activity.renameOps;
+
+        iq.dispatch(entry, activity);
+        fetchBuffer_.pop_front();
+    }
+}
+
+void
+OooCore::setFetchInterval(int interval)
+{
+    if (interval < 1)
+        fatal("fetch interval must be >= 1");
+    fetchInterval_ = interval;
+}
+
+void
+OooCore::doFetch(ActivityRecord& activity)
+{
+    if (fetchBlocked_ || cycle_ < fetchResumeCycle_)
+        return;
+    if (fetchInterval_ > 1 &&
+        cycle_ % static_cast<Cycle>(fetchInterval_) != 0) {
+        return; // thermally throttled
+    }
+    if (fetchBuffer_.size() >=
+        static_cast<std::size_t>(3 * config_.fetchWidth)) {
+        return; // fetch buffer full
+    }
+    ++activity.l1iAccesses;
+    for (int n = 0; n < config_.fetchWidth; ++n) {
+        MicroOp op = stream_.next();
+        const bool blocks = op.cls == OpClass::Branch &&
+                            op.mispredicted;
+        fetchBuffer_.push_back(op);
+        if (blocks) {
+            // Fetch goes down the wrong path; stop supplying
+            // correct-path work until the branch resolves.
+            fetchBlocked_ = true;
+            blockingBranchSeq_ = op.seq;
+            return;
+        }
+    }
+}
+
+void
+OooCore::tick(ActivityRecord& activity)
+{
+    doWriteback(activity);
+    intIq_.compactStep(activity);
+    fpIq_.compactStep(activity);
+    doCommit(activity);
+    doIssue(activity);
+    doDispatch(activity);
+    doFetch(activity);
+    ++cycle_;
+    ++activity.cycles;
+}
+
+void
+OooCore::stallCycle(ActivityRecord& activity)
+{
+    stallCycles(1, activity);
+}
+
+void
+OooCore::stallCycles(std::uint64_t n, ActivityRecord& activity)
+{
+    cycle_ += n;
+    activity.cycles += n;
+    activity.stallCycles += n;
+}
+
+} // namespace tempest

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The out-of-order core: a 6-wide superscalar backend with the
+ * paper's Table 2 parameters, driven by a synthetic instruction
+ * stream.
+ *
+ * Pipeline per tick: writeback -> compaction -> commit -> issue
+ * (select) -> dispatch/rename -> fetch. The core knows nothing
+ * about temperature; the DTM layer steers it through the exposed
+ * control surface (issue-queue mode toggling, FU turnoff masks,
+ * register-file mapping, round-robin select, stall cycles).
+ */
+
+#ifndef TEMPEST_UARCH_CORE_HH
+#define TEMPEST_UARCH_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/types.hh"
+#include "uarch/activity.hh"
+#include "uarch/alu.hh"
+#include "uarch/cache.hh"
+#include "uarch/issue_queue.hh"
+#include "uarch/pipeline_config.hh"
+#include "uarch/regfile.hh"
+#include "uarch/select.hh"
+#include "workload/generator.hh"
+
+namespace tempest
+{
+
+/** Cycle-level out-of-order core. */
+class OooCore
+{
+  public:
+    /**
+     * @param config pipeline parameters (validated)
+     * @param profile workload the core executes
+     * @param run_seed experiment seed for the instruction stream
+     */
+    OooCore(const PipelineConfig& config,
+            const BenchmarkProfile& profile,
+            std::uint64_t run_seed = 0);
+
+    /** Simulate one cycle, accumulating activity. */
+    void tick(ActivityRecord& activity);
+
+    /**
+     * Advance one thermally-stalled cycle: no fetch, issue or
+     * commit; only cycle/stall accounting (clocks gated).
+     */
+    void stallCycle(ActivityRecord& activity);
+
+    /** Advance n stalled cycles at once (stop-go cooling). */
+    void stallCycles(std::uint64_t n, ActivityRecord& activity);
+
+    Cycle cycle() const { return cycle_; }
+    std::uint64_t committed() const { return committed_; }
+
+    /** Committed instructions per non-stalled... per total cycle. */
+    double
+    ipc() const
+    {
+        return cycle_ ? static_cast<double>(committed_) /
+                            static_cast<double>(cycle_)
+                      : 0.0;
+    }
+
+    // ---- DTM control surface ----
+    IssueQueue& intQueue() { return intIq_; }
+    IssueQueue& fpQueue() { return fpIq_; }
+    const IssueQueue& intQueue() const { return intIq_; }
+    const IssueQueue& fpQueue() const { return fpIq_; }
+    AluPool& alus() { return alus_; }
+    const AluPool& alus() const { return alus_; }
+    RegisterFile& intRegfile() { return intRegfile_; }
+    const RegisterFile& intRegfile() const { return intRegfile_; }
+    DataHierarchy& caches() { return caches_; }
+
+    /** Ideal round-robin select on both FU classes (§4.2). */
+    void setRoundRobin(bool enabled);
+    bool roundRobin() const { return intSelect_.roundRobin(); }
+
+    /**
+     * Fetch throttling (a fine-grain temporal technique in the
+     * spirit of Skadron et al. [15]): fetch only one cycle in
+     * `interval`. 1 = full speed.
+     */
+    void setFetchInterval(int interval);
+    int fetchInterval() const { return fetchInterval_; }
+
+    const PipelineConfig& config() const { return config_; }
+    const BenchmarkProfile& profile() const
+    {
+        return stream_.profile();
+    }
+
+    /** Occupancy of the active list (for tests). */
+    int robCount() const { return robCount_; }
+    int lsqCount() const { return lsqCount_; }
+
+  private:
+    struct RobEntry
+    {
+        std::uint64_t seq = 0;
+        bool completed = false;
+        bool isMem = false;
+    };
+
+    /** Scheduled writeback event. */
+    struct Completion
+    {
+        std::uint64_t seq;
+        int robIdx;
+        bool hasDest;
+        bool fpDest;
+        bool mispredictedBranch;
+    };
+
+    void doWriteback(ActivityRecord& activity);
+    void doCommit(ActivityRecord& activity);
+    void doIssue(ActivityRecord& activity);
+    void doDispatch(ActivityRecord& activity);
+    void doFetch(ActivityRecord& activity);
+
+    /** @return true if a producer seq is already complete. */
+    bool producerReady(std::uint64_t producer_seq) const;
+
+    /** Schedule a completion `latency` cycles from now. */
+    void schedule(const Completion& completion, int latency);
+
+    /** Oldest in-flight sequence number (nextSeq if ROB empty). */
+    std::uint64_t robHeadSeq() const;
+
+    PipelineConfig config_;
+    InstructionStream stream_;
+
+    IssueQueue intIq_;
+    IssueQueue fpIq_;
+    SelectNetwork intSelect_;
+    SelectNetwork fpSelect_; ///< trees for FP adders + multiplier
+    AluPool alus_;
+    RegisterFile intRegfile_;
+    DataHierarchy caches_;
+
+    // Reorder buffer (active list) as a ring.
+    std::vector<RobEntry> rob_;
+    int robHead_ = 0;
+    int robCount_ = 0;
+    int lsqCount_ = 0;
+
+    // Completion wheel indexed by cycle modulo its size.
+    std::vector<std::vector<Completion>> wheel_;
+
+    // Completed-producer ring (sized beyond any in-flight window).
+    std::vector<std::uint8_t> done_;
+    static constexpr std::uint64_t doneMask_ = 4095;
+
+    std::deque<MicroOp> fetchBuffer_;
+    int fetchInterval_ = 1;
+    bool fetchBlocked_ = false;
+    std::uint64_t blockingBranchSeq_ = 0;
+    Cycle fetchResumeCycle_ = 0;
+
+    Cycle cycle_ = 0;
+    std::uint64_t committed_ = 0;
+
+    std::vector<Grant> grantScratch_;
+};
+
+} // namespace tempest
+
+#endif // TEMPEST_UARCH_CORE_HH

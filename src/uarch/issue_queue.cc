@@ -1,0 +1,239 @@
+#include "uarch/issue_queue.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace tempest
+{
+
+IssueQueue::IssueQueue(int num_entries, int issue_width,
+                       QueueKind kind)
+    : size_(num_entries), issueWidth_(issue_width), kind_(kind)
+{
+    if (num_entries < 2 || num_entries % 2 != 0)
+        fatal("issue queue size must be even and >= 2");
+    if (issue_width < 1)
+        fatal("issue width must be >= 1");
+    phys_.assign(static_cast<std::size_t>(num_entries), IqEntry{});
+    waiting_.reserve(static_cast<std::size_t>(num_entries));
+}
+
+const IqEntry&
+IssueQueue::entryAtPhys(int phys) const
+{
+    if (phys < 0 || phys >= size_)
+        panic("issue-queue physical index out of range");
+    return phys_[static_cast<std::size_t>(phys)];
+}
+
+IqEntry&
+IssueQueue::entryAtPhys(int phys)
+{
+    if (phys < 0 || phys >= size_)
+        panic("issue-queue physical index out of range");
+    return phys_[static_cast<std::size_t>(phys)];
+}
+
+int
+IssueQueue::occupancyOfHalf(int half) const
+{
+    if (half != 0 && half != 1)
+        panic("issue-queue half must be 0 or 1");
+    return halfCount_[half];
+}
+
+void
+IssueQueue::recomputeTail()
+{
+    tailLogical_ = 0;
+    for (int l = size_ - 1; l >= 0; --l) {
+        if (phys_[physOfLogical(l)].valid) {
+            tailLogical_ = l + 1;
+            break;
+        }
+    }
+}
+
+bool
+IssueQueue::canDispatch() const
+{
+    // The tail is one past the highest occupied logical slot;
+    // dispatch drives instructions only to the tail end, so holes
+    // awaiting compaction can block dispatch even when count() is
+    // below capacity.
+    return tailLogical_ < size_;
+}
+
+void
+IssueQueue::dispatch(const IqEntry& entry, ActivityRecord& activity)
+{
+    if (tailLogical_ >= size_)
+        fatal("dispatch into a queue with no tail slot; check "
+              "canDispatch() first");
+    const int phys = physOfLogical(tailLogical_);
+    IqEntry& slot = phys_[phys];
+    slot = entry;
+    slot.valid = true;
+    slot.pendingInvalid = false;
+    ++tailLogical_;
+    ++count_;
+    ++halfCount_[halfOfPhys(phys)];
+    if (!slot.ready() && !slot.pendingInvalid)
+        waiting_.push_back(phys);
+    // Payload RAM write plus the entry write itself, charged to
+    // the physical half that receives the dispatch.
+    ++activity.iqPayloadAccesses[queueIndex()];
+    ++activity.iqDispatchWrites[queueIndex()][halfOfPhys(phys)];
+}
+
+void
+IssueQueue::broadcast(std::uint64_t producer_seq,
+                      ActivityRecord& activity)
+{
+    broadcastMany(&producer_seq, 1, activity);
+}
+
+void
+IssueQueue::broadcastMany(const std::uint64_t* producer_seqs, int n,
+                          ActivityRecord& activity)
+{
+    if (n <= 0)
+        return;
+    activity.iqTagBroadcasts[queueIndex()] +=
+        static_cast<std::uint64_t>(n);
+    for (int phys : waiting_) {
+        IqEntry& entry = phys_[static_cast<std::size_t>(phys)];
+        if (!entry.valid)
+            continue;
+        for (int s = 0; s < entry.numSrcs; ++s) {
+            if (entry.srcReady[s])
+                continue;
+            const std::uint64_t want = entry.src[s];
+            for (int t = 0; t < n; ++t) {
+                if (producer_seqs[t] == want) {
+                    entry.srcReady[s] = true;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+void
+IssueQueue::markIssued(int phys_idx, ActivityRecord& activity)
+{
+    IqEntry& entry = entryAtPhys(phys_idx);
+    if (!entry.valid || entry.pendingInvalid)
+        panic("markIssued on an empty or already-issued entry");
+    entry.pendingInvalid = true;
+    const int q = queueIndex();
+    // Payload RAM read + select-network access per issue.
+    ++activity.iqPayloadAccesses[q];
+    ++activity.iqSelectAccesses[q];
+}
+
+void
+IssueQueue::compactStep(ActivityRecord& activity)
+{
+    const int q = queueIndex();
+
+    // Clock-gating control logic runs every cycle.
+    ++activity.iqClockGateCycles[q];
+
+    // One pass in logical (priority) order: convert last cycle's
+    // issues into holes, then shift valid entries toward the head
+    // by the number of holes below them, at most issueWidth per
+    // cycle. Gaps-below is nondecreasing in logical order, so the
+    // in-place ascending application is collision-free and
+    // order-preserving. The waiting list is rebuilt here because
+    // entries change physical slots.
+    waiting_.clear();
+    int gaps = 0;
+    int last_valid = -1;
+    for (int l = 0; l < tailLogical_; ++l) {
+        const int p = physOfLogical(l);
+        IqEntry& e = phys_[static_cast<std::size_t>(p)];
+        if (!e.valid) {
+            ++gaps;
+            continue;
+        }
+        if (e.pendingInvalid) {
+            // The paper's one-cycle replay window: issued last
+            // cycle, becomes a hole now.
+            e.valid = false;
+            e.pendingInvalid = false;
+            --count_;
+            --halfCount_[halfOfPhys(p)];
+            ++gaps;
+            continue;
+        }
+        const int shift = std::min(gaps, issueWidth_);
+        int final_phys = p;
+        if (shift > 0) {
+            const int dst_l = l - shift;
+            const int dst_p = physOfLogical(dst_l);
+            const int src_half = halfOfPhys(p);
+            const int dst_half = halfOfPhys(dst_p);
+
+            // Compaction moves down in physical space; a physical
+            // *increase* means the move wrapped around the queue
+            // ends (possible only in toggled mode) over the long
+            // wires.
+            const bool wrapped = dst_p > p;
+            if (wrapped)
+                ++activity.iqLongCompactions[q][src_half];
+            else
+                ++activity.iqEntryMoves[q][src_half];
+            // The receiving entry drives its cross-queue mux
+            // selects; the invalids-counter stages activate for
+            // participating entries (clock-gated otherwise).
+            ++activity.iqMuxSelects[q][dst_half];
+            ++activity.iqCounterOps[q][src_half];
+
+            phys_[static_cast<std::size_t>(dst_p)] = e;
+            e.valid = false;
+            e.pendingInvalid = false;
+            --halfCount_[src_half];
+            ++halfCount_[dst_half];
+            final_phys = dst_p;
+            last_valid = dst_l;
+        } else {
+            last_valid = l;
+        }
+        if (!phys_[static_cast<std::size_t>(final_phys)].ready())
+            waiting_.push_back(final_phys);
+    }
+    tailLogical_ = last_valid + 1;
+
+    // Idle/leakage accounting: valid entry-cycles per half.
+    activity.iqOccupiedCycles[q][0] +=
+        static_cast<std::uint64_t>(halfCount_[0]);
+    activity.iqOccupiedCycles[q][1] +=
+        static_cast<std::uint64_t>(halfCount_[1]);
+}
+
+void
+IssueQueue::toggleMode()
+{
+    mode_ = mode_ == CompactionMode::Conventional
+                ? CompactionMode::Toggled
+                : CompactionMode::Conventional;
+    ++toggleCount_;
+    // Entries stay in their physical slots; logical positions (and
+    // hence the tail) are re-derived under the new mapping.
+    recomputeTail();
+}
+
+void
+IssueQueue::clear()
+{
+    for (auto& entry : phys_)
+        entry = IqEntry{};
+    count_ = 0;
+    halfCount_[0] = halfCount_[1] = 0;
+    tailLogical_ = 0;
+    waiting_.clear();
+}
+
+} // namespace tempest

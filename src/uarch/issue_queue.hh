@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Compacting issue queue with per-entry compaction-activity
+ * accounting and the paper's two head/tail configurations (§2.1).
+ *
+ * Entries live in a *physical* array; instruction age/priority is a
+ * *logical* position. The compaction mode maps logical to physical:
+ *
+ * - Conventional: logical i -> physical i. Head (oldest, highest
+ *   priority) at physical 0, tail grows upward.
+ * - Toggled: logical i -> physical (i + N/2) mod N. Head at the
+ *   middle of the queue, compaction wraps from physical 0 to N-1
+ *   over the long wires (charged the "long compaction" energy).
+ *
+ * Compaction shifts valid entries toward the head by the number of
+ * free slots below them, at most issueWidth positions per cycle
+ * (the hardware supports compacting up to n invalid entries per
+ * cycle in an n-wide machine). The paper's clock-gating rules are
+ * applied: only entries that move drive their data wires and mux
+ * selects; an instruction issued in cycle c is marked invalid but
+ * compacts starting in cycle c+1 (the replay window).
+ *
+ * Toggling the mode leaves physical contents in place and
+ * re-derives logical positions, reproducing the paper's transiently
+ * inverted priorities right after a toggle.
+ */
+
+#ifndef TEMPEST_UARCH_ISSUE_QUEUE_HH
+#define TEMPEST_UARCH_ISSUE_QUEUE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "uarch/activity.hh"
+#include "uarch/pipeline_config.hh"
+#include "workload/instruction.hh"
+
+namespace tempest
+{
+
+/** Head/tail configuration (§2.1.1). */
+enum class CompactionMode
+{
+    Conventional, ///< head at physical 0
+    Toggled       ///< head at physical N/2, wrap-around compaction
+};
+
+/** One issue-queue entry. */
+struct IqEntry
+{
+    bool valid = false;
+    /** Issued this cycle; becomes a hole at the next compaction. */
+    bool pendingInvalid = false;
+
+    std::uint64_t seq = 0;
+    OpClass cls = OpClass::IntAlu;
+    int numSrcs = 0;
+    std::uint64_t src[2] = {0, 0};
+    bool srcReady[2] = {true, true};
+    bool hasDest = true;
+    std::uint64_t lineAddr = 0;
+    bool mispredicted = false;
+
+    /** @return true if all sources are ready and not yet issued. */
+    bool
+    ready() const
+    {
+        if (!valid || pendingInvalid)
+            return false;
+        for (int i = 0; i < numSrcs; ++i) {
+            if (!srcReady[i])
+                return false;
+        }
+        return true;
+    }
+};
+
+/** Compacting issue queue for one instruction class. */
+class IssueQueue
+{
+  public:
+    /**
+     * @param num_entries queue size (even; Table 2: 32)
+     * @param issue_width max compaction distance per cycle
+     * @param kind integer or floating-point queue
+     */
+    IssueQueue(int num_entries, int issue_width, QueueKind kind);
+
+    int size() const { return size_; }
+    QueueKind kind() const { return kind_; }
+    CompactionMode mode() const { return mode_; }
+
+    /** Number of valid entries (including pending-invalid ones). */
+    int count() const { return count_; }
+
+    /**
+     * @return true if dispatch can insert this cycle: there is a
+     * free logical slot above every occupied entry. Holes awaiting
+     * compaction can make the queue unavailable even when count()
+     * < size(), which is faithful to the hardware.
+     */
+    bool canDispatch() const;
+
+    /**
+     * Insert an instruction at the logical tail. The caller must
+     * check canDispatch() first; fatal() otherwise. Charges the
+     * payload RAM write.
+     */
+    void dispatch(const IqEntry& entry, ActivityRecord& activity);
+
+    /**
+     * Wake dependents of a completed producer: one destination-tag
+     * broadcast across all entries.
+     */
+    void broadcast(std::uint64_t producer_seq,
+                   ActivityRecord& activity);
+
+    /**
+     * Wake dependents of several producers that completed in the
+     * same cycle (one CAM pass, one tag-broadcast charge each).
+     */
+    void broadcastMany(const std::uint64_t* producer_seqs, int n,
+                       ActivityRecord& activity);
+
+    /**
+     * Visit ready entries in priority (logical) order. The visitor
+     * receives (physical index, entry) and returns false to stop.
+     */
+    template <typename Visitor>
+    void
+    forEachReadyInPriorityOrder(Visitor&& visit) const
+    {
+        for (int l = 0; l < tailLogical_; ++l) {
+            const int p = physOfLogical(l);
+            const IqEntry& e = phys_[p];
+            if (e.ready()) {
+                if (!visit(p, e))
+                    return;
+            }
+        }
+    }
+
+    /**
+     * Mark an entry (by physical index) as issued: charges payload
+     * read + select access; entry becomes a hole next cycle.
+     */
+    void markIssued(int phys_idx, ActivityRecord& activity);
+
+    /**
+     * One cycle of compaction: convert pending invalids to holes,
+     * shift valid entries toward the head by at most issueWidth,
+     * and charge per-entry compaction activity with the clock-
+     * gating rules. Also accounts per-half occupancy and the
+     * always-on clock-gate control logic. Call once per core cycle.
+     */
+    void compactStep(ActivityRecord& activity);
+
+    /**
+     * Flip the head/tail configuration. Physical contents stay in
+     * place; logical positions are re-derived, so relative priority
+     * of in-flight instructions changes transiently (§2.1.1).
+     */
+    void toggleMode();
+
+    /** Number of mode toggles performed. */
+    std::uint64_t toggleCount() const { return toggleCount_; }
+
+    /** Physical index of a logical position under the current
+     * mode. */
+    int
+    physOfLogical(int logical) const
+    {
+        return mode_ == CompactionMode::Conventional
+                   ? logical
+                   : (logical + size_ / 2) % size_;
+    }
+
+    /** Logical position of a physical index. */
+    int
+    logicalOfPhys(int phys) const
+    {
+        return mode_ == CompactionMode::Conventional
+                   ? phys
+                   : (phys + size_ - size_ / 2) % size_;
+    }
+
+    /** Physical half (0 = lower) of a physical index. */
+    int
+    halfOfPhys(int phys) const
+    {
+        return phys < size_ / 2 ? 0 : 1;
+    }
+
+    /** Entry access by physical index (for tests and the core). */
+    const IqEntry& entryAtPhys(int phys) const;
+    IqEntry& entryAtPhys(int phys);
+
+    /** Valid entries currently in a physical half. */
+    int occupancyOfHalf(int half) const;
+
+    /** Remove everything (used by tests). */
+    void clear();
+
+  private:
+    int queueIndex() const { return static_cast<int>(kind_); }
+
+    /** Recompute the cached tail position (one past the highest
+     * occupied logical slot). */
+    void recomputeTail();
+
+    int size_;
+    int issueWidth_;
+    QueueKind kind_;
+    CompactionMode mode_ = CompactionMode::Conventional;
+    std::vector<IqEntry> phys_;
+    int count_ = 0;
+    std::uint64_t toggleCount_ = 0;
+
+    // Incremental bookkeeping kept consistent by dispatch/compact/
+    // toggle so the per-cycle paths avoid full scans.
+    int tailLogical_ = 0;       ///< one past highest occupied slot
+    int halfCount_[2] = {0, 0}; ///< valid entries per physical half
+
+    /** Physical indices of entries with at least one unready
+     * source; rebuilt each compaction, appended by dispatch. */
+    std::vector<int> waiting_;
+};
+
+} // namespace tempest
+
+#endif // TEMPEST_UARCH_ISSUE_QUEUE_HH

@@ -1,0 +1,91 @@
+#include "uarch/regfile.hh"
+
+#include "common/log.hh"
+
+namespace tempest
+{
+
+const char*
+portMappingName(PortMapping mapping)
+{
+    switch (mapping) {
+      case PortMapping::Priority: return "priority";
+      case PortMapping::Balanced: return "balanced";
+      case PortMapping::CompletelyBalanced:
+        return "completely-balanced";
+    }
+    return "invalid";
+}
+
+RegisterFile::RegisterFile(int num_copies, int num_alus,
+                           PortMapping mapping)
+    : numCopies_(num_copies), numAlus_(num_alus), mapping_(mapping)
+{
+    if (num_copies < 1 || num_copies > kMaxRegfileCopies)
+        fatal("register file copies out of range");
+    if (num_alus < 1 || num_alus % num_copies != 0)
+        fatal("ALU count must divide evenly across copies");
+}
+
+int
+RegisterFile::copyForAlu(int alu) const
+{
+    if (alu < 0 || alu >= numAlus_)
+        panic("copyForAlu: ALU index ", alu, " out of range");
+    switch (mapping_) {
+      case PortMapping::Priority:
+        return alu / (numAlus_ / numCopies_);
+      case PortMapping::Balanced:
+        return alu % numCopies_;
+      case PortMapping::CompletelyBalanced:
+        fatal("copyForAlu undefined under completely-balanced "
+              "mapping");
+    }
+    panic("unreachable mapping");
+}
+
+std::vector<int>
+RegisterFile::alusOfCopy(int copy) const
+{
+    if (copy < 0 || copy >= numCopies_)
+        panic("alusOfCopy: copy index ", copy, " out of range");
+    std::vector<int> alus;
+    if (mapping_ == PortMapping::CompletelyBalanced) {
+        for (int a = 0; a < numAlus_; ++a)
+            alus.push_back(a);
+        return alus;
+    }
+    for (int a = 0; a < numAlus_; ++a) {
+        if (copyForAlu(a) == copy)
+            alus.push_back(a);
+    }
+    return alus;
+}
+
+void
+RegisterFile::chargeReads(int alu, int num_reads,
+                          ActivityRecord& activity) const
+{
+    if (num_reads <= 0)
+        return;
+    if (mapping_ == PortMapping::CompletelyBalanced) {
+        // One read port on each copy: spread reads round-robin,
+        // starting at the ALU's parity so single reads alternate.
+        for (int r = 0; r < num_reads; ++r) {
+            const int copy = (alu + r) % numCopies_;
+            ++activity.intRegReads[copy];
+        }
+        return;
+    }
+    activity.intRegReads[copyForAlu(alu)] +=
+        static_cast<std::uint64_t>(num_reads);
+}
+
+void
+RegisterFile::chargeWrite(ActivityRecord& activity) const
+{
+    for (int c = 0; c < numCopies_; ++c)
+        ++activity.intRegWrites[c];
+}
+
+} // namespace tempest

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Serialized select trees (§2.2 of the paper).
+ *
+ * A superscalar has one select tree per functional unit, serialized
+ * in static priority order: tree i masks the requests already
+ * granted by trees 0..i-1, so the highest-priority FU always
+ * receives work first — the root cause of asymmetric ALU heating.
+ *
+ * A turned-off FU's tree grants nothing and masks nothing, which is
+ * exactly how fine-grain turnoff plugs in (the existing busy
+ * signal). Round-robin mode rotates the tree-to-FU order each cycle
+ * and models the paper's ideal (but unimplementably complex)
+ * comparator.
+ *
+ * The head/tail configuration of the queue is already encoded in
+ * the queue's logical order (only the select-tree root changes
+ * between modes, §2.1.1), so the trees here simply scan in logical
+ * priority order.
+ */
+
+#ifndef TEMPEST_UARCH_SELECT_HH
+#define TEMPEST_UARCH_SELECT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hh"
+#include "uarch/issue_queue.hh"
+
+namespace tempest
+{
+
+/** One grant: FU index and the chosen entry's physical slot. */
+struct Grant
+{
+    int fu;
+    int physIdx;
+};
+
+/** Serialized per-FU select trees over one issue queue. */
+class SelectNetwork
+{
+  public:
+    /** @param num_fus number of functional units (= trees). */
+    explicit SelectNetwork(int num_fus) : numFus_(num_fus)
+    {
+        if (num_fus < 1)
+            fatal("select network needs at least one FU");
+    }
+
+    int numFus() const { return numFus_; }
+
+    /** Enable/disable round-robin tree rotation (ideal policy). */
+    void setRoundRobin(bool enabled) { roundRobin_ = enabled; }
+    bool roundRobin() const { return roundRobin_; }
+
+    /**
+     * Run one cycle of select.
+     *
+     * @param iq the queue to select from
+     * @param cycle current cycle (drives round-robin rotation)
+     * @param max_grants remaining global issue budget
+     * @param fu_available callable bool(int fu): busy/turnoff mask
+     * @param can_use callable bool(int fu, const IqEntry&): class
+     *        and port eligibility; must be side-effect free
+     * @param grants output; grants are appended in tree order
+     * @return number of grants appended
+     */
+    template <typename FuAvailable, typename CanUse>
+    int
+    select(const IssueQueue& iq, std::uint64_t cycle, int max_grants,
+           FuAvailable&& fu_available, CanUse&& can_use,
+           std::vector<Grant>& grants)
+    {
+        if (max_grants <= 0)
+            return 0;
+
+        // Gather requests once, in priority (logical) order; the
+        // trees then serialize over this request vector.
+        ready_.clear();
+        iq.forEachReadyInPriorityOrder(
+            [this](int phys, const IqEntry&) {
+                ready_.push_back(phys);
+                return true;
+            });
+        if (ready_.empty())
+            return 0;
+
+        granted_.assign(ready_.size(), false);
+
+        int num_granted = 0;
+        const int offset =
+            roundRobin_ ? static_cast<int>(cycle % numFus_) : 0;
+        for (int t = 0; t < numFus_ && num_granted < max_grants;
+             ++t) {
+            const int fu = (t + offset) % numFus_;
+            if (!fu_available(fu))
+                continue; // busy/turned-off: no grant, no masking
+            for (std::size_t r = 0; r < ready_.size(); ++r) {
+                if (granted_[r])
+                    continue;
+                const IqEntry& entry = iq.entryAtPhys(ready_[r]);
+                if (!can_use(fu, entry))
+                    continue;
+                granted_[r] = true;
+                grants.push_back({fu, ready_[r]});
+                ++num_granted;
+                break;
+            }
+        }
+        return num_granted;
+    }
+
+  private:
+    int numFus_;
+    bool roundRobin_ = false;
+    // Scratch buffers reused across cycles to avoid allocation.
+    std::vector<int> ready_;
+    std::vector<char> granted_;
+};
+
+} // namespace tempest
+
+#endif // TEMPEST_UARCH_SELECT_HH

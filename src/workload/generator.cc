@@ -1,0 +1,150 @@
+#include "workload/generator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace tempest
+{
+
+namespace
+{
+
+// Address-space bases for the three locality pools (line numbers).
+constexpr std::uint64_t hotBase = 0x0010'0000;
+constexpr std::uint64_t warmBase = 0x0100'0000;
+constexpr std::uint64_t coldBase = 0x4000'0000;
+
+} // namespace
+
+InstructionStream::InstructionStream(const BenchmarkProfile& profile,
+                                     std::uint64_t run_seed)
+    : profile_(profile),
+      rng_(profile.seed ^ (run_seed * 0x9e3779b97f4a7c15ULL + 1))
+{
+    profile_.validate();
+    double acc = 0.0;
+    for (int i = 0; i < static_cast<int>(OpClass::NumOpClasses);
+         ++i) {
+        acc += profile_.mix[i];
+        mixCdf_[i] = acc;
+    }
+    updatePhase();
+}
+
+void
+InstructionStream::updatePhase()
+{
+    if (phaseRemaining_ > 0) {
+        --phaseRemaining_;
+        return;
+    }
+    if (profile_.burstiness <= 0.0) {
+        // Steady workload: one infinite calm phase.
+        phaseRemaining_ = ~0ULL;
+        depScale_ = 1.0;
+        missScale_ = 1.0;
+        return;
+    }
+    // Alternate calm and burst phases with geometric lengths whose
+    // means split phaseLenInsts by the burstiness fraction.
+    inBurst_ = !inBurst_;
+    if (inBurst_)
+        ++burstCount_;
+    const double mean_len = inBurst_
+        ? profile_.phaseLenInsts * profile_.burstiness
+        : profile_.phaseLenInsts * (1.0 - profile_.burstiness);
+    const double p = 1.0 / std::max(mean_len, 2.0);
+    phaseRemaining_ = rng_.geometric(p) + 1;
+    depScale_ = inBurst_ ? profile_.burstIlpScale : 1.0;
+    // Bursts are compute phases: loads mostly hit.
+    missScale_ = inBurst_ ? 0.25 : 1.0;
+}
+
+std::uint64_t
+InstructionStream::drawProducer()
+{
+    if (destCount_ == 0)
+        return 0;
+    // Dependence mixture: near (chain) draws follow a recent
+    // producer and spread issue slots across the queue; far draws
+    // are usually complete by dispatch and set the ILP.
+    const bool near = rng_.chance(profile_.nearDepFrac);
+    const double base_mean =
+        near ? profile_.nearDepDist
+             : profile_.meanDepDist * depScale_;
+    const double mean = std::max(base_mean, 1.0);
+    // Distance = 1 + Geometric with mean (mean - 1), measured in
+    // value-producing instructions.
+    std::uint64_t dist = 1;
+    if (mean > 1.0)
+        dist += rng_.geometric(1.0 / mean);
+    const std::uint64_t window =
+        std::min(destCount_, destRingSize_);
+    if (dist > window)
+        return 0; // producer predates the window: treat as ready
+    return destRing_[(destCount_ - dist) % destRingSize_];
+}
+
+std::uint64_t
+InstructionStream::drawLineAddr()
+{
+    const double l2 = profile_.loadL2Frac * missScale_;
+    const double mem = profile_.loadMemFrac * missScale_;
+    const double u = rng_.uniform();
+    if (u < mem)
+        return coldBase + coldCursor_++;
+    if (u < mem + l2)
+        return warmBase + rng_.below(warmLines);
+    return hotBase + rng_.below(hotLines);
+}
+
+MicroOp
+InstructionStream::next()
+{
+    updatePhase();
+
+    MicroOp op;
+    op.seq = ++seq_;
+
+    const int n = static_cast<int>(OpClass::NumOpClasses);
+    op.cls = static_cast<OpClass>(rng_.categoricalFromCdf(mixCdf_, n));
+
+    switch (op.cls) {
+      case OpClass::Load:
+        op.numSrcs = 1; // address register
+        op.hasDest = true;
+        op.lineAddr = drawLineAddr();
+        break;
+      case OpClass::Store:
+        op.numSrcs = 2; // address + data
+        op.hasDest = false;
+        op.lineAddr = drawLineAddr();
+        break;
+      case OpClass::Branch:
+        op.numSrcs = 1; // condition
+        op.hasDest = false;
+        op.mispredicted =
+            rng_.chance(profile_.branchMispredictRate);
+        break;
+      default: {
+        // Arithmetic: mostly two sources, sometimes fewer
+        // (immediates, loop-invariant values).
+        const double u = rng_.uniform();
+        op.numSrcs = u < 0.65 ? 2 : (u < 0.95 ? 1 : 0);
+        op.hasDest = true;
+        break;
+      }
+    }
+
+    for (int i = 0; i < op.numSrcs; ++i)
+        op.src[i] = drawProducer();
+
+    if (op.hasDest)
+        destRing_[destCount_++ % destRingSize_] = op.seq;
+
+    return op;
+}
+
+} // namespace tempest

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Deterministic synthetic instruction stream.
+ *
+ * InstructionStream turns a BenchmarkProfile into an endless sequence
+ * of MicroOps with the profile's mix, dependence structure, memory
+ * behaviour and phase/burst dynamics. Streams are reproducible: the
+ * same (profile, seed) produces the same sequence.
+ */
+
+#ifndef TEMPEST_WORKLOAD_GENERATOR_HH
+#define TEMPEST_WORKLOAD_GENERATOR_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "workload/instruction.hh"
+#include "workload/profile.hh"
+
+namespace tempest
+{
+
+/**
+ * Generates the dynamic instruction stream for one benchmark run.
+ *
+ * Memory addresses come from a three-pool locality model: a hot pool
+ * that fits comfortably in L1, a warm pool that fits in L2 but not
+ * L1, and a cold stream of fresh lines that misses both. The pool is
+ * chosen per access with the profile's miss fractions, so a real
+ * cache hierarchy fed by this stream measures miss rates close to
+ * the profile targets.
+ */
+class InstructionStream
+{
+  public:
+    /**
+     * @param profile workload description (copied)
+     * @param run_seed experiment-level seed, combined with the
+     *        profile seed so different runs can decorrelate streams
+     */
+    explicit InstructionStream(const BenchmarkProfile& profile,
+                               std::uint64_t run_seed = 0);
+
+    /** Generate the next dynamic instruction. */
+    MicroOp next();
+
+    /** Sequence number of the most recently generated instruction. */
+    std::uint64_t generated() const { return seq_; }
+
+    /** @return true if the stream is currently in a burst phase. */
+    bool inBurst() const { return inBurst_; }
+
+    /** Number of calm->burst transitions so far. */
+    std::uint64_t burstCount() const { return burstCount_; }
+
+    const BenchmarkProfile& profile() const { return profile_; }
+
+    /** Cache line size assumed by the address pools (bytes). */
+    static constexpr std::uint64_t lineBytes = 64;
+
+    /** Hot pool: lines that fit in L1 (32 KB span). */
+    static constexpr std::uint64_t hotLines = 512;
+
+    /** Warm pool: lines that fit in L2 but thrash L1 (512 KB span). */
+    static constexpr std::uint64_t warmLines = 8192;
+
+  private:
+    /** Advance phase state and return current dep-distance scale. */
+    void updatePhase();
+
+    /** Draw a producer sequence number for one source operand. */
+    std::uint64_t drawProducer();
+
+    /** Draw a line address according to the locality model. */
+    std::uint64_t drawLineAddr();
+
+    BenchmarkProfile profile_;
+    Rng rng_;
+
+    std::uint64_t seq_ = 0;
+
+    // Cumulative mix distribution for categorical class draws.
+    double mixCdf_[static_cast<int>(OpClass::NumOpClasses)] = {};
+
+    // Phase state.
+    bool inBurst_ = false;
+    std::uint64_t phaseRemaining_ = 0;
+    std::uint64_t burstCount_ = 0;
+    double depScale_ = 1.0;
+    double missScale_ = 1.0;
+
+    // Cold-stream cursor for fresh (always-miss) lines.
+    std::uint64_t coldCursor_ = 0;
+
+    // Ring of recent value-producing sequence numbers; producers
+    // are drawn from here so a dependence always names an
+    // instruction that actually writes a register.
+    static constexpr std::uint64_t destRingSize_ = 512;
+    std::uint64_t destRing_[destRingSize_] = {};
+    std::uint64_t destCount_ = 0;
+};
+
+} // namespace tempest
+
+#endif // TEMPEST_WORKLOAD_GENERATOR_HH

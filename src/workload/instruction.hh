@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Dynamic micro-operation record produced by the workload generator
+ * and consumed by the out-of-order core.
+ *
+ * Tempest is profile-driven rather than ISA-driven: a MicroOp carries
+ * exactly the information the backend needs to reproduce the paper's
+ * activity asymmetries — operation class, data dependences (as
+ * producer sequence numbers), memory behaviour, and branch outcome.
+ */
+
+#ifndef TEMPEST_WORKLOAD_INSTRUCTION_HH
+#define TEMPEST_WORKLOAD_INSTRUCTION_HH
+
+#include <cstdint>
+
+namespace tempest
+{
+
+/** Operation classes the 6-wide backend distinguishes. */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,   ///< integer arithmetic/logic (1 cycle)
+    IntMul,   ///< integer multiply (3 cycles)
+    FpAdd,    ///< floating-point add/sub/cvt (2 cycles)
+    FpMul,    ///< floating-point multiply/divide (4 cycles)
+    Load,     ///< memory read (2-cycle L1 hit)
+    Store,    ///< memory write
+    Branch,   ///< conditional/unconditional branch
+    NumOpClasses
+};
+
+/** @return true for the two floating-point classes. */
+constexpr bool
+isFpClass(OpClass cls)
+{
+    return cls == OpClass::FpAdd || cls == OpClass::FpMul;
+}
+
+/** @return true for loads and stores. */
+constexpr bool
+isMemClass(OpClass cls)
+{
+    return cls == OpClass::Load || cls == OpClass::Store;
+}
+
+/** @return a short mnemonic for tracing. */
+const char* opClassName(OpClass cls);
+
+/** Memory level that services an access. */
+enum class MemLevel : std::uint8_t
+{
+    L1,     ///< L1 data cache hit
+    L2,     ///< L1 miss, L2 hit
+    Memory  ///< misses both caches
+};
+
+/**
+ * One dynamic instruction.
+ *
+ * Dependences are expressed as the sequence numbers of the producing
+ * instructions; the core's rename stage converts these to physical
+ * registers. numSrcs of 0 means the instruction is dependence-free
+ * (e.g. immediate moves, loop-invariant address computation).
+ */
+struct MicroOp
+{
+    /** Dynamic sequence number, starting at 1 (0 = no producer). */
+    std::uint64_t seq = 0;
+
+    /** Operation class. */
+    OpClass cls = OpClass::IntAlu;
+
+    /** Number of register source operands (0..2). */
+    int numSrcs = 0;
+
+    /** Producer sequence numbers for each source (0 = ready). */
+    std::uint64_t src[2] = {0, 0};
+
+    /** True if the op produces a register result. */
+    bool hasDest = true;
+
+    /** Cache line address for loads/stores (line-aligned). */
+    std::uint64_t lineAddr = 0;
+
+    /** For branches: true if the predictor will mispredict it. */
+    bool mispredicted = false;
+};
+
+} // namespace tempest
+
+#endif // TEMPEST_WORKLOAD_INSTRUCTION_HH

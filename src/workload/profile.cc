@@ -1,0 +1,213 @@
+#include "workload/profile.hh"
+
+#include <cmath>
+#include <map>
+
+#include "common/log.hh"
+
+namespace tempest
+{
+
+const char*
+opClassName(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu: return "IntAlu";
+      case OpClass::IntMul: return "IntMul";
+      case OpClass::FpAdd: return "FpAdd";
+      case OpClass::FpMul: return "FpMul";
+      case OpClass::Load: return "Load";
+      case OpClass::Store: return "Store";
+      case OpClass::Branch: return "Branch";
+      default: return "Invalid";
+    }
+}
+
+bool
+BenchmarkProfile::usesFp() const
+{
+    return fracOf(OpClass::FpAdd) > 0.0 || fracOf(OpClass::FpMul) > 0.0;
+}
+
+void
+BenchmarkProfile::validate() const
+{
+    double sum = 0.0;
+    for (double f : mix) {
+        if (f < 0.0)
+            fatal("profile '", name, "': negative mix fraction");
+        sum += f;
+    }
+    if (std::abs(sum - 1.0) > 1e-9)
+        fatal("profile '", name, "': mix sums to ", sum, ", not 1");
+    if (meanDepDist < 1.0)
+        fatal("profile '", name, "': meanDepDist must be >= 1");
+    if (branchMispredictRate < 0.0 || branchMispredictRate > 1.0)
+        fatal("profile '", name, "': bad misprediction rate");
+    if (loadL2Frac < 0.0 || loadMemFrac < 0.0 ||
+        loadL2Frac + loadMemFrac > 1.0) {
+        fatal("profile '", name, "': bad load miss fractions");
+    }
+    if (burstiness < 0.0 || burstiness >= 1.0)
+        fatal("profile '", name, "': burstiness must be in [0, 1)");
+}
+
+namespace
+{
+
+/** Ordered mix helper: {IntAlu, IntMul, FpAdd, FpMul, Ld, St, Br}. */
+BenchmarkProfile
+make(const std::string& name,
+     std::initializer_list<double> mix,
+     double dep, double mispred, double l2, double mem,
+     double burst, double burst_scale, std::uint64_t seed)
+{
+    BenchmarkProfile p;
+    p.name = name;
+    int i = 0;
+    for (double f : mix)
+        p.mix[i++] = f;
+    p.meanDepDist = dep;
+    p.branchMispredictRate = mispred;
+    p.loadL2Frac = l2;
+    p.loadMemFrac = mem;
+    p.burstiness = burst;
+    p.burstIlpScale = burst_scale;
+    p.seed = seed;
+    p.validate();
+    return p;
+}
+
+/**
+ * The 22 SPEC CPU2000 profiles (the subset the paper simulates).
+ *
+ * Parameters are chosen so each benchmark lands in the IPC and
+ * thermal-constraint class the paper reports: e.g. art/mcf are
+ * memory-bound and never overheat the issue queue; eon/perlbmk are
+ * high-ILP and thermally constrained; facerec has high-IPC activity
+ * bursts that overheat regardless of balancing (§4.1).
+ */
+std::map<std::string, BenchmarkProfile>
+buildTable()
+{
+    std::map<std::string, BenchmarkProfile> t;
+    auto add = [&t](BenchmarkProfile p) { t[p.name] = std::move(p); };
+
+    //                 IntAlu IntMul FpAdd FpMul  Ld    St    Br
+    // ---- floating-point suite ----
+    add(make("applu", {.28,  .01,  .30,  .12,  .19,  .07,  .03},
+             34.0, .010, .035, .015, 0.25, 1.8, 1101));
+    add(make("apsi",  {.30,  .01,  .29,  .11,  .19,  .06,  .04},
+             30.0, .020, .025, .006, 0.0, 2.0, 1102));
+    add(make("art",   {.33,  .01,  .26,  .08,  .22,  .05,  .05},
+             10.0, .010, .200, .110, 0.0, 2.0, 1103));
+    add(make("facerec", {.28, .01, .30,  .12,  .20,  .05,  .04},
+             26.0, .020, .045, .012, 0.55, 3.0, 1104));
+    add(make("fma3d", {.30,  .01,  .27,  .11,  .20,  .07,  .04},
+             30.0, .020, .030, .010, 0.25, 1.8, 1105));
+    add(make("lucas", {.27,  .01,  .31,  .13,  .19,  .06,  .03},
+             16.0, .010, .090, .035, 0.0, 2.0, 1106));
+    add(make("mesa",  {.34,  .02,  .24,  .10,  .18,  .06,  .06},
+             24.0, .030, .010, .002, 0.0, 2.0, 1107));
+    add(make("mgrid", {.26,  .01,  .34,  .12,  .18,  .06,  .03},
+             34.0, .010, .030, .008, 0.25, 1.8, 1108));
+    add(make("sixtrack", {.30, .02, .28, .12,  .18,  .06,  .04},
+             22.0, .010, .010, .001, 0.0, 2.0, 1109));
+    add(make("swim",  {.25,  .01,  .33,  .13,  .19,  .06,  .03},
+             22.0, .010, .110, .040, 0.0, 2.0, 1110));
+    add(make("wupwise", {.28, .01, .30,  .13,  .19,  .06,  .03},
+             34.0, .010, .012, .003, 0.0, 2.0, 1111));
+    // ---- integer suite ----
+    add(make("bzip",  {.55,  .01,  .00,  .00,  .24,  .09,  .11},
+             22.0, .055, .030, .005, 0.30, 2.2, 1201));
+    add(make("crafty", {.57, .01,  .00,  .00,  .23,  .08,  .11},
+             26.0, .060, .020, .002, 0.0, 2.0, 1202));
+    add(make("eon",   {.58,  .02,  .00,  .00,  .22,  .09,  .09},
+             30.0, .032, .010, .001, 0.0, 2.0, 1203));
+    add(make("gcc",   {.54,  .01,  .00,  .00,  .23,  .10,  .12},
+             20.0, .070, .035, .008, 0.25, 2.0, 1204));
+    add(make("gzip",  {.56,  .01,  .00,  .00,  .23,  .08,  .12},
+             24.0, .050, .020, .003, 0.0, 2.0, 1205));
+    add(make("mcf",   {.52,  .01,  .00,  .00,  .28,  .06,  .13},
+             10.0, .080, .150, .150, 0.0, 2.0, 1206));
+    add(make("parser", {.54, .01,  .00,  .00,  .24,  .09,  .12},
+             11.0, .075, .030, .008, 0.0, 2.0, 1207));
+    add(make("perlbmk", {.58, .01, .00,  .00,  .23,  .08,  .10},
+             36.0, .038, .010, .001, 0.0, 2.0, 1208));
+    add(make("twolf", {.53,  .01,  .00,  .00,  .25,  .08,  .13},
+             16.0, .070, .040, .012, 0.0, 2.0, 1209));
+    add(make("vortex", {.56, .01,  .00,  .00,  .24,  .09,  .10},
+             26.0, .030, .020, .004, 0.0, 2.0, 1210));
+    add(make("vpr",   {.54,  .01,  .00,  .00,  .24,  .09,  .12},
+             18.0, .055, .035, .008, 0.0, 2.0, 1211));
+    return t;
+}
+
+const std::map<std::string, BenchmarkProfile>&
+table()
+{
+    static const std::map<std::string, BenchmarkProfile> t =
+        buildTable();
+    return t;
+}
+
+} // namespace
+
+const BenchmarkProfile&
+spec2000(const std::string& name)
+{
+    const auto& t = table();
+    auto it = t.find(name);
+    if (it == t.end())
+        fatal("unknown benchmark profile '", name, "'");
+    return it->second;
+}
+
+const std::vector<std::string>&
+spec2000Names()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        for (const auto& [name, profile] : table())
+            v.push_back(name);
+        return v;
+    }();
+    return names;
+}
+
+const BenchmarkProfile&
+syntheticIntPeak()
+{
+    static const BenchmarkProfile p = [] {
+        BenchmarkProfile q =
+            make("int_peak", {.97, .01, .00, .00, .01, .005, .005},
+                 64.0, .001, .0, .0, 0.0, 1.0, 7001);
+        q.nearDepFrac = 0.0; // fully independent: saturates width
+        return q;
+    }();
+    return p;
+}
+
+const BenchmarkProfile&
+syntheticFpPeak()
+{
+    static const BenchmarkProfile p = [] {
+        BenchmarkProfile q =
+            make("fp_peak", {.20, .00, .55, .20, .03, .01, .01},
+                 64.0, .001, .0, .0, 0.0, 1.0, 7002);
+        q.nearDepFrac = 0.0;
+        return q;
+    }();
+    return p;
+}
+
+const BenchmarkProfile&
+syntheticIdle()
+{
+    static const BenchmarkProfile p =
+        make("idle", {.45, .01, .00, .00, .35, .06, .13},
+             2.0, .10, .20, .30, 0.0, 1.0, 7003);
+    return p;
+}
+
+} // namespace tempest

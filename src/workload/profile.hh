@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Benchmark profiles: the statistical description of a workload that
+ * drives the synthetic instruction stream.
+ *
+ * The paper evaluates 22 SPEC CPU2000 benchmarks on SimpleScalar; we
+ * do not have SPEC binaries, so each benchmark is described by the
+ * dynamic properties that determine backend activity — instruction
+ * mix, dependence distances (ILP), branch misprediction rate, cache
+ * miss behaviour, and phase/burst structure. DESIGN.md documents this
+ * substitution. Profiles are deterministic: the same profile and seed
+ * always generate the same stream.
+ */
+
+#ifndef TEMPEST_WORKLOAD_PROFILE_HH
+#define TEMPEST_WORKLOAD_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/instruction.hh"
+
+namespace tempest
+{
+
+/**
+ * Statistical workload description.
+ *
+ * Mix fractions must sum to 1. Dependence distance is the dynamic
+ * instruction distance to a producer; larger means more ILP. Phase
+ * structure alternates calm and burst phases; during a burst the
+ * dependence distances are scaled by burstIlpScale and load misses
+ * are suppressed, producing the high-IPC activity bursts the paper
+ * observes for e.g. facerec.
+ */
+struct BenchmarkProfile
+{
+    std::string name;
+
+    /** Instruction mix fraction per OpClass, summing to 1. */
+    double mix[static_cast<int>(OpClass::NumOpClasses)] = {};
+
+    /** Mean dynamic distance to the producer of a source operand
+     * (the far/loose component of the dependence mixture). */
+    double meanDepDist = 6.0;
+
+    /**
+     * Fraction of source operands drawn from the near (chain)
+     * component of the dependence mixture. Near dependencies make
+     * an instruction ready only once its just-in-flight producer
+     * issues, so chain frontiers - and therefore issue slots -
+     * spread across the whole issue queue, producing the
+     * tail-heavy compaction gradient of the paper's §2.1. Far
+     * dependencies are usually complete by dispatch and control
+     * the achievable ILP.
+     */
+    double nearDepFrac = 0.40;
+
+    /** Mean distance of the near (chain) component. */
+    double nearDepDist = 3.0;
+
+    /** Probability a branch is mispredicted. */
+    double branchMispredictRate = 0.05;
+
+    /** Probability a load hits in L2 only (misses L1). */
+    double loadL2Frac = 0.02;
+
+    /** Probability a load misses both L1 and L2 (goes to memory). */
+    double loadMemFrac = 0.0;
+
+    /** Fraction of time spent in burst phases (0 = steady). */
+    double burstiness = 0.0;
+
+    /**
+     * Mean phase length in instructions. Phases must be long
+     * relative to block thermal time constants (~1 ms, i.e. a few
+     * million cycles) for bursts to move temperatures.
+     */
+    double phaseLenInsts = 3.0e6;
+
+    /** Dependence-distance multiplier during a burst phase. */
+    double burstIlpScale = 2.0;
+
+    /** Default stream seed (combined with experiment seed). */
+    std::uint64_t seed = 1;
+
+    /** @return mix fraction for one class. */
+    double
+    fracOf(OpClass cls) const
+    {
+        return mix[static_cast<int>(cls)];
+    }
+
+    /** @return true if the profile issues floating-point work. */
+    bool usesFp() const;
+
+    /** Validate invariants (mix sums to 1, rates in range); fatal
+     * on violation. */
+    void validate() const;
+};
+
+/**
+ * Look up one of the 22 SPEC CPU2000-like profiles by name (e.g.
+ * "eon", "art"). fatal() if the name is unknown.
+ */
+const BenchmarkProfile& spec2000(const std::string& name);
+
+/** @return the 22 benchmark names in the paper's alphabetical
+ * order (applu .. wupwise). */
+const std::vector<std::string>& spec2000Names();
+
+/**
+ * Peak-utilization calibration workload: independent single-cycle
+ * integer ops that saturate the 6-wide backend. Used to reproduce
+ * the paper's floorplan-scaling criterion (§3.2).
+ */
+const BenchmarkProfile& syntheticIntPeak();
+
+/** Peak-utilization floating-point workload. */
+const BenchmarkProfile& syntheticFpPeak();
+
+/** A quiet, low-ILP, memory-bound workload for cool baselines. */
+const BenchmarkProfile& syntheticIdle();
+
+} // namespace tempest
+
+#endif // TEMPEST_WORKLOAD_PROFILE_HH

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for the functional-unit pool and turnoff masks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+
+#include "uarch/activity.hh"
+#include "uarch/alu.hh"
+
+namespace tempest
+{
+namespace
+{
+
+PipelineConfig
+defaultConfig()
+{
+    PipelineConfig cfg;
+    return cfg;
+}
+
+TEST(AluPool, AllAvailableInitially)
+{
+    AluPool pool(defaultConfig());
+    for (int i = 0; i < pool.numIntAlus(); ++i)
+        EXPECT_TRUE(pool.intAluAvailable(i));
+    for (int i = 0; i < pool.numFpAdders(); ++i)
+        EXPECT_TRUE(pool.fpAdderAvailable(i));
+    EXPECT_EQ(pool.numIntAlusOff(), 0);
+}
+
+TEST(AluPool, ThermalTurnoffMasksUnit)
+{
+    AluPool pool(defaultConfig());
+    pool.setIntAluOff(2, TurnoffReason::UnitThermal, true);
+    EXPECT_FALSE(pool.intAluAvailable(2));
+    EXPECT_EQ(pool.numIntAlusOff(), 1);
+    pool.setIntAluOff(2, TurnoffReason::UnitThermal, false);
+    EXPECT_TRUE(pool.intAluAvailable(2));
+}
+
+TEST(AluPool, ReasonsCompose)
+{
+    // An ALU turned off both for its own heat and its register
+    // file's cooling stays off until BOTH reasons clear.
+    AluPool pool(defaultConfig());
+    pool.setIntAluOff(1, TurnoffReason::UnitThermal, true);
+    pool.setIntAluOff(1, TurnoffReason::RegfileThermal, true);
+    pool.setIntAluOff(1, TurnoffReason::UnitThermal, false);
+    EXPECT_FALSE(pool.intAluAvailable(1));
+    pool.setIntAluOff(1, TurnoffReason::RegfileThermal, false);
+    EXPECT_TRUE(pool.intAluAvailable(1));
+}
+
+TEST(AluPool, ClearingAnUnsetReasonIsHarmless)
+{
+    AluPool pool(defaultConfig());
+    pool.setIntAluOff(0, TurnoffReason::RegfileThermal, false);
+    EXPECT_TRUE(pool.intAluAvailable(0));
+}
+
+TEST(AluPool, AllOffDetection)
+{
+    AluPool pool(defaultConfig());
+    EXPECT_FALSE(pool.allIntAlusOff());
+    for (int i = 0; i < pool.numIntAlus(); ++i)
+        pool.setIntAluOff(i, TurnoffReason::UnitThermal, true);
+    EXPECT_TRUE(pool.allIntAlusOff());
+    pool.setIntAluOff(3, TurnoffReason::UnitThermal, false);
+    EXPECT_FALSE(pool.allIntAlusOff());
+}
+
+TEST(AluPool, FpAdderTurnoff)
+{
+    AluPool pool(defaultConfig());
+    for (int i = 0; i < pool.numFpAdders(); ++i)
+        pool.setFpAdderOff(i, TurnoffReason::UnitThermal, true);
+    EXPECT_TRUE(pool.allFpAddersOff());
+    EXPECT_EQ(pool.numFpAddersOff(), pool.numFpAdders());
+}
+
+TEST(AluPool, ResetClearsEverything)
+{
+    AluPool pool(defaultConfig());
+    pool.setIntAluOff(0, TurnoffReason::UnitThermal, true);
+    pool.setFpAdderOff(0, TurnoffReason::RegfileThermal, true);
+    pool.reset();
+    EXPECT_EQ(pool.numIntAlusOff(), 0);
+    EXPECT_EQ(pool.numFpAddersOff(), 0);
+}
+
+TEST(AluPool, IntAluCapabilities)
+{
+    // Table 2: the 6 integer units cover arithmetic, load/store
+    // and branch work; FP classes execute elsewhere.
+    EXPECT_TRUE(AluPool::intAluExecutes(OpClass::IntAlu));
+    EXPECT_TRUE(AluPool::intAluExecutes(OpClass::IntMul));
+    EXPECT_TRUE(AluPool::intAluExecutes(OpClass::Load));
+    EXPECT_TRUE(AluPool::intAluExecutes(OpClass::Store));
+    EXPECT_TRUE(AluPool::intAluExecutes(OpClass::Branch));
+    EXPECT_FALSE(AluPool::intAluExecutes(OpClass::FpAdd));
+    EXPECT_FALSE(AluPool::intAluExecutes(OpClass::FpMul));
+}
+
+TEST(AluPool, LatenciesFromConfig)
+{
+    PipelineConfig cfg;
+    AluPool pool(cfg);
+    EXPECT_EQ(pool.latencyOf(OpClass::IntAlu), cfg.intAluLatency);
+    EXPECT_EQ(pool.latencyOf(OpClass::IntMul), cfg.intMulLatency);
+    EXPECT_EQ(pool.latencyOf(OpClass::FpAdd), cfg.fpAddLatency);
+    EXPECT_EQ(pool.latencyOf(OpClass::FpMul), cfg.fpMulLatency);
+    EXPECT_EQ(pool.latencyOf(OpClass::Branch), cfg.intAluLatency);
+}
+
+TEST(PipelineConfig, ValidateCatchesBadShapes)
+{
+    PipelineConfig cfg;
+    cfg.numIntAlus = 5; // does not divide across 2 copies
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    cfg = PipelineConfig{};
+    cfg.intIqEntries = 31; // odd
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    cfg = PipelineConfig{};
+    cfg.issueWidth = 0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(ActivityRecord, AddAccumulatesEverything)
+{
+    ActivityRecord a, b;
+    a.intAluOps[0] = 3;
+    a.iqEntryMoves[0][1] = 5;
+    a.cycles = 10;
+    b.intAluOps[0] = 4;
+    b.iqEntryMoves[0][1] = 6;
+    b.cycles = 20;
+    b.instructions = 7;
+    a.add(b);
+    EXPECT_EQ(a.intAluOps[0], 7u);
+    EXPECT_EQ(a.iqEntryMoves[0][1], 11u);
+    EXPECT_EQ(a.cycles, 30u);
+    EXPECT_EQ(a.instructions, 7u);
+    a.clear();
+    EXPECT_EQ(a.cycles, 0u);
+    EXPECT_EQ(a.intAluOps[0], 0u);
+}
+
+} // namespace
+} // namespace tempest

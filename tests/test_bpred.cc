@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for the gshare branch predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "uarch/bpred.hh"
+
+namespace tempest
+{
+namespace
+{
+
+TEST(Gshare, RejectsBadTableBits)
+{
+    EXPECT_THROW(GsharePredictor(1), FatalError);
+    EXPECT_THROW(GsharePredictor(25), FatalError);
+}
+
+TEST(Gshare, LearnsAlwaysTaken)
+{
+    GsharePredictor p(10);
+    for (int i = 0; i < 1000; ++i)
+        p.update(0x400100, true);
+    p.resetStats();
+    for (int i = 0; i < 1000; ++i)
+        p.update(0x400100, true);
+    EXPECT_EQ(p.mispredicts(), 0u);
+}
+
+TEST(Gshare, LearnsAlternatingPatternViaHistory)
+{
+    // A strict T/N/T/N pattern is perfectly predictable with
+    // global history.
+    GsharePredictor p(12);
+    bool taken = false;
+    for (int i = 0; i < 4000; ++i) {
+        p.update(0x400200, taken);
+        taken = !taken;
+    }
+    p.resetStats();
+    for (int i = 0; i < 2000; ++i) {
+        p.update(0x400200, taken);
+        taken = !taken;
+    }
+    EXPECT_LT(p.mispredictRate(), 0.01);
+}
+
+TEST(Gshare, RandomBranchesHoverAtHalf)
+{
+    GsharePredictor p(12);
+    Rng rng(4);
+    for (int i = 0; i < 20000; ++i)
+        p.update(0x400300 + (rng.next() & 0xff0), rng.chance(0.5));
+    EXPECT_NEAR(p.mispredictRate(), 0.5, 0.05);
+}
+
+TEST(Gshare, BiasedBranchesBeatTheBias)
+{
+    GsharePredictor p(12);
+    Rng rng(5);
+    for (int i = 0; i < 40000; ++i)
+        p.update(0x400400, rng.chance(0.9));
+    EXPECT_LT(p.mispredictRate(), 0.2);
+}
+
+TEST(Gshare, HistorySpeculationAndRecovery)
+{
+    GsharePredictor p(10);
+    const std::uint64_t saved = p.history();
+    p.speculate(true);
+    p.speculate(false);
+    EXPECT_NE(p.history(), saved);
+    p.restoreHistory(saved);
+    EXPECT_EQ(p.history(), saved);
+}
+
+TEST(Gshare, StatsCountLookups)
+{
+    GsharePredictor p(10);
+    for (int i = 0; i < 10; ++i)
+        p.update(4 * i, true);
+    EXPECT_EQ(p.lookups(), 10u);
+    p.resetStats();
+    EXPECT_EQ(p.lookups(), 0u);
+}
+
+} // namespace
+} // namespace tempest

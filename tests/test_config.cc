@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for the configuration store.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "common/log.hh"
+
+namespace tempest
+{
+namespace
+{
+
+TEST(Config, TypedRoundTrip)
+{
+    Config c;
+    c.setInt("a", -7);
+    c.setDouble("b", 2.5);
+    c.setBool("c", true);
+    c.set("d", "hello");
+    EXPECT_EQ(c.getInt("a"), -7);
+    EXPECT_DOUBLE_EQ(c.getDouble("b"), 2.5);
+    EXPECT_TRUE(c.getBool("c"));
+    EXPECT_EQ(c.getString("d"), "hello");
+}
+
+TEST(Config, DefaultsForMissingKeys)
+{
+    Config c;
+    EXPECT_EQ(c.getInt("nope", 9), 9);
+    EXPECT_DOUBLE_EQ(c.getDouble("nope", 1.5), 1.5);
+    EXPECT_FALSE(c.getBool("nope", false));
+    EXPECT_EQ(c.getString("nope", "x"), "x");
+}
+
+TEST(Config, MissingKeyWithoutDefaultIsFatal)
+{
+    Config c;
+    EXPECT_THROW(c.getInt("nope"), FatalError);
+    EXPECT_THROW(c.getString("nope"), FatalError);
+}
+
+TEST(Config, StrictParsing)
+{
+    Config c;
+    c.set("bad_int", "12abc");
+    c.set("bad_double", "1.5x");
+    c.set("bad_bool", "maybe");
+    EXPECT_THROW(c.getInt("bad_int"), FatalError);
+    EXPECT_THROW(c.getDouble("bad_double"), FatalError);
+    EXPECT_THROW(c.getBool("bad_bool"), FatalError);
+}
+
+TEST(Config, BoolSpellings)
+{
+    Config c;
+    for (const char* t : {"true", "1", "yes", "TRUE", "Yes"}) {
+        c.set("k", t);
+        EXPECT_TRUE(c.getBool("k")) << t;
+    }
+    for (const char* f : {"false", "0", "no", "FALSE"}) {
+        c.set("k", f);
+        EXPECT_FALSE(c.getBool("k")) << f;
+    }
+}
+
+TEST(Config, HexIntegers)
+{
+    Config c;
+    c.set("k", "0x10");
+    EXPECT_EQ(c.getInt("k"), 16);
+}
+
+TEST(Config, ParseIniText)
+{
+    Config c;
+    c.parseText("# comment\n"
+                "top = 1\n"
+                "[thermal]\n"
+                "time_scale = 0.5 ; inline comment\n"
+                "max = 358\n");
+    EXPECT_EQ(c.getInt("top"), 1);
+    EXPECT_DOUBLE_EQ(c.getDouble("thermal.time_scale"), 0.5);
+    EXPECT_EQ(c.getInt("thermal.max"), 358);
+}
+
+TEST(Config, ParseRejectsMalformedLines)
+{
+    Config c;
+    EXPECT_THROW(c.parseText("just words\n"), FatalError);
+    EXPECT_THROW(c.parseText("[unterminated\n"), FatalError);
+    EXPECT_THROW(c.parseText("= value\n"), FatalError);
+}
+
+TEST(Config, OverlayWins)
+{
+    Config base, over;
+    base.setInt("a", 1);
+    base.setInt("b", 2);
+    over.setInt("b", 20);
+    over.setInt("c", 30);
+    base.overlay(over);
+    EXPECT_EQ(base.getInt("a"), 1);
+    EXPECT_EQ(base.getInt("b"), 20);
+    EXPECT_EQ(base.getInt("c"), 30);
+}
+
+TEST(Config, RenderListsAllEntries)
+{
+    Config c;
+    c.setInt("b", 2);
+    c.setInt("a", 1);
+    EXPECT_EQ(c.render(), "a = 1\nb = 2\n");
+}
+
+} // namespace
+} // namespace tempest

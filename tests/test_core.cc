@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Unit and behaviour tests for the out-of-order core.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/core.hh"
+
+namespace tempest
+{
+namespace
+{
+
+ActivityRecord
+runCycles(OooCore& core, int n)
+{
+    ActivityRecord act;
+    for (int i = 0; i < n; ++i)
+        core.tick(act);
+    return act;
+}
+
+TEST(Core, MakesForwardProgress)
+{
+    PipelineConfig cfg;
+    OooCore core(cfg, spec2000("gzip"), 1);
+    runCycles(core, 100000);
+    EXPECT_GT(core.committed(), 50000u);
+    EXPECT_GT(core.ipc(), 0.3);
+    EXPECT_LT(core.ipc(), 6.0);
+}
+
+TEST(Core, Deterministic)
+{
+    PipelineConfig cfg;
+    OooCore a(cfg, spec2000("eon"), 9);
+    OooCore b(cfg, spec2000("eon"), 9);
+    const ActivityRecord ra = runCycles(a, 50000);
+    const ActivityRecord rb = runCycles(b, 50000);
+    EXPECT_EQ(a.committed(), b.committed());
+    EXPECT_EQ(ra.intAluOps[0], rb.intAluOps[0]);
+    EXPECT_EQ(ra.iqEntryMoves[0][1], rb.iqEntryMoves[0][1]);
+    EXPECT_EQ(ra.l1dAccesses, rb.l1dAccesses);
+}
+
+TEST(Core, PeakWorkloadApproachesFullWidth)
+{
+    PipelineConfig cfg;
+    OooCore core(cfg, syntheticIntPeak(), 2);
+    // Warm up past the compulsory misses of the hot pool (each
+    // blocks the ROB head for ~memCycles), then measure steady
+    // state.
+    runCycles(core, 400000);
+    const ActivityRecord act = runCycles(core, 100000);
+    const double steady_ipc =
+        static_cast<double>(act.instructions) /
+        static_cast<double>(act.cycles);
+    EXPECT_GT(steady_ipc, 5.0); // 6-wide machine, no hazards
+}
+
+TEST(Core, MemoryBoundWorkloadIsSlow)
+{
+    PipelineConfig cfg;
+    OooCore hot(cfg, spec2000("eon"), 3);
+    OooCore cold(cfg, spec2000("mcf"), 3);
+    runCycles(hot, 200000);
+    runCycles(cold, 200000);
+    EXPECT_GT(hot.ipc(), 3.0 * cold.ipc());
+}
+
+TEST(Core, StaticPrioritySkewsAluUtilization)
+{
+    // §2.2: ALU0 executes far more operations than ALU5.
+    PipelineConfig cfg;
+    OooCore core(cfg, spec2000("parser"), 4);
+    const ActivityRecord act = runCycles(core, 300000);
+    EXPECT_GT(act.intAluOps[0], 3 * act.intAluOps[5]);
+}
+
+TEST(Core, RoundRobinEvensAluUtilization)
+{
+    PipelineConfig cfg;
+    OooCore core(cfg, spec2000("parser"), 4);
+    core.setRoundRobin(true);
+    const ActivityRecord act = runCycles(core, 300000);
+    ASSERT_GT(act.intAluOps[5], 0u);
+    const double ratio =
+        static_cast<double>(act.intAluOps[0]) /
+        static_cast<double>(act.intAluOps[5]);
+    EXPECT_LT(ratio, 1.6);
+    EXPECT_GT(ratio, 0.6);
+}
+
+TEST(Core, TurnedOffAluReceivesNoWork)
+{
+    PipelineConfig cfg;
+    OooCore core(cfg, spec2000("gzip"), 5);
+    core.alus().setIntAluOff(0, TurnoffReason::UnitThermal, true);
+    const ActivityRecord act = runCycles(core, 100000);
+    EXPECT_EQ(act.intAluOps[0], 0u);
+    EXPECT_GT(act.intAluOps[1], 0u);
+    EXPECT_GT(core.ipc(), 0.5); // others pick up the slack
+}
+
+TEST(Core, AllAlusOffStopsIntegerIssueButNotDeadlocksTest)
+{
+    PipelineConfig cfg;
+    OooCore core(cfg, spec2000("gzip"), 6);
+    for (int i = 0; i < cfg.numIntAlus; ++i)
+        core.alus().setIntAluOff(i, TurnoffReason::UnitThermal,
+                                 true);
+    const ActivityRecord act = runCycles(core, 20000);
+    std::uint64_t total = 0;
+    for (int i = 0; i < cfg.numIntAlus; ++i)
+        total += act.intAluOps[i];
+    EXPECT_EQ(total, 0u);
+    EXPECT_LT(core.committed(), 200u); // a few pre-stall commits
+}
+
+TEST(Core, RegfileReadsFollowMapping)
+{
+    PipelineConfig cfg;
+    OooCore pri(cfg, spec2000("gzip"), 7);
+    pri.intRegfile().setMapping(PortMapping::Priority);
+    const ActivityRecord a = runCycles(pri, 200000);
+    // Priority mapping concentrates reads in copy 0.
+    EXPECT_GT(a.intRegReads[0], 2 * a.intRegReads[1]);
+
+    OooCore bal(cfg, spec2000("gzip"), 7);
+    bal.intRegfile().setMapping(PortMapping::Balanced);
+    const ActivityRecord b = runCycles(bal, 200000);
+    const double ratio = static_cast<double>(b.intRegReads[0]) /
+                         static_cast<double>(b.intRegReads[1]);
+    EXPECT_LT(ratio, 1.8);
+}
+
+TEST(Core, WritesGoToBothCopies)
+{
+    PipelineConfig cfg;
+    OooCore core(cfg, spec2000("gzip"), 8);
+    const ActivityRecord act = runCycles(core, 100000);
+    EXPECT_EQ(act.intRegWrites[0], act.intRegWrites[1]);
+    EXPECT_GT(act.intRegWrites[0], 0u);
+}
+
+TEST(Core, FpWorkloadUsesFpResources)
+{
+    PipelineConfig cfg;
+    OooCore core(cfg, spec2000("swim"), 9);
+    const ActivityRecord act = runCycles(core, 200000);
+    std::uint64_t fp_ops = act.fpMulOps;
+    for (int i = 0; i < cfg.numFpAdders; ++i)
+        fp_ops += act.fpAddOps[i];
+    EXPECT_GT(fp_ops, 10000u);
+    EXPECT_GT(act.fpRegReads, 0u);
+    EXPECT_GT(act.fpRegWrites, 0u);
+}
+
+TEST(Core, IntWorkloadLeavesFpIdle)
+{
+    PipelineConfig cfg;
+    OooCore core(cfg, spec2000("bzip"), 10);
+    const ActivityRecord act = runCycles(core, 100000);
+    std::uint64_t fp_ops = act.fpMulOps;
+    for (int i = 0; i < cfg.numFpAdders; ++i)
+        fp_ops += act.fpAddOps[i];
+    EXPECT_EQ(fp_ops, 0u);
+}
+
+TEST(Core, StallCyclesFreezeEverything)
+{
+    PipelineConfig cfg;
+    OooCore core(cfg, spec2000("gzip"), 11);
+    runCycles(core, 10000);
+    const std::uint64_t committed = core.committed();
+    ActivityRecord act;
+    core.stallCycles(5000, act);
+    EXPECT_EQ(core.committed(), committed);
+    EXPECT_EQ(act.stallCycles, 5000u);
+    EXPECT_EQ(act.cycles, 5000u);
+    EXPECT_EQ(core.cycle(), 15000u);
+    // Execution resumes cleanly after a stall.
+    runCycles(core, 10000);
+    EXPECT_GT(core.committed(), committed);
+}
+
+TEST(Core, MemPortLimitRespected)
+{
+    // With one L1D port, memory throughput halves relative to two.
+    PipelineConfig one;
+    one.l1dPorts = 1;
+    PipelineConfig two;
+    OooCore c1(one, spec2000("mcf"), 12);
+    OooCore c2(two, spec2000("mcf"), 12);
+    runCycles(c1, 200000);
+    runCycles(c2, 200000);
+    EXPECT_LE(c1.committed(), c2.committed());
+}
+
+TEST(Core, ActivityConservation)
+{
+    // Committed instructions match the activity record, and issue
+    // events are bounded by commit events plus in-flight work.
+    PipelineConfig cfg;
+    OooCore core(cfg, spec2000("vortex"), 13);
+    const ActivityRecord act = runCycles(core, 100000);
+    EXPECT_EQ(act.instructions, core.committed());
+    std::uint64_t issued = act.fpMulOps;
+    for (int i = 0; i < cfg.numIntAlus; ++i)
+        issued += act.intAluOps[i];
+    for (int i = 0; i < cfg.numFpAdders; ++i)
+        issued += act.fpAddOps[i];
+    EXPECT_GE(issued, core.committed());
+    EXPECT_LE(issued, core.committed() +
+                          static_cast<std::uint64_t>(
+                              cfg.activeListEntries));
+}
+
+TEST(Core, RobAndLsqBounded)
+{
+    PipelineConfig cfg;
+    OooCore core(cfg, spec2000("mcf"), 14);
+    ActivityRecord act;
+    for (int i = 0; i < 50000; ++i) {
+        core.tick(act);
+        ASSERT_LE(core.robCount(), cfg.activeListEntries);
+        ASSERT_LE(core.lsqCount(), cfg.lsqEntries);
+        ASSERT_GE(core.robCount(), 0);
+        ASSERT_GE(core.lsqCount(), 0);
+    }
+}
+
+} // namespace
+} // namespace tempest

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Unit tests for the DTM controller (the paper's techniques).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dtm/dtm_policy.hh"
+
+namespace tempest
+{
+namespace
+{
+
+struct DtmFixture : public ::testing::Test
+{
+    DtmFixture()
+        : fp(Floorplan::ev6Like(FloorplanVariant::IqConstrained)),
+          core(cfg, spec2000("gzip"), 1)
+    {
+    }
+
+    /** Temperatures all at `base`, with named overrides. */
+    std::vector<Kelvin>
+    temps(Kelvin base,
+          std::initializer_list<std::pair<const char*, Kelvin>>
+              overrides = {})
+    {
+        std::vector<Kelvin> t(
+            static_cast<std::size_t>(fp.numBlocks()), base);
+        for (const auto& [name, v] : overrides)
+            t[static_cast<std::size_t>(fp.indexOf(name))] = v;
+        return t;
+    }
+
+    ResourceBalancingDtm
+    make(DtmConfig dtm)
+    {
+        return ResourceBalancingDtm(dtm, core, fp);
+    }
+
+    PipelineConfig cfg;
+    Floorplan fp;
+    OooCore core;
+};
+
+TEST_F(DtmFixture, BaselineStallsOnAnyHotBlock)
+{
+    auto dtm = make(DtmConfig{});
+    EXPECT_EQ(dtm.sample(temps(350.0)), DtmAction::Continue);
+    EXPECT_EQ(dtm.sample(temps(350.0, {{"IntQ1", 358.0}})),
+              DtmAction::GlobalStall);
+    EXPECT_EQ(dtm.sample(temps(350.0, {{"IntExec3", 359.0}})),
+              DtmAction::GlobalStall);
+    EXPECT_EQ(dtm.sample(temps(350.0, {{"IntReg0", 358.5}})),
+              DtmAction::GlobalStall);
+    EXPECT_EQ(dtm.sample(temps(350.0, {{"Dcache", 358.5}})),
+              DtmAction::GlobalStall);
+    EXPECT_EQ(dtm.stats().globalStalls, 4u);
+}
+
+TEST_F(DtmFixture, TogglingFiresOnHalfDifferential)
+{
+    DtmConfig c;
+    c.iqToggling = true;
+    auto dtm = make(c);
+    // Tail (IntQ1 in conventional mode) 0.6 K hotter: toggle.
+    dtm.sample(temps(350.0, {{"IntQ1", 352.0}, {"IntQ0", 351.4}}));
+    EXPECT_EQ(dtm.stats().iqToggles, 1u);
+    EXPECT_EQ(core.intQueue().mode(), CompactionMode::Toggled);
+    // In toggled mode the tail half is IntQ0; now IT must lead.
+    dtm.sample(temps(350.0, {{"IntQ1", 352.0}, {"IntQ0", 351.4}}));
+    EXPECT_EQ(dtm.stats().iqToggles, 1u); // no change
+    dtm.sample(temps(350.0, {{"IntQ0", 353.0}, {"IntQ1", 352.0}}));
+    EXPECT_EQ(dtm.stats().iqToggles, 2u);
+    EXPECT_EQ(core.intQueue().mode(),
+              CompactionMode::Conventional);
+}
+
+TEST_F(DtmFixture, NoToggleBelowHalfKelvin)
+{
+    DtmConfig c;
+    c.iqToggling = true;
+    auto dtm = make(c);
+    dtm.sample(temps(350.0, {{"IntQ1", 351.4}, {"IntQ0", 351.0}}));
+    EXPECT_EQ(dtm.stats().iqToggles, 0u);
+}
+
+TEST_F(DtmFixture, NoToggleOnceOverheated)
+{
+    // Overheating is the temporal fallback's business (§2.1.1).
+    DtmConfig c;
+    c.iqToggling = true;
+    auto dtm = make(c);
+    const auto action = dtm.sample(
+        temps(350.0, {{"IntQ1", 358.5}, {"IntQ0", 352.0}}));
+    EXPECT_EQ(action, DtmAction::GlobalStall);
+    EXPECT_EQ(dtm.stats().iqToggles, 0u);
+}
+
+TEST_F(DtmFixture, ToggleProximityGateHoldsFarBelowThreshold)
+{
+    DtmConfig c;
+    c.iqToggling = true;
+    c.toggleProximityK = 2.0; // engage within 2 K of 358 only
+    auto dtm = make(c);
+    dtm.sample(temps(340.0, {{"IntQ1", 345.0}, {"IntQ0", 343.0}}));
+    EXPECT_EQ(dtm.stats().iqToggles, 0u);
+    dtm.sample(temps(350.0, {{"IntQ1", 356.5}, {"IntQ0", 355.0}}));
+    EXPECT_EQ(dtm.stats().iqToggles, 1u);
+}
+
+TEST_F(DtmFixture, FpQueueTogglesIndependently)
+{
+    DtmConfig c;
+    c.iqToggling = true;
+    auto dtm = make(c);
+    dtm.sample(temps(350.0, {{"FPQ1", 352.0}, {"FPQ0", 351.0}}));
+    EXPECT_EQ(core.fpQueue().mode(), CompactionMode::Toggled);
+    EXPECT_EQ(core.intQueue().mode(),
+              CompactionMode::Conventional);
+}
+
+TEST_F(DtmFixture, FineGrainTurnoffMasksHotAluOnly)
+{
+    DtmConfig c;
+    c.aluTurnoff = true;
+    auto dtm = make(c);
+    const auto action =
+        dtm.sample(temps(350.0, {{"IntExec0", 358.2}}));
+    EXPECT_EQ(action, DtmAction::Continue); // no global stall
+    EXPECT_FALSE(core.alus().intAluAvailable(0));
+    EXPECT_TRUE(core.alus().intAluAvailable(1));
+    EXPECT_EQ(dtm.stats().aluTurnoffEvents, 1u);
+}
+
+TEST_F(DtmFixture, TurnoffReenablesWithHysteresis)
+{
+    DtmConfig c;
+    c.aluTurnoff = true;
+    c.reenableHysteresisK = 1.5;
+    auto dtm = make(c);
+    dtm.sample(temps(350.0, {{"IntExec0", 358.2}}));
+    EXPECT_FALSE(core.alus().intAluAvailable(0));
+    // Slightly below threshold: still off (hysteresis).
+    dtm.sample(temps(350.0, {{"IntExec0", 357.5}}));
+    EXPECT_FALSE(core.alus().intAluAvailable(0));
+    // Below threshold - hysteresis: re-enabled.
+    dtm.sample(temps(350.0, {{"IntExec0", 356.4}}));
+    EXPECT_TRUE(core.alus().intAluAvailable(0));
+    // Re-crossing counts a new event.
+    dtm.sample(temps(350.0, {{"IntExec0", 358.1}}));
+    EXPECT_EQ(dtm.stats().aluTurnoffEvents, 2u);
+}
+
+TEST_F(DtmFixture, AllAlusHotFallsBackToStall)
+{
+    DtmConfig c;
+    c.aluTurnoff = true;
+    auto dtm = make(c);
+    std::vector<std::pair<const char*, Kelvin>> hot;
+    auto t = temps(350.0);
+    for (int i = 0; i < cfg.numIntAlus; ++i)
+        t[static_cast<std::size_t>(fp.indexOf(
+            "IntExec" + std::to_string(i)))] = 358.5;
+    EXPECT_EQ(dtm.sample(t), DtmAction::GlobalStall);
+    EXPECT_TRUE(core.alus().allIntAlusOff());
+}
+
+TEST_F(DtmFixture, RegfileTurnoffMarksMappedAlusBusy)
+{
+    DtmConfig c;
+    c.regfileTurnoff = true;
+    c.mapping = PortMapping::Priority;
+    auto dtm = make(c);
+    // Copy 0 crosses the lowered threshold (358 - 0.5).
+    const auto action =
+        dtm.sample(temps(350.0, {{"IntReg0", 357.6}}));
+    EXPECT_EQ(action, DtmAction::Continue);
+    EXPECT_EQ(dtm.stats().regfileTurnoffEvents, 1u);
+    // Priority mapping: ALUs 0..2 belong to copy 0.
+    EXPECT_FALSE(core.alus().intAluAvailable(0));
+    EXPECT_FALSE(core.alus().intAluAvailable(1));
+    EXPECT_FALSE(core.alus().intAluAvailable(2));
+    EXPECT_TRUE(core.alus().intAluAvailable(3));
+    EXPECT_TRUE(dtm.aluOffForRegfile(1));
+    // Cooling re-enables them.
+    dtm.sample(temps(350.0, {{"IntReg0", 355.0}}));
+    EXPECT_TRUE(core.alus().intAluAvailable(0));
+}
+
+TEST_F(DtmFixture, BalancedMappingTurnsOffInterleavedAlus)
+{
+    DtmConfig c;
+    c.regfileTurnoff = true;
+    c.mapping = PortMapping::Balanced;
+    auto dtm = make(c);
+    dtm.sample(temps(350.0, {{"IntReg0", 357.6}}));
+    EXPECT_FALSE(core.alus().intAluAvailable(0));
+    EXPECT_TRUE(core.alus().intAluAvailable(1));
+    EXPECT_FALSE(core.alus().intAluAvailable(2));
+}
+
+TEST_F(DtmFixture, BothCopiesHotStalls)
+{
+    DtmConfig c;
+    c.regfileTurnoff = true;
+    auto dtm = make(c);
+    const auto action = dtm.sample(temps(
+        350.0, {{"IntReg0", 357.7}, {"IntReg1", 357.8}}));
+    EXPECT_EQ(action, DtmAction::GlobalStall);
+}
+
+TEST_F(DtmFixture, RegfilePastCriticalThresholdStalls)
+{
+    // Writes continue while cooling, but crossing the full
+    // critical threshold engages the fallback.
+    DtmConfig c;
+    c.regfileTurnoff = true;
+    auto dtm = make(c);
+    EXPECT_EQ(dtm.sample(temps(350.0, {{"IntReg0", 358.2}})),
+              DtmAction::GlobalStall);
+}
+
+TEST_F(DtmFixture, WithoutRegfileTurnoffOneHotCopyStalls)
+{
+    DtmConfig c; // regfileTurnoff = false
+    auto dtm = make(c);
+    EXPECT_EQ(dtm.sample(temps(350.0, {{"IntReg1", 358.1}})),
+              DtmAction::GlobalStall);
+}
+
+TEST_F(DtmFixture, ConfigPlumbsRoundRobinAndMapping)
+{
+    DtmConfig c;
+    c.roundRobin = true;
+    c.mapping = PortMapping::Balanced;
+    auto dtm = make(c);
+    EXPECT_TRUE(core.roundRobin());
+    EXPECT_EQ(core.intRegfile().mapping(),
+              PortMapping::Balanced);
+}
+
+} // namespace
+} // namespace tempest

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests for the floorplan and its constrained variants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "thermal/floorplan.hh"
+
+namespace tempest
+{
+namespace
+{
+
+const char* const kRequiredBlocks[] = {
+    "Icache", "Dcache", "Bpred", "ITB", "DTB", "LdStQ",
+    "FPMap", "FPMul", "FPReg", "IntMap", "IntReg0", "IntReg1",
+    "FPQ0", "FPQ1", "FPAdd0", "FPAdd1", "FPAdd2", "FPAdd3",
+    "IntQ0", "IntQ1", "IntExec0", "IntExec1", "IntExec2",
+    "IntExec3", "IntExec4", "IntExec5"};
+
+class Variants
+    : public ::testing::TestWithParam<FloorplanVariant>
+{
+};
+
+TEST_P(Variants, HasAllPaperBlocks)
+{
+    const Floorplan fp = Floorplan::ev6Like(GetParam());
+    for (const char* name : kRequiredBlocks)
+        EXPECT_TRUE(fp.has(name)) << name;
+    EXPECT_EQ(fp.numBlocks(), 26);
+}
+
+TEST_P(Variants, NoOverlapsAndFullCoverage)
+{
+    const Floorplan fp = Floorplan::ev6Like(GetParam());
+    EXPECT_NO_THROW(fp.validate());
+    // 4 mm x 4 mm die, fully tiled.
+    EXPECT_NEAR(fp.totalArea(), 16e-6, 1e-9);
+}
+
+TEST_P(Variants, QueueHalvesAndCopiesMatch)
+{
+    const Floorplan fp = Floorplan::ev6Like(GetParam());
+    const Block& q0 = fp.block(fp.indexOf("IntQ0"));
+    const Block& q1 = fp.block(fp.indexOf("IntQ1"));
+    EXPECT_NEAR(q0.area(), q1.area(), 1e-12);
+    const Block& r0 = fp.block(fp.indexOf("IntReg0"));
+    const Block& r1 = fp.block(fp.indexOf("IntReg1"));
+    EXPECT_NEAR(r0.area(), r1.area(), 1e-12);
+}
+
+TEST_P(Variants, QueueHalvesAreAdjacent)
+{
+    const Floorplan fp = Floorplan::ev6Like(GetParam());
+    EXPECT_GT(fp.sharedEdge(fp.indexOf("IntQ0"),
+                            fp.indexOf("IntQ1")),
+              0.0);
+    EXPECT_GT(fp.sharedEdge(fp.indexOf("IntReg0"),
+                            fp.indexOf("IntReg1")),
+              0.0);
+}
+
+TEST_P(Variants, AlusFormAdjacentBanks)
+{
+    // ALUs flank the queue stack: 4-2-0 | Q | 1-3-5.
+    const Floorplan fp = Floorplan::ev6Like(GetParam());
+    EXPECT_GT(fp.sharedEdge(fp.indexOf("IntExec4"),
+                            fp.indexOf("IntExec2")),
+              0.0);
+    EXPECT_GT(fp.sharedEdge(fp.indexOf("IntExec2"),
+                            fp.indexOf("IntExec0")),
+              0.0);
+    EXPECT_GT(fp.sharedEdge(fp.indexOf("IntExec0"),
+                            fp.indexOf("IntQ0")),
+              0.0);
+    EXPECT_GT(fp.sharedEdge(fp.indexOf("IntQ1"),
+                            fp.indexOf("IntExec1")),
+              0.0);
+    EXPECT_GT(fp.sharedEdge(fp.indexOf("IntExec1"),
+                            fp.indexOf("IntExec3")),
+              0.0);
+    EXPECT_GT(fp.sharedEdge(fp.indexOf("IntExec3"),
+                            fp.indexOf("IntExec5")),
+              0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, Variants,
+    ::testing::Values(FloorplanVariant::Baseline,
+                      FloorplanVariant::IqConstrained,
+                      FloorplanVariant::AluConstrained,
+                      FloorplanVariant::RegfileConstrained),
+    [](const auto& info) {
+        return std::string(floorplanVariantName(info.param))
+                   .substr(0, 2) +
+               std::to_string(static_cast<int>(info.param));
+    });
+
+TEST(Floorplan, ConstrainedVariantsShrinkTheirResource)
+{
+    const Floorplan base =
+        Floorplan::ev6Like(FloorplanVariant::Baseline);
+    const Floorplan iq =
+        Floorplan::ev6Like(FloorplanVariant::IqConstrained);
+    const Floorplan alu =
+        Floorplan::ev6Like(FloorplanVariant::AluConstrained);
+    const Floorplan reg =
+        Floorplan::ev6Like(FloorplanVariant::RegfileConstrained);
+
+    auto area = [](const Floorplan& fp, const char* name) {
+        return fp.block(fp.indexOf(name)).area();
+    };
+    EXPECT_LT(area(iq, "IntQ1"), area(base, "IntQ1"));
+    EXPECT_LT(area(alu, "IntExec0"), area(base, "IntExec0"));
+    EXPECT_LT(area(reg, "IntReg0"), area(base, "IntReg0"));
+    // Total area (and thus chip power) stays constant (§3.2).
+    EXPECT_NEAR(iq.totalArea(), base.totalArea(), 1e-12);
+    EXPECT_NEAR(alu.totalArea(), base.totalArea(), 1e-12);
+    EXPECT_NEAR(reg.totalArea(), base.totalArea(), 1e-12);
+}
+
+TEST(Floorplan, SharedEdgeGeometry)
+{
+    Floorplan fp;
+    fp.addBlock("a", 0, 0, 1e-3, 1e-3);
+    fp.addBlock("b", 1e-3, 0, 1e-3, 2e-3); // right neighbour
+    fp.addBlock("c", 0, 1e-3, 1e-3, 1e-3); // above a
+    fp.addBlock("d", 5e-3, 5e-3, 1e-3, 1e-3); // far away
+    EXPECT_NEAR(fp.sharedEdge(0, 1), 1e-3, 1e-12);
+    EXPECT_NEAR(fp.sharedEdge(0, 2), 1e-3, 1e-12);
+    EXPECT_EQ(fp.sharedEdge(0, 3), 0.0);
+    // b's left edge meets c's right edge over c's height.
+    EXPECT_NEAR(fp.sharedEdge(1, 2), 1e-3, 1e-12);
+}
+
+TEST(Floorplan, DuplicateNamesFatal)
+{
+    Floorplan fp;
+    fp.addBlock("x", 0, 0, 1e-3, 1e-3);
+    EXPECT_THROW(fp.addBlock("x", 1e-3, 0, 1e-3, 1e-3),
+                 FatalError);
+}
+
+TEST(Floorplan, OverlapDetected)
+{
+    Floorplan fp;
+    fp.addBlock("x", 0, 0, 2e-3, 2e-3);
+    fp.addBlock("y", 1e-3, 1e-3, 2e-3, 2e-3);
+    EXPECT_THROW(fp.validate(), FatalError);
+}
+
+TEST(Floorplan, UnknownBlockFatal)
+{
+    const Floorplan fp =
+        Floorplan::ev6Like(FloorplanVariant::Baseline);
+    EXPECT_THROW(fp.indexOf("L3"), FatalError);
+}
+
+} // namespace
+} // namespace tempest

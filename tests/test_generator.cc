@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit and property tests for the synthetic instruction stream.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/generator.hh"
+
+namespace tempest
+{
+namespace
+{
+
+TEST(Generator, Deterministic)
+{
+    InstructionStream a(spec2000("gcc"), 7);
+    InstructionStream b(spec2000("gcc"), 7);
+    for (int i = 0; i < 5000; ++i) {
+        const MicroOp x = a.next();
+        const MicroOp y = b.next();
+        ASSERT_EQ(x.seq, y.seq);
+        ASSERT_EQ(x.cls, y.cls);
+        ASSERT_EQ(x.src[0], y.src[0]);
+        ASSERT_EQ(x.src[1], y.src[1]);
+        ASSERT_EQ(x.lineAddr, y.lineAddr);
+        ASSERT_EQ(x.mispredicted, y.mispredicted);
+    }
+}
+
+TEST(Generator, RunSeedDecorrelates)
+{
+    InstructionStream a(spec2000("gcc"), 1);
+    InstructionStream b(spec2000("gcc"), 2);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += a.next().cls == b.next().cls;
+    EXPECT_LT(same, 600); // far from identical
+}
+
+TEST(Generator, SequenceNumbersMonotone)
+{
+    InstructionStream s(spec2000("eon"), 0);
+    std::uint64_t prev = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const MicroOp op = s.next();
+        EXPECT_EQ(op.seq, prev + 1);
+        prev = op.seq;
+    }
+}
+
+TEST(Generator, ProducersPrecedeConsumersAndWriteRegisters)
+{
+    InstructionStream s(spec2000("vortex"), 3);
+    std::map<std::uint64_t, bool> has_dest;
+    for (int i = 0; i < 20000; ++i) {
+        const MicroOp op = s.next();
+        for (int k = 0; k < op.numSrcs; ++k) {
+            if (op.src[k] == 0)
+                continue;
+            ASSERT_LT(op.src[k], op.seq);
+            auto it = has_dest.find(op.src[k]);
+            if (it != has_dest.end())
+                ASSERT_TRUE(it->second)
+                    << "dependence on a non-writing instruction";
+        }
+        has_dest[op.seq] = op.hasDest;
+    }
+}
+
+TEST(Generator, ClassShapes)
+{
+    InstructionStream s(spec2000("swim"), 4);
+    for (int i = 0; i < 20000; ++i) {
+        const MicroOp op = s.next();
+        switch (op.cls) {
+          case OpClass::Load:
+            EXPECT_EQ(op.numSrcs, 1);
+            EXPECT_TRUE(op.hasDest);
+            EXPECT_NE(op.lineAddr, 0u);
+            break;
+          case OpClass::Store:
+            EXPECT_EQ(op.numSrcs, 2);
+            EXPECT_FALSE(op.hasDest);
+            break;
+          case OpClass::Branch:
+            EXPECT_EQ(op.numSrcs, 1);
+            EXPECT_FALSE(op.hasDest);
+            break;
+          default:
+            EXPECT_TRUE(op.hasDest);
+            EXPECT_LE(op.numSrcs, 2);
+            break;
+        }
+    }
+}
+
+TEST(Generator, MixMatchesProfile)
+{
+    const BenchmarkProfile& p = spec2000("gzip");
+    InstructionStream s(p, 5);
+    const int n = 200000;
+    int counts[static_cast<int>(OpClass::NumOpClasses)] = {};
+    for (int i = 0; i < n; ++i)
+        ++counts[static_cast<int>(s.next().cls)];
+    for (int c = 0; c < static_cast<int>(OpClass::NumOpClasses);
+         ++c) {
+        EXPECT_NEAR(counts[c] / double(n), p.mix[c], 0.01)
+            << opClassName(static_cast<OpClass>(c));
+    }
+}
+
+TEST(Generator, MispredictRateMatchesProfile)
+{
+    const BenchmarkProfile& p = spec2000("parser");
+    InstructionStream s(p, 6);
+    int branches = 0, mispredicts = 0;
+    for (int i = 0; i < 400000; ++i) {
+        const MicroOp op = s.next();
+        if (op.cls == OpClass::Branch) {
+            ++branches;
+            mispredicts += op.mispredicted;
+        }
+    }
+    ASSERT_GT(branches, 1000);
+    EXPECT_NEAR(mispredicts / double(branches),
+                p.branchMispredictRate, 0.01);
+}
+
+TEST(Generator, AddressPoolsMatchMissFractions)
+{
+    // Pool membership is observable from the address ranges.
+    const BenchmarkProfile& p = spec2000("art");
+    InstructionStream s(p, 8);
+    int mem_ops = 0, hot = 0, warm = 0, cold = 0;
+    for (int i = 0; i < 400000; ++i) {
+        const MicroOp op = s.next();
+        if (!isMemClass(op.cls))
+            continue;
+        ++mem_ops;
+        if (op.lineAddr >= 0x4000'0000ULL)
+            ++cold;
+        else if (op.lineAddr >= 0x0100'0000ULL)
+            ++warm;
+        else
+            ++hot;
+    }
+    ASSERT_GT(mem_ops, 10000);
+    EXPECT_NEAR(cold / double(mem_ops), p.loadMemFrac, 0.02);
+    EXPECT_NEAR(warm / double(mem_ops), p.loadL2Frac, 0.02);
+    EXPECT_GT(hot, 0);
+}
+
+TEST(Generator, SteadyProfileNeverBursts)
+{
+    InstructionStream s(spec2000("eon"), 9); // burstiness 0
+    for (int i = 0; i < 50000; ++i)
+        s.next();
+    EXPECT_EQ(s.burstCount(), 0u);
+    EXPECT_FALSE(s.inBurst());
+}
+
+TEST(Generator, BurstyProfileAlternatesPhases)
+{
+    BenchmarkProfile p = spec2000("facerec");
+    p.phaseLenInsts = 5000.0; // shorten phases for the test
+    InstructionStream s(p, 10);
+    for (int i = 0; i < 200000; ++i)
+        s.next();
+    EXPECT_GE(s.burstCount(), 3u);
+}
+
+TEST(Generator, GeneratedCounterTracksCalls)
+{
+    InstructionStream s(spec2000("mcf"), 11);
+    for (int i = 0; i < 123; ++i)
+        s.next();
+    EXPECT_EQ(s.generated(), 123u);
+}
+
+} // namespace
+} // namespace tempest

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit tests for the benchmark profile table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/log.hh"
+#include "workload/profile.hh"
+
+namespace tempest
+{
+namespace
+{
+
+TEST(Profile, TwentyTwoBenchmarks)
+{
+    EXPECT_EQ(spec2000Names().size(), 22u);
+}
+
+TEST(Profile, NamesMatchPaperSuite)
+{
+    // The 22 SPEC CPU2000 benchmarks the paper simulates.
+    for (const char* name :
+         {"applu", "apsi", "art", "bzip", "crafty", "eon",
+          "facerec", "fma3d", "gcc", "gzip", "lucas", "mcf",
+          "mesa", "mgrid", "parser", "perlbmk", "sixtrack",
+          "swim", "twolf", "vortex", "vpr", "wupwise"}) {
+        EXPECT_NO_THROW(spec2000(name)) << name;
+    }
+}
+
+TEST(Profile, UnknownNameIsFatal)
+{
+    EXPECT_THROW(spec2000("quake"), FatalError);
+}
+
+class AllProfiles : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(AllProfiles, MixSumsToOne)
+{
+    const BenchmarkProfile& p = spec2000(GetParam());
+    double sum = 0;
+    for (double f : p.mix)
+        sum += f;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST_P(AllProfiles, RatesInRange)
+{
+    const BenchmarkProfile& p = spec2000(GetParam());
+    EXPECT_GE(p.branchMispredictRate, 0.0);
+    EXPECT_LE(p.branchMispredictRate, 0.2);
+    EXPECT_GE(p.loadL2Frac, 0.0);
+    EXPECT_GE(p.loadMemFrac, 0.0);
+    EXPECT_LE(p.loadL2Frac + p.loadMemFrac, 1.0);
+    EXPECT_GE(p.meanDepDist, 1.0);
+    EXPECT_GE(p.nearDepFrac, 0.0);
+    EXPECT_LE(p.nearDepFrac, 1.0);
+    EXPECT_GE(p.burstiness, 0.0);
+    EXPECT_LT(p.burstiness, 1.0);
+}
+
+TEST_P(AllProfiles, ValidatePasses)
+{
+    EXPECT_NO_THROW(spec2000(GetParam()).validate());
+}
+
+TEST_P(AllProfiles, UniqueSeeds)
+{
+    const BenchmarkProfile& p = spec2000(GetParam());
+    for (const auto& other : spec2000Names()) {
+        if (other != GetParam())
+            EXPECT_NE(p.seed, spec2000(other).seed);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Spec2000, AllProfiles,
+    ::testing::ValuesIn(spec2000Names()),
+    [](const auto& info) { return info.param; });
+
+TEST(Profile, MemoryBoundClassHasHighMissRates)
+{
+    // art and mcf are the paper's memory-bound, never-overheating
+    // benchmarks; their memory-miss fraction must dominate the
+    // suite.
+    for (const char* cold : {"art", "mcf"}) {
+        EXPECT_GE(spec2000(cold).loadMemFrac, 0.1) << cold;
+    }
+    for (const char* hot : {"eon", "perlbmk", "mesa"}) {
+        EXPECT_LE(spec2000(hot).loadMemFrac, 0.01) << hot;
+    }
+}
+
+TEST(Profile, HighIlpClassHasLongDependences)
+{
+    EXPECT_GT(spec2000("eon").meanDepDist,
+              spec2000("mcf").meanDepDist);
+    EXPECT_GT(spec2000("perlbmk").meanDepDist,
+              spec2000("parser").meanDepDist);
+}
+
+TEST(Profile, FacerecIsBursty)
+{
+    // §4.1: facerec has high-IPC bursts that overheat regardless
+    // of balancing.
+    EXPECT_GE(spec2000("facerec").burstiness, 0.4);
+    EXPECT_GE(spec2000("facerec").burstIlpScale, 2.0);
+}
+
+TEST(Profile, FpSuiteUsesFp)
+{
+    for (const char* fp :
+         {"applu", "swim", "mesa", "wupwise", "art"}) {
+        EXPECT_TRUE(spec2000(fp).usesFp()) << fp;
+    }
+    for (const char* intb : {"gcc", "eon", "perlbmk", "bzip"}) {
+        EXPECT_FALSE(spec2000(intb).usesFp()) << intb;
+    }
+}
+
+TEST(Profile, ValidateCatchesBadMix)
+{
+    BenchmarkProfile p = spec2000("eon");
+    p.mix[0] += 0.5;
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(Profile, ValidateCatchesBadRates)
+{
+    BenchmarkProfile p = spec2000("eon");
+    p.loadL2Frac = 0.9;
+    p.loadMemFrac = 0.5;
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(Profile, SyntheticPeakSaturates)
+{
+    const BenchmarkProfile& p = syntheticIntPeak();
+    EXPECT_GT(p.fracOf(OpClass::IntAlu), 0.9);
+    EXPECT_GE(p.meanDepDist, 32.0);
+    EXPECT_NO_THROW(p.validate());
+    EXPECT_NO_THROW(syntheticFpPeak().validate());
+    EXPECT_NO_THROW(syntheticIdle().validate());
+}
+
+} // namespace
+} // namespace tempest

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Unit tests for the temperature sensor bank.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "thermal/sensor.hh"
+
+namespace tempest
+{
+namespace
+{
+
+Floorplan
+plan()
+{
+    Floorplan fp;
+    fp.addBlock("a", 0, 0, 1e-3, 1e-3);
+    fp.addBlock("b", 1e-3, 0, 1e-3, 1e-3);
+    return fp;
+}
+
+TEST(Sensor, IdealSensorsReadExactly)
+{
+    ThermalParams params;
+    RcModel rc(plan(), params);
+    rc.setTemperature(0, 351.25);
+    rc.setTemperature(1, 349.5);
+    SensorBank sensors(rc);
+    EXPECT_DOUBLE_EQ(sensors.read(0), 351.25);
+    EXPECT_DOUBLE_EQ(sensors.read(1), 349.5);
+    EXPECT_EQ(sensors.numSensors(), 2);
+}
+
+TEST(Sensor, ReadAllMatchesIndividualReads)
+{
+    ThermalParams params;
+    RcModel rc(plan(), params);
+    rc.setTemperature(0, 340.0);
+    rc.setTemperature(1, 345.0);
+    SensorBank sensors(rc);
+    const auto all = sensors.readAll();
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_DOUBLE_EQ(all[0], 340.0);
+    EXPECT_DOUBLE_EQ(all[1], 345.0);
+}
+
+TEST(Sensor, QuantizationRoundsToGrid)
+{
+    ThermalParams params;
+    RcModel rc(plan(), params);
+    rc.setTemperature(0, 351.37);
+    SensorBank sensors(rc, /*quantum=*/0.25);
+    const Kelvin t = sensors.read(0);
+    EXPECT_NEAR(std::fmod(t, 0.25), 0.0, 1e-9);
+    EXPECT_NEAR(t, 351.37, 0.125 + 1e-9);
+}
+
+TEST(Sensor, NoiseHasRequestedSpread)
+{
+    ThermalParams params;
+    RcModel rc(plan(), params);
+    rc.setTemperature(0, 350.0);
+    SensorBank sensors(rc, 0.0, /*noise_sigma=*/0.5, 99);
+    double sum = 0, sq = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double t = sensors.read(0);
+        sum += t;
+        sq += (t - 350.0) * (t - 350.0);
+    }
+    EXPECT_NEAR(sum / n, 350.0, 0.02);
+    EXPECT_NEAR(std::sqrt(sq / n), 0.5, 0.03);
+}
+
+TEST(Sensor, NoiseIsDeterministicPerSeed)
+{
+    ThermalParams params;
+    RcModel rc(plan(), params);
+    rc.setTemperature(0, 350.0);
+    SensorBank a(rc, 0.0, 0.3, 7);
+    SensorBank b(rc, 0.0, 0.3, 7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.read(0), b.read(0));
+}
+
+} // namespace
+} // namespace tempest

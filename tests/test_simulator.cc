@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the closed-loop simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+
+#include "sim/experiment.hh"
+#include "sim/simulator.hh"
+
+namespace tempest
+{
+namespace
+{
+
+using namespace experiments;
+
+SimConfig
+quickConfig(FloorplanVariant variant)
+{
+    SimConfig cfg = baseConfig(variant, 0.04);
+    return cfg;
+}
+
+TEST(Simulator, RunsRequestedCycles)
+{
+    Simulator sim(quickConfig(FloorplanVariant::Baseline),
+                  spec2000("parser"));
+    const SimResult r = sim.run(500000);
+    EXPECT_GE(r.cycles, 500000u);
+    EXPECT_GT(r.instructions, 0u);
+    EXPECT_GT(r.ipc, 0.0);
+}
+
+TEST(Simulator, Deterministic)
+{
+    const SimConfig cfg = quickConfig(FloorplanVariant::Baseline);
+    Simulator a(cfg, spec2000("gzip"));
+    Simulator b(cfg, spec2000("gzip"));
+    const SimResult ra = a.run(600000);
+    const SimResult rb = b.run(600000);
+    EXPECT_EQ(ra.instructions, rb.instructions);
+    EXPECT_EQ(ra.dtm.globalStalls, rb.dtm.globalStalls);
+    EXPECT_DOUBLE_EQ(ra.block("IntQ1").avg,
+                     rb.block("IntQ1").avg);
+}
+
+TEST(Simulator, BlockStatsCoverFloorplan)
+{
+    Simulator sim(quickConfig(FloorplanVariant::IqConstrained),
+                  spec2000("parser"));
+    const SimResult r = sim.run(400000);
+    EXPECT_EQ(r.blocks.size(), 26u);
+    for (const auto& b : r.blocks) {
+        EXPECT_GT(b.avg, 300.0) << b.name;
+        EXPECT_LT(b.avg, 400.0) << b.name;
+        EXPECT_GE(b.max + 1e-9, b.avg) << b.name;
+    }
+    EXPECT_THROW(r.block("nope"), FatalError);
+}
+
+TEST(Simulator, WarmStartBeginsNearEquilibrium)
+{
+    SimConfig cfg = quickConfig(FloorplanVariant::Baseline);
+    Simulator sim(cfg, spec2000("gzip"));
+    const SimResult r = sim.run(300000);
+    // Warmed temperatures are well above ambient from the first
+    // samples, so the average is too.
+    EXPECT_GT(r.block("IntQ1").avg, cfg.thermal.ambient + 5.0);
+}
+
+TEST(Simulator, ColdStartBeginsAtAmbient)
+{
+    SimConfig cfg = quickConfig(FloorplanVariant::Baseline);
+    cfg.warmStart = false;
+    Simulator sim(cfg, spec2000("gzip"));
+    sim.run(100000);
+    // After only a few samples the blocks are still far below the
+    // warm-start equilibrium.
+    SimConfig warm = quickConfig(FloorplanVariant::Baseline);
+    Simulator wsim(warm, spec2000("gzip"));
+    wsim.run(100000);
+    EXPECT_LT(sim.thermalModel().temperature(0) + 3.0,
+              wsim.thermalModel().temperature(0));
+}
+
+TEST(Simulator, HotBenchmarkStallsInConstrainedFloorplan)
+{
+    Simulator sim(iqBase(0.04), spec2000("eon"));
+    const SimResult r = sim.run(8000000);
+    EXPECT_GT(r.dtm.globalStalls, 0u);
+    EXPECT_GT(r.stallCycles, 0u);
+    // The queue's tail half is the hottest backend block.
+    EXPECT_GE(r.block("IntQ1").max, 357.9);
+}
+
+TEST(Simulator, CoolBenchmarkNeverStalls)
+{
+    Simulator sim(iqBase(0.04), spec2000("art"));
+    const SimResult r = sim.run(4000000);
+    EXPECT_EQ(r.dtm.globalStalls, 0u);
+    EXPECT_EQ(r.stallCycles, 0u);
+    EXPECT_LT(r.block("IntQ1").max, 350.0);
+}
+
+TEST(Simulator, StallsRespectCoolingTime)
+{
+    SimConfig cfg = iqBase(0.04);
+    Simulator sim(cfg, spec2000("eon"));
+    const SimResult r = sim.run(10000000);
+    if (r.dtm.globalStalls > 0) {
+        const auto cooling_cycles = static_cast<std::uint64_t>(
+            cfg.dtm.coolingTime * cfg.thermal.timeScale *
+            cfg.pipeline.frequencyHz);
+        EXPECT_GE(r.stallCycles,
+                  r.dtm.globalStalls * (cooling_cycles -
+                                        cfg.sampleIntervalCycles));
+    }
+}
+
+TEST(Experiments, ConfigsSelectTechniques)
+{
+    EXPECT_FALSE(iqBase().dtm.iqToggling);
+    EXPECT_TRUE(iqToggling().dtm.iqToggling);
+    EXPECT_TRUE(aluFineGrain().dtm.aluTurnoff);
+    EXPECT_FALSE(aluFineGrain().dtm.roundRobin);
+    EXPECT_TRUE(aluRoundRobin().dtm.roundRobin);
+    const SimConfig rf =
+        regfileConfig(PortMapping::Balanced, true);
+    EXPECT_TRUE(rf.dtm.regfileTurnoff);
+    EXPECT_EQ(rf.dtm.mapping, PortMapping::Balanced);
+    EXPECT_EQ(rf.variant, FloorplanVariant::RegfileConstrained);
+}
+
+TEST(Experiments, SpeedupHelpers)
+{
+    SimResult a, b;
+    a.ipc = 1.0;
+    b.ipc = 1.25;
+    EXPECT_NEAR(speedupPercent(a, b), 25.0, 1e-9);
+    std::vector<SimResult> base{a, a};
+    std::vector<SimResult> better{b, b};
+    EXPECT_NEAR(meanSpeedupPercent(base, better), 25.0, 1e-9);
+    a.ipc = 0.0;
+    EXPECT_THROW(speedupPercent(a, b), FatalError);
+}
+
+TEST(Experiments, RenderTableAligns)
+{
+    const std::string t = renderTable(
+        {{"bench", "ipc"}, {"eon", "2.20"}, {"mcf", "0.2"}});
+    EXPECT_NE(t.find("bench  ipc"), std::string::npos);
+    EXPECT_NE(t.find("eon    2.20"), std::string::npos);
+}
+
+} // namespace
+} // namespace tempest

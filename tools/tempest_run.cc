@@ -1,0 +1,181 @@
+/**
+ * @file
+ * tempest_run: configuration-file-driven simulation driver.
+ *
+ * Usage:
+ *   tempest_run <config.ini> [key=value ...]
+ *
+ * Any "key = value" override on the command line wins over the
+ * file. See configs/ for annotated examples. Recognized keys:
+ *
+ *   [run]      benchmark, cycles, seed, trace_csv, trace_stride
+ *   [floorplan] variant = baseline|iq|alu|regfile
+ *   [dtm]      toggling, alu_turnoff, regfile_turnoff,
+ *              round_robin, fetch_throttling,
+ *              mapping = priority|balanced|completely-balanced,
+ *              max_temperature, toggle_delta, cooling_time
+ *   [thermal]  time_scale, ambient, convection
+ *   [sim]      sample_interval, warm_start
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/config.hh"
+#include "common/log.hh"
+#include "sim/simulator.hh"
+
+namespace
+{
+
+using namespace tempest;
+
+FloorplanVariant
+parseVariant(const std::string& name)
+{
+    if (name == "baseline")
+        return FloorplanVariant::Baseline;
+    if (name == "iq")
+        return FloorplanVariant::IqConstrained;
+    if (name == "alu")
+        return FloorplanVariant::AluConstrained;
+    if (name == "regfile")
+        return FloorplanVariant::RegfileConstrained;
+    fatal("unknown floorplan variant '", name,
+          "' (baseline|iq|alu|regfile)");
+}
+
+PortMapping
+parseMapping(const std::string& name)
+{
+    if (name == "priority")
+        return PortMapping::Priority;
+    if (name == "balanced")
+        return PortMapping::Balanced;
+    if (name == "completely-balanced")
+        return PortMapping::CompletelyBalanced;
+    fatal("unknown mapping '", name, "'");
+}
+
+SimConfig
+buildSimConfig(const Config& cfg)
+{
+    SimConfig sim;
+    sim.variant = parseVariant(
+        cfg.getString("floorplan.variant", "iq"));
+    sim.thermal.timeScale =
+        cfg.getDouble("thermal.time_scale", 0.04);
+    sim.thermal.ambient =
+        cfg.getDouble("thermal.ambient", sim.thermal.ambient);
+    sim.thermal.rConvection = cfg.getDouble(
+        "thermal.convection", sim.thermal.rConvection);
+    sim.sampleIntervalCycles = static_cast<std::uint64_t>(
+        cfg.getInt("sim.sample_interval", 50000));
+    sim.warmStart = cfg.getBool("sim.warm_start", true);
+    sim.runSeed =
+        static_cast<std::uint64_t>(cfg.getInt("run.seed", 1));
+
+    DtmConfig& dtm = sim.dtm;
+    dtm.maxTemperature = cfg.getDouble("dtm.max_temperature",
+                                       sim.thermal.maxTemperature);
+    dtm.iqToggling = cfg.getBool("dtm.toggling", false);
+    dtm.toggleDeltaK =
+        cfg.getDouble("dtm.toggle_delta", dtm.toggleDeltaK);
+    dtm.aluTurnoff = cfg.getBool("dtm.alu_turnoff", false);
+    dtm.regfileTurnoff =
+        cfg.getBool("dtm.regfile_turnoff", false);
+    dtm.roundRobin = cfg.getBool("dtm.round_robin", false);
+    dtm.fetchThrottling =
+        cfg.getBool("dtm.fetch_throttling", false);
+    dtm.coolingTime =
+        cfg.getDouble("dtm.cooling_time", dtm.coolingTime);
+    dtm.mapping = parseMapping(
+        cfg.getString("dtm.mapping", "priority"));
+    return sim;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: tempest_run <config.ini> "
+                     "[key=value ...]\n");
+        return 2;
+    }
+
+    try {
+        Config cfg;
+        {
+            std::ifstream in(argv[1]);
+            if (!in)
+                fatal("cannot open config '", argv[1], "'");
+            std::stringstream ss;
+            ss << in.rdbuf();
+            cfg.parseText(ss.str());
+        }
+        for (int i = 2; i < argc; ++i)
+            cfg.parseText(argv[i]);
+
+        const std::string bench =
+            cfg.getString("run.benchmark", "eon");
+        const std::uint64_t cycles = static_cast<std::uint64_t>(
+            cfg.getInt("run.cycles", 12'000'000));
+
+        Simulator sim(buildSimConfig(cfg), spec2000(bench));
+
+        ThermalTrace trace(
+            sim.floorplan(),
+            static_cast<int>(cfg.getInt("run.trace_stride", 1)));
+        const std::string trace_path =
+            cfg.getString("run.trace_csv", "");
+        if (!trace_path.empty())
+            sim.setTrace(&trace);
+
+        const SimResult r = sim.run(cycles);
+
+        std::printf("benchmark    %s\n", r.benchmark.c_str());
+        std::printf("cycles       %llu\n",
+                    static_cast<unsigned long long>(r.cycles));
+        std::printf("instructions %llu\n",
+                    static_cast<unsigned long long>(
+                        r.instructions));
+        std::printf("ipc          %.3f\n", r.ipc);
+        std::printf("stall_cycles %llu (%.1f%%)\n",
+                    static_cast<unsigned long long>(
+                        r.stallCycles),
+                    100.0 * r.stallCycles / r.cycles);
+        std::printf("stalls       %llu\n",
+                    static_cast<unsigned long long>(
+                        r.dtm.globalStalls));
+        std::printf("toggles      %llu\n",
+                    static_cast<unsigned long long>(
+                        r.dtm.iqToggles));
+        std::printf("turnoffs     %llu alu, %llu fp, %llu "
+                    "regfile, %llu fetch-throttle\n",
+                    static_cast<unsigned long long>(
+                        r.dtm.aluTurnoffEvents),
+                    static_cast<unsigned long long>(
+                        r.dtm.fpAdderTurnoffEvents),
+                    static_cast<unsigned long long>(
+                        r.dtm.regfileTurnoffEvents),
+                    static_cast<unsigned long long>(
+                        r.dtm.fetchThrottleEvents));
+        for (const BlockTempStats& b : r.blocks) {
+            std::printf("block %-10s avg %7.2f K   max %7.2f K\n",
+                        b.name.c_str(), b.avg, b.max);
+        }
+        if (!trace_path.empty()) {
+            trace.writeCsv(trace_path);
+            std::printf("trace        %zu samples -> %s\n",
+                        trace.size(), trace_path.c_str());
+        }
+    } catch (const tempest::FatalError&) {
+        return 1;
+    }
+    return 0;
+}
