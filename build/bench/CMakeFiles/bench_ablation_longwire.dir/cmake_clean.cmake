@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_longwire.dir/bench_ablation_longwire.cc.o"
+  "CMakeFiles/bench_ablation_longwire.dir/bench_ablation_longwire.cc.o.d"
+  "bench_ablation_longwire"
+  "bench_ablation_longwire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_longwire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_iq_ipc.dir/bench_fig6_iq_ipc.cc.o"
+  "CMakeFiles/bench_fig6_iq_ipc.dir/bench_fig6_iq_ipc.cc.o.d"
+  "bench_fig6_iq_ipc"
+  "bench_fig6_iq_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_iq_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_thermal.dir/bench_micro_thermal.cc.o"
+  "CMakeFiles/bench_micro_thermal.dir/bench_micro_thermal.cc.o.d"
+  "bench_micro_thermal"
+  "bench_micro_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

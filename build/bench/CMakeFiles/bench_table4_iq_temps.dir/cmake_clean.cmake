@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_iq_temps.dir/bench_table4_iq_temps.cc.o"
+  "CMakeFiles/bench_table4_iq_temps.dir/bench_table4_iq_temps.cc.o.d"
+  "bench_table4_iq_temps"
+  "bench_table4_iq_temps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_iq_temps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

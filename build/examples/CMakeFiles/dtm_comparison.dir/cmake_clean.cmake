@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtm_comparison.dir/dtm_comparison.cc.o"
+  "CMakeFiles/dtm_comparison.dir/dtm_comparison.cc.o.d"
+  "dtm_comparison"
+  "dtm_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtm_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempest_common.dir/config.cc.o"
+  "CMakeFiles/tempest_common.dir/config.cc.o.d"
+  "CMakeFiles/tempest_common.dir/log.cc.o"
+  "CMakeFiles/tempest_common.dir/log.cc.o.d"
+  "CMakeFiles/tempest_common.dir/rng.cc.o"
+  "CMakeFiles/tempest_common.dir/rng.cc.o.d"
+  "CMakeFiles/tempest_common.dir/stats.cc.o"
+  "CMakeFiles/tempest_common.dir/stats.cc.o.d"
+  "libtempest_common.a"
+  "libtempest_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempest_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

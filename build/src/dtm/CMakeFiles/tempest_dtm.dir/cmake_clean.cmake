@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempest_dtm.dir/dtm_policy.cc.o"
+  "CMakeFiles/tempest_dtm.dir/dtm_policy.cc.o.d"
+  "libtempest_dtm.a"
+  "libtempest_dtm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempest_dtm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

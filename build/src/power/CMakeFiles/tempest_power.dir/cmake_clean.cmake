@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempest_power.dir/power_model.cc.o"
+  "CMakeFiles/tempest_power.dir/power_model.cc.o.d"
+  "libtempest_power.a"
+  "libtempest_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempest_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

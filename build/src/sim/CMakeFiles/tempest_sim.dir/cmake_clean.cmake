@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempest_sim.dir/experiment.cc.o"
+  "CMakeFiles/tempest_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/tempest_sim.dir/simulator.cc.o"
+  "CMakeFiles/tempest_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/tempest_sim.dir/trace.cc.o"
+  "CMakeFiles/tempest_sim.dir/trace.cc.o.d"
+  "libtempest_sim.a"
+  "libtempest_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempest_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/thermal/floorplan.cc" "src/thermal/CMakeFiles/tempest_thermal.dir/floorplan.cc.o" "gcc" "src/thermal/CMakeFiles/tempest_thermal.dir/floorplan.cc.o.d"
+  "/root/repo/src/thermal/rc_model.cc" "src/thermal/CMakeFiles/tempest_thermal.dir/rc_model.cc.o" "gcc" "src/thermal/CMakeFiles/tempest_thermal.dir/rc_model.cc.o.d"
+  "/root/repo/src/thermal/sensor.cc" "src/thermal/CMakeFiles/tempest_thermal.dir/sensor.cc.o" "gcc" "src/thermal/CMakeFiles/tempest_thermal.dir/sensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tempest_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempest_thermal.dir/floorplan.cc.o"
+  "CMakeFiles/tempest_thermal.dir/floorplan.cc.o.d"
+  "CMakeFiles/tempest_thermal.dir/rc_model.cc.o"
+  "CMakeFiles/tempest_thermal.dir/rc_model.cc.o.d"
+  "CMakeFiles/tempest_thermal.dir/sensor.cc.o"
+  "CMakeFiles/tempest_thermal.dir/sensor.cc.o.d"
+  "libtempest_thermal.a"
+  "libtempest_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempest_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/activity.cc" "src/uarch/CMakeFiles/tempest_uarch.dir/activity.cc.o" "gcc" "src/uarch/CMakeFiles/tempest_uarch.dir/activity.cc.o.d"
+  "/root/repo/src/uarch/alu.cc" "src/uarch/CMakeFiles/tempest_uarch.dir/alu.cc.o" "gcc" "src/uarch/CMakeFiles/tempest_uarch.dir/alu.cc.o.d"
+  "/root/repo/src/uarch/bpred.cc" "src/uarch/CMakeFiles/tempest_uarch.dir/bpred.cc.o" "gcc" "src/uarch/CMakeFiles/tempest_uarch.dir/bpred.cc.o.d"
+  "/root/repo/src/uarch/cache.cc" "src/uarch/CMakeFiles/tempest_uarch.dir/cache.cc.o" "gcc" "src/uarch/CMakeFiles/tempest_uarch.dir/cache.cc.o.d"
+  "/root/repo/src/uarch/core.cc" "src/uarch/CMakeFiles/tempest_uarch.dir/core.cc.o" "gcc" "src/uarch/CMakeFiles/tempest_uarch.dir/core.cc.o.d"
+  "/root/repo/src/uarch/issue_queue.cc" "src/uarch/CMakeFiles/tempest_uarch.dir/issue_queue.cc.o" "gcc" "src/uarch/CMakeFiles/tempest_uarch.dir/issue_queue.cc.o.d"
+  "/root/repo/src/uarch/regfile.cc" "src/uarch/CMakeFiles/tempest_uarch.dir/regfile.cc.o" "gcc" "src/uarch/CMakeFiles/tempest_uarch.dir/regfile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tempest_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tempest_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempest_uarch.dir/activity.cc.o"
+  "CMakeFiles/tempest_uarch.dir/activity.cc.o.d"
+  "CMakeFiles/tempest_uarch.dir/alu.cc.o"
+  "CMakeFiles/tempest_uarch.dir/alu.cc.o.d"
+  "CMakeFiles/tempest_uarch.dir/bpred.cc.o"
+  "CMakeFiles/tempest_uarch.dir/bpred.cc.o.d"
+  "CMakeFiles/tempest_uarch.dir/cache.cc.o"
+  "CMakeFiles/tempest_uarch.dir/cache.cc.o.d"
+  "CMakeFiles/tempest_uarch.dir/core.cc.o"
+  "CMakeFiles/tempest_uarch.dir/core.cc.o.d"
+  "CMakeFiles/tempest_uarch.dir/issue_queue.cc.o"
+  "CMakeFiles/tempest_uarch.dir/issue_queue.cc.o.d"
+  "CMakeFiles/tempest_uarch.dir/regfile.cc.o"
+  "CMakeFiles/tempest_uarch.dir/regfile.cc.o.d"
+  "libtempest_uarch.a"
+  "libtempest_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempest_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

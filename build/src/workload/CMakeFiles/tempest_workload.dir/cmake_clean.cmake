@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempest_workload.dir/generator.cc.o"
+  "CMakeFiles/tempest_workload.dir/generator.cc.o.d"
+  "CMakeFiles/tempest_workload.dir/profile.cc.o"
+  "CMakeFiles/tempest_workload.dir/profile.cc.o.d"
+  "libtempest_workload.a"
+  "libtempest_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempest_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

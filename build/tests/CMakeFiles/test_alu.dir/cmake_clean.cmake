@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alu.dir/test_alu.cc.o"
+  "CMakeFiles/test_alu.dir/test_alu.cc.o.d"
+  "test_alu"
+  "test_alu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempest_run.dir/tempest_run.cc.o"
+  "CMakeFiles/tempest_run.dir/tempest_run.cc.o.d"
+  "tempest_run"
+  "tempest_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempest_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
