@@ -17,25 +17,47 @@ using namespace tempest::experiments;
 const double kLongWire[] = {0.0123e-9, 0.015e-9, 0.03e-9,
                             0.0687e-9};
 
+benchutil::ResultTable g_results;
+
 std::uint64_t
 cycles()
 {
     return benchutil::runCycles();
 }
 
+SimConfig
+baseFor(std::size_t i)
+{
+    SimConfig config = iqBase();
+    config.energy.iqLongCompaction = kLongWire[i];
+    return config;
+}
+
+SimConfig
+togglingFor(std::size_t i)
+{
+    SimConfig config = iqToggling();
+    config.energy.iqLongCompaction = kLongWire[i];
+    return config;
+}
+
+std::string
+tagFor(const char* name, std::size_t i)
+{
+    return name + std::string("#") + std::to_string(i);
+}
+
 void
 BM_LongWire(benchmark::State& state)
 {
-    const double energy =
-        kLongWire[static_cast<std::size_t>(state.range(0))];
-    SimConfig base = iqBase();
-    base.energy.iqLongCompaction = energy;
-    SimConfig tog = iqToggling();
-    tog.energy.iqLongCompaction = energy;
+    const auto i = static_cast<std::size_t>(state.range(0));
     for (auto _ : state) {
-        const SimResult rb = runBenchmark(base, "eon", cycles());
-        const SimResult rt = runBenchmark(tog, "eon", cycles());
-        state.counters["long_nJ"] = energy * 1e9;
+        const SimResult& rb = g_results.run(
+            tagFor("base", i), baseFor(i), "eon", cycles());
+        const SimResult& rt = g_results.run(
+            tagFor("toggling", i), togglingFor(i), "eon",
+            cycles());
+        state.counters["long_nJ"] = kLongWire[i] * 1e9;
         state.counters["base_ipc"] = rb.ipc;
         state.counters["tog_ipc"] = rt.ipc;
         state.counters["speedup_pct"] =
@@ -49,6 +71,16 @@ int
 main(int argc, char** argv)
 {
     tempest::setQuiet(true);
+    {
+        std::vector<std::pair<std::string, SimConfig>> configs;
+        for (std::size_t i = 0; i < std::size(kLongWire); ++i) {
+            configs.emplace_back(tagFor("base", i), baseFor(i));
+            configs.emplace_back(tagFor("toggling", i),
+                                 togglingFor(i));
+        }
+        benchutil::prefetch(g_results, configs, {"eon"},
+                            cycles());
+    }
     for (std::size_t i = 0; i < std::size(kLongWire); ++i) {
         benchmark::RegisterBenchmark("LongWire", BM_LongWire)
             ->Arg(static_cast<long>(i))

@@ -17,24 +17,47 @@ const std::uint64_t kIntervals[] = {12500, 25000, 50000, 100000,
                                     200000};
 const double kHysteresis[] = {0.5, 1.5, 3.0, 6.0};
 
+benchutil::ResultTable g_results;
+
 std::uint64_t
 cycles()
 {
     return benchutil::runCycles();
 }
 
+SimConfig
+intervalConfig(std::size_t i)
+{
+    SimConfig config = aluFineGrain();
+    config.sampleIntervalCycles = kIntervals[i];
+    return config;
+}
+
+SimConfig
+hysteresisConfig(std::size_t i)
+{
+    SimConfig config = aluFineGrain();
+    config.dtm.reenableHysteresisK = kHysteresis[i];
+    return config;
+}
+
+std::string
+tagFor(const char* name, std::size_t i)
+{
+    return name + std::string("#") + std::to_string(i);
+}
+
 void
 BM_SampleInterval(benchmark::State& state)
 {
-    SimConfig config = aluFineGrain();
-    config.sampleIntervalCycles =
-        kIntervals[static_cast<std::size_t>(state.range(0))];
+    const auto i = static_cast<std::size_t>(state.range(0));
     for (auto _ : state) {
-        const SimResult r =
-            runBenchmark(config, "perlbmk", cycles());
+        const SimResult& r =
+            g_results.run(tagFor("interval", i),
+                          intervalConfig(i), "perlbmk", cycles());
         benchutil::setCounters(state, r);
-        state.counters["interval"] = static_cast<double>(
-            config.sampleIntervalCycles);
+        state.counters["interval"] =
+            static_cast<double>(kIntervals[i]);
         state.counters["max_alu0_K"] =
             r.block("IntExec0").max;
     }
@@ -43,15 +66,13 @@ BM_SampleInterval(benchmark::State& state)
 void
 BM_Hysteresis(benchmark::State& state)
 {
-    SimConfig config = aluFineGrain();
-    config.dtm.reenableHysteresisK =
-        kHysteresis[static_cast<std::size_t>(state.range(0))];
+    const auto i = static_cast<std::size_t>(state.range(0));
     for (auto _ : state) {
-        const SimResult r =
-            runBenchmark(config, "perlbmk", cycles());
+        const SimResult& r = g_results.run(
+            tagFor("hysteresis", i), hysteresisConfig(i),
+            "perlbmk", cycles());
         benchutil::setCounters(state, r);
-        state.counters["hysteresis_K"] =
-            config.dtm.reenableHysteresisK;
+        state.counters["hysteresis_K"] = kHysteresis[i];
         state.counters["turnoffs"] =
             static_cast<double>(r.dtm.aluTurnoffEvents);
     }
@@ -63,6 +84,20 @@ int
 main(int argc, char** argv)
 {
     tempest::setQuiet(true);
+    {
+        std::vector<std::pair<std::string, SimConfig>> configs;
+        for (std::size_t i = 0; i < std::size(kIntervals); ++i) {
+            configs.emplace_back(tagFor("interval", i),
+                                 intervalConfig(i));
+        }
+        for (std::size_t i = 0; i < std::size(kHysteresis);
+             ++i) {
+            configs.emplace_back(tagFor("hysteresis", i),
+                                 hysteresisConfig(i));
+        }
+        benchutil::prefetch(g_results, configs, {"perlbmk"},
+                            cycles());
+    }
     for (std::size_t i = 0; i < std::size(kIntervals); ++i) {
         benchmark::RegisterBenchmark("SampleInterval",
                                      BM_SampleInterval)

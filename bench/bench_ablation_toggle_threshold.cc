@@ -16,37 +16,59 @@ using namespace tempest::experiments;
 const double kDeltas[] = {0.1, 0.25, 0.5, 1.0, 2.0, 4.0};
 const double kProximities[] = {1.0, 3.0, 1e9};
 
+benchutil::ResultTable g_results;
+
 std::uint64_t
 cycles()
 {
     return benchutil::runCycles();
 }
 
+SimConfig
+deltaConfig(std::size_t i)
+{
+    SimConfig config = iqToggling();
+    config.dtm.toggleDeltaK = kDeltas[i];
+    return config;
+}
+
+SimConfig
+proximityConfig(std::size_t i)
+{
+    SimConfig config = iqToggling();
+    config.dtm.toggleProximityK = kProximities[i];
+    return config;
+}
+
+std::string
+tagFor(const char* name, std::size_t i)
+{
+    return name + std::string("#") + std::to_string(i);
+}
+
 void
 BM_ToggleDelta(benchmark::State& state)
 {
-    SimConfig config = iqToggling();
-    config.dtm.toggleDeltaK =
-        kDeltas[static_cast<std::size_t>(state.range(0))];
+    const auto i = static_cast<std::size_t>(state.range(0));
     for (auto _ : state) {
-        const SimResult r =
-            runBenchmark(config, "perlbmk", cycles());
+        const SimResult& r =
+            g_results.run(tagFor("delta", i), deltaConfig(i),
+                          "perlbmk", cycles());
         benchutil::setCounters(state, r);
         state.counters["toggles"] =
             static_cast<double>(r.dtm.iqToggles);
-        state.counters["delta_K"] = config.dtm.toggleDeltaK;
+        state.counters["delta_K"] = kDeltas[i];
     }
 }
 
 void
 BM_ToggleProximity(benchmark::State& state)
 {
-    SimConfig config = iqToggling();
-    config.dtm.toggleProximityK =
-        kProximities[static_cast<std::size_t>(state.range(0))];
+    const auto i = static_cast<std::size_t>(state.range(0));
     for (auto _ : state) {
-        const SimResult r =
-            runBenchmark(config, "perlbmk", cycles());
+        const SimResult& r = g_results.run(
+            tagFor("proximity", i), proximityConfig(i),
+            "perlbmk", cycles());
         benchutil::setCounters(state, r);
         state.counters["toggles"] =
             static_cast<double>(r.dtm.iqToggles);
@@ -59,6 +81,20 @@ int
 main(int argc, char** argv)
 {
     tempest::setQuiet(true);
+    {
+        std::vector<std::pair<std::string, SimConfig>> configs;
+        for (std::size_t i = 0; i < std::size(kDeltas); ++i) {
+            configs.emplace_back(tagFor("delta", i),
+                                 deltaConfig(i));
+        }
+        for (std::size_t i = 0; i < std::size(kProximities);
+             ++i) {
+            configs.emplace_back(tagFor("proximity", i),
+                                 proximityConfig(i));
+        }
+        benchutil::prefetch(g_results, configs, {"perlbmk"},
+                            cycles());
+    }
     for (std::size_t i = 0; i < std::size(kDeltas); ++i) {
         benchmark::RegisterBenchmark("ToggleDelta",
                                      BM_ToggleDelta)

@@ -95,6 +95,10 @@ main(int argc, char** argv)
 {
     tempest::setQuiet(true);
     g_benchmarks = benchutil::benchmarkList();
+    benchutil::prefetch(g_results,
+                        {{"base", iqBase()},
+                         {"toggling", iqToggling()}},
+                        g_benchmarks, cycles());
     for (std::size_t b = 0; b < g_benchmarks.size(); ++b) {
         for (int t = 0; t < 2; ++t) {
             benchmark::RegisterBenchmark("Fig6", BM_Fig6)

@@ -114,6 +114,16 @@ main(int argc, char** argv)
 {
     tempest::setQuiet(true);
     g_benchmarks = benchutil::benchmarkList();
+    {
+        std::vector<std::pair<std::string, SimConfig>> configs;
+        for (const Combo& combo : kCombos) {
+            configs.emplace_back(
+                combo.name,
+                regfileConfig(combo.mapping, combo.fineGrain));
+        }
+        benchutil::prefetch(g_results, configs, g_benchmarks,
+                            cycles());
+    }
     for (std::size_t b = 0; b < g_benchmarks.size(); ++b) {
         for (int c = 0; c < 4; ++c) {
             benchmark::RegisterBenchmark("Fig8", BM_Fig8)

@@ -78,6 +78,11 @@ int
 main(int argc, char** argv)
 {
     tempest::setQuiet(true);
+    benchutil::prefetch(
+        g_results,
+        {{"base", iqBase()}, {"toggling", iqToggling()}},
+        {std::begin(kBenchmarks), std::end(kBenchmarks)},
+        cycles());
     for (int b = 0; b < 3; ++b) {
         for (int t = 0; t < 2; ++t) {
             benchmark::RegisterBenchmark("Table4", BM_Table4)

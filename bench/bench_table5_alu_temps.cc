@@ -84,6 +84,13 @@ int
 main(int argc, char** argv)
 {
     tempest::setQuiet(true);
+    benchutil::prefetch(
+        g_results,
+        {{"round-robin", aluRoundRobin()},
+         {"fine-grain", aluFineGrain()},
+         {"base", aluBase()}},
+        {std::begin(kBenchmarks), std::end(kBenchmarks)},
+        cycles());
     for (int b = 0; b < 2; ++b) {
         for (int c = 0; c < 3; ++c) {
             benchmark::RegisterBenchmark("Table5", BM_Table5)

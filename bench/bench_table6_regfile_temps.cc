@@ -89,6 +89,16 @@ int
 main(int argc, char** argv)
 {
     tempest::setQuiet(true);
+    {
+        std::vector<std::pair<std::string, SimConfig>> configs;
+        for (const Combo& combo : kCombos) {
+            configs.emplace_back(
+                combo.name,
+                regfileConfig(combo.mapping, combo.fineGrain));
+        }
+        benchutil::prefetch(g_results, configs, {"eon"},
+                            cycles());
+    }
     for (int c = 0; c < 4; ++c) {
         benchmark::RegisterBenchmark("Table6", BM_Table6)
             ->Arg(c)

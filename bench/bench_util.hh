@@ -8,9 +8,18 @@
  * counters through google-benchmark, and prints the paper-style
  * rows (and suite averages) after the sweep.
  *
+ * The sweeps execute up front on the parallel runner (one thread
+ * per core by default), then the google-benchmark bodies read the
+ * cached results; per-job seeds derive from (TEMPEST_SEED,
+ * benchmark, config tag), so reported numbers are independent of
+ * thread count and scheduling order.
+ *
  * Environment knobs:
  * - TEMPEST_CYCLES: simulated cycles per run (default below)
  * - TEMPEST_BENCHMARKS: comma-separated benchmark subset
+ * - TEMPEST_THREADS: parallel sweep width (default: all cores)
+ * - TEMPEST_SEED: base seed for the per-run seed derivation
+ * - TEMPEST_PROGRESS: set to print per-job completion lines
  */
 
 #ifndef TEMPEST_BENCH_BENCH_UTIL_HH
@@ -23,10 +32,12 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/log.hh"
 #include "sim/experiment.hh"
+#include "sim/runner.hh"
 
 namespace tempest
 {
@@ -57,10 +68,25 @@ benchmarkList()
     return spec2000Names();
 }
 
+/** Base seed for the per-run seed derivation. */
+inline std::uint64_t
+baseSeed()
+{
+    if (const char* env = std::getenv("TEMPEST_SEED"))
+        return static_cast<std::uint64_t>(std::atoll(env));
+    return 1;
+}
+
 /** Result cache so summary rows reuse the measured runs. */
 class ResultTable
 {
   public:
+    /**
+     * Cached result for (config_name, benchmark); on a miss, runs
+     * the simulation serially with the same derived seed the
+     * parallel prefetch would use, so the value is bit-identical
+     * either way.
+     */
     SimResult&
     run(const std::string& config_name, const SimConfig& config,
         const std::string& benchmark, std::uint64_t cycles)
@@ -68,13 +94,25 @@ class ResultTable
         const std::string key = config_name + "/" + benchmark;
         auto it = results_.find(key);
         if (it == results_.end()) {
+            SimConfig seeded = config;
+            seeded.runSeed = deriveRunSeed(baseSeed(), benchmark,
+                                           config_name);
             it = results_
                      .emplace(key,
                               experiments::runBenchmark(
-                                  config, benchmark, cycles))
+                                  seeded, benchmark, cycles))
                      .first;
         }
         return it->second;
+    }
+
+    /** Insert a precomputed result (parallel prefetch). */
+    void
+    put(const std::string& config_name,
+        const std::string& benchmark, SimResult result)
+    {
+        results_.insert_or_assign(config_name + "/" + benchmark,
+                                  std::move(result));
     }
 
     bool
@@ -97,6 +135,55 @@ class ResultTable
   private:
     std::map<std::string, SimResult> results_;
 };
+
+/**
+ * Run the whole (config x benchmark) sweep through the parallel
+ * runner and fill the result cache. The sweep always runs to
+ * completion; if any job failed, every failure is reported on
+ * stderr and the process exits nonzero (a registered benchmark
+ * body would otherwise crash on the missing cell).
+ */
+inline void
+prefetch(ResultTable& table,
+         const std::vector<std::pair<std::string, SimConfig>>&
+             configs,
+         const std::vector<std::string>& benchmarks,
+         std::uint64_t cycles)
+{
+    ExperimentRunner::Options options;
+    options.baseSeed = baseSeed();
+    if (std::getenv("TEMPEST_PROGRESS")) {
+        options.progress = [](const ExperimentOutcome& o,
+                              std::size_t done,
+                              std::size_t total) {
+            std::fprintf(stderr, "[%zu/%zu] %s/%s%s%s\n", done,
+                         total, o.tag.c_str(),
+                         o.benchmark.c_str(),
+                         o.ok ? "" : " FAILED: ",
+                         o.ok ? "" : o.error.c_str());
+        };
+    }
+    std::vector<ExperimentOutcome> outcomes =
+        experiments::runSweep(configs, benchmarks, cycles,
+                              options);
+    std::size_t failed = 0;
+    for (ExperimentOutcome& o : outcomes) {
+        if (o.ok) {
+            table.put(o.tag, o.benchmark, std::move(o.result));
+        } else {
+            ++failed;
+            std::fprintf(stderr, "sweep job %s/%s failed: %s\n",
+                         o.tag.c_str(), o.benchmark.c_str(),
+                         o.error.c_str());
+        }
+    }
+    if (failed) {
+        std::fprintf(stderr,
+                     "prefetch: %zu of %zu sweep jobs failed\n",
+                     failed, outcomes.size());
+        std::exit(1);
+    }
+}
 
 /** Attach the standard counters to a benchmark state. */
 inline void

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/log.hh"
+#include "sim/runner.hh"
 
 namespace tempest
 {
@@ -75,8 +76,21 @@ SimResult
 runBenchmark(const SimConfig& config, const std::string& benchmark,
              std::uint64_t cycles)
 {
-    Simulator sim(config, spec2000(benchmark));
-    return sim.run(cycles);
+    // One-job submission through the runner's serial path, so the
+    // serial and parallel APIs share a single execution routine.
+    // The caller's runSeed is kept as-is (no sweep-level seed
+    // derivation).
+    ExperimentJob job;
+    job.tag = benchmark;
+    job.benchmark = benchmark;
+    job.config = config;
+    job.cycles = cycles;
+    job.deriveSeed = false;
+    ExperimentOutcome out =
+        ExperimentRunner::runJob(job, config.runSeed);
+    if (!out.ok)
+        throw FatalError(out.error);
+    return out.result;
 }
 
 double

@@ -1,0 +1,176 @@
+#include "sim/runner.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "workload/profile.hh"
+
+namespace tempest
+{
+
+namespace
+{
+
+/** FNV-1a 64-bit over a byte string. */
+std::uint64_t
+fnv1a(std::uint64_t h, std::string_view s)
+{
+    constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= kPrime;
+    }
+    return h;
+}
+
+/** splitmix64 finalizer: full-avalanche 64-bit mix. */
+std::uint64_t
+mix64(std::uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+std::uint64_t
+deriveRunSeed(std::uint64_t base_seed, std::string_view benchmark,
+              std::string_view config_tag)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL; // FNV offset basis
+    h = fnv1a(h, benchmark);
+    h = fnv1a(h, "\x1f"); // separator: ("ab","c") != ("a","bc")
+    h = fnv1a(h, config_tag);
+    return mix64(base_seed ^ h);
+}
+
+std::size_t
+ExperimentRunner::add(ExperimentJob job)
+{
+    jobs_.push_back(std::move(job));
+    return jobs_.size() - 1;
+}
+
+std::size_t
+ExperimentRunner::add(std::string tag, const SimConfig& config,
+                      std::string benchmark, std::uint64_t cycles)
+{
+    ExperimentJob job;
+    job.tag = std::move(tag);
+    job.benchmark = std::move(benchmark);
+    job.config = config;
+    job.cycles = cycles;
+    return add(std::move(job));
+}
+
+int
+ExperimentRunner::defaultThreads()
+{
+    if (const char* env = std::getenv("TEMPEST_THREADS")) {
+        const int n = std::atoi(env);
+        if (n > 0)
+            return n;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ExperimentOutcome
+ExperimentRunner::runJob(const ExperimentJob& job,
+                         std::uint64_t base_seed)
+{
+    ExperimentOutcome out;
+    out.tag = job.tag;
+    out.benchmark = job.benchmark;
+    out.seed = job.deriveSeed
+                   ? deriveRunSeed(base_seed, job.benchmark,
+                                   job.tag)
+                   : job.config.runSeed;
+    try {
+        SimConfig config = job.config;
+        config.runSeed = out.seed;
+        Simulator sim(config, spec2000(job.benchmark));
+        out.result = sim.run(job.cycles);
+        out.ok = true;
+    } catch (const std::exception& e) {
+        out.error = e.what();
+    } catch (...) {
+        out.error = "unknown exception";
+    }
+    return out;
+}
+
+std::vector<ExperimentOutcome>
+ExperimentRunner::run()
+{
+    const std::vector<ExperimentJob> jobs = std::move(jobs_);
+    jobs_.clear();
+
+    const std::size_t total = jobs.size();
+    std::vector<ExperimentOutcome> outcomes(total);
+    if (total == 0)
+        return outcomes;
+
+    int threads = options_.threads > 0 ? options_.threads
+                                       : defaultThreads();
+    threads = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(threads), total));
+
+    std::atomic<std::size_t> next{0};
+    std::mutex progress_mutex;
+    std::size_t done = 0;
+
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= total)
+                return;
+            outcomes[i] = runJob(jobs[i], options_.baseSeed);
+            if (options_.progress) {
+                const std::lock_guard<std::mutex> lock(
+                    progress_mutex);
+                options_.progress(outcomes[i], ++done, total);
+            }
+        }
+    };
+
+    if (threads == 1) {
+        worker();
+        return outcomes;
+    }
+
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t)
+        pool.emplace_back(worker);
+    for (std::thread& t : pool)
+        t.join();
+    return outcomes;
+}
+
+namespace experiments
+{
+
+std::vector<ExperimentOutcome>
+runSweep(
+    const std::vector<std::pair<std::string, SimConfig>>& configs,
+    const std::vector<std::string>& benchmarks,
+    std::uint64_t cycles, const ExperimentRunner::Options& options)
+{
+    ExperimentRunner runner(options);
+    for (const auto& [tag, config] : configs) {
+        for (const std::string& benchmark : benchmarks)
+            runner.add(tag, config, benchmark, cycles);
+    }
+    return runner.run();
+}
+
+} // namespace experiments
+
+} // namespace tempest

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Parallel experiment runner.
+ *
+ * A full reproduction of the paper is a sweep of 22 benchmark
+ * profiles times 2-4 configurations, and every simulation in the
+ * sweep is independent. The runner executes (SimConfig, benchmark,
+ * cycles) jobs on a fixed-size thread pool and guarantees that the
+ * result set is bit-identical to running the same jobs serially:
+ *
+ * - Each job's RNG seed is derived deterministically from
+ *   (baseSeed, benchmark, config tag) by deriveRunSeed(), never
+ *   from scheduling order, thread identity, or wall-clock time.
+ * - Results are stored by submission index, so the returned vector
+ *   has a stable order no matter which worker finishes first.
+ * - A job that throws (e.g. fatal() on an unknown benchmark) is
+ *   captured into its ExperimentOutcome instead of aborting the
+ *   sweep; the remaining jobs still run.
+ *
+ * Progress is reported through an optional callback, invoked under
+ * a lock as jobs complete (completion order, not submission
+ * order).
+ */
+
+#ifndef TEMPEST_SIM_RUNNER_HH
+#define TEMPEST_SIM_RUNNER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace tempest
+{
+
+/**
+ * Per-run seed derived from the experiment identity. Stable across
+ * platforms and library versions (FNV-1a over the strings, mixed
+ * with the base seed through a splitmix64 finalizer), so a given
+ * (baseSeed, benchmark, config tag) names the same simulation
+ * forever, independent of how many sibling jobs a sweep contains
+ * or the order they execute in.
+ */
+std::uint64_t deriveRunSeed(std::uint64_t base_seed,
+                            std::string_view benchmark,
+                            std::string_view config_tag);
+
+/** One simulation to execute. */
+struct ExperimentJob
+{
+    /** Configuration identity within the sweep (e.g. "toggling");
+     * part of the seed derivation. */
+    std::string tag;
+    /** SPEC2000 profile name (see spec2000Names()). */
+    std::string benchmark;
+    SimConfig config;
+    std::uint64_t cycles = 0;
+    /** Overwrite config.runSeed with deriveRunSeed(baseSeed,
+     * benchmark, tag); false keeps the caller's runSeed (the
+     * legacy serial-path behaviour). */
+    bool deriveSeed = true;
+};
+
+/** Result (or captured failure) of one job. */
+struct ExperimentOutcome
+{
+    std::string tag;
+    std::string benchmark;
+    std::uint64_t seed = 0; ///< runSeed the simulation used
+    bool ok = false;
+    std::string error;      ///< failure description when !ok
+    SimResult result;       ///< valid only when ok
+};
+
+/** Fixed-size thread pool over independent simulation jobs. */
+class ExperimentRunner
+{
+  public:
+    /** Called as each job completes: (outcome, done, total). */
+    using ProgressFn = std::function<void(
+        const ExperimentOutcome&, std::size_t, std::size_t)>;
+
+    struct Options
+    {
+        /** Worker count; <= 0 selects defaultThreads(). */
+        int threads = 0;
+        /** Experiment-level seed the per-job seeds derive from. */
+        std::uint64_t baseSeed = 1;
+        /** Optional completion callback (serialized). */
+        ProgressFn progress;
+    };
+
+    ExperimentRunner() = default;
+    explicit ExperimentRunner(Options options)
+        : options_(std::move(options))
+    {}
+
+    /** Queue a job; @return its submission index. */
+    std::size_t add(ExperimentJob job);
+
+    /** Queue a job from its parts; @return submission index. */
+    std::size_t add(std::string tag, const SimConfig& config,
+                    std::string benchmark, std::uint64_t cycles);
+
+    /** Jobs queued and not yet run. */
+    std::size_t pending() const { return jobs_.size(); }
+
+    /**
+     * Execute every queued job and clear the queue. Outcomes are
+     * indexed by submission order regardless of scheduling.
+     */
+    std::vector<ExperimentOutcome> run();
+
+    /**
+     * Execute one job on the calling thread — the serial reference
+     * path the pool's workers also use, so parallel results are
+     * bit-identical to serial ones by construction. Exceptions are
+     * captured into the outcome.
+     */
+    static ExperimentOutcome runJob(const ExperimentJob& job,
+                                    std::uint64_t base_seed);
+
+    /** TEMPEST_THREADS if set, else hardware concurrency. */
+    static int defaultThreads();
+
+  private:
+    Options options_;
+    std::vector<ExperimentJob> jobs_;
+};
+
+namespace experiments
+{
+
+/**
+ * Run the cross product of tagged configurations and benchmarks
+ * through the runner. Outcome order: configs-major, benchmarks
+ * minor (the order the nested loops submit in).
+ */
+std::vector<ExperimentOutcome> runSweep(
+    const std::vector<std::pair<std::string, SimConfig>>& configs,
+    const std::vector<std::string>& benchmarks,
+    std::uint64_t cycles,
+    const ExperimentRunner::Options& options = {});
+
+} // namespace experiments
+
+} // namespace tempest
+
+#endif // TEMPEST_SIM_RUNNER_HH

@@ -1,6 +1,7 @@
 #include "sim/simulator.hh"
 
 #include <algorithm>
+#include <cassert>
 
 #include "common/log.hh"
 
@@ -43,16 +44,14 @@ Simulator::Simulator(const SimConfig& config,
 }
 
 void
-Simulator::runInterval(bool stalled)
+Simulator::runInterval(bool stalled, std::uint64_t cycles)
 {
     ActivityRecord interval;
     if (stalled) {
-        core_->stallCycles(config_.sampleIntervalCycles, interval);
+        core_->stallCycles(cycles, interval);
     } else {
-        for (std::uint64_t c = 0; c < config_.sampleIntervalCycles;
-             ++c) {
+        for (std::uint64_t c = 0; c < cycles; ++c)
             core_->tick(interval);
-        }
     }
 
     power_->blockPowers(interval, powerScratch_);
@@ -83,7 +82,8 @@ Simulator::runInterval(bool stalled)
 
     total_.add(interval);
 
-    const std::vector<Kelvin> temps = sensors_->readAll();
+    sensors_->readAll(tempsScratch_);
+    const std::vector<Kelvin>& temps = tempsScratch_;
     for (int b = 0; b < floorplan_.numBlocks(); ++b) {
         const auto i = static_cast<std::size_t>(b);
         if (!stalled)
@@ -99,16 +99,24 @@ Simulator::runInterval(bool stalled)
 
     if (!stalled && dtm_->sample(temps) == DtmAction::GlobalStall) {
         // Stall for the cooling time, advanced in interval-sized
-        // chunks so the thermal trace stays smooth. The cooling
-        // time scales with the thermal time compression.
+        // chunks so the thermal trace stays smooth, plus a final
+        // partial chunk covering the remainder so the stall spans
+        // the cooling time exactly (truncating to whole intervals
+        // under-stalled by up to one interval per trigger). The
+        // cooling time scales with the thermal time compression.
         const Seconds cooling =
             config_.dtm.coolingTime * config_.thermal.timeScale;
         const auto cooling_cycles = static_cast<std::uint64_t>(
             cooling * config_.pipeline.frequencyHz);
-        const std::uint64_t chunks = std::max<std::uint64_t>(
-            1, cooling_cycles / config_.sampleIntervalCycles);
-        for (std::uint64_t k = 0; k < chunks; ++k)
-            runInterval(/*stalled=*/true);
+        std::uint64_t stalled_cycles = 0;
+        while (stalled_cycles < cooling_cycles) {
+            const std::uint64_t n =
+                std::min(cooling_cycles - stalled_cycles,
+                         config_.sampleIntervalCycles);
+            runInterval(/*stalled=*/true, n);
+            stalled_cycles += n;
+        }
+        assert(stalled_cycles >= cooling_cycles);
     }
 }
 
@@ -117,7 +125,7 @@ Simulator::run(std::uint64_t max_cycles)
 {
     const std::uint64_t end_cycle = core_->cycle() + max_cycles;
     while (core_->cycle() < end_cycle)
-        runInterval(/*stalled=*/false);
+        runInterval(/*stalled=*/false, config_.sampleIntervalCycles);
 
     SimResult result;
     result.benchmark = core_->profile().name;

@@ -8,8 +8,10 @@
  * 100,000-cycle sampling intervals, convert the interval's activity
  * to per-block power, advance the thermal network, read the
  * sensors, and let the DTM act. A GlobalStall action freezes the
- * core for the thermal cooling time (advanced in sample-interval
- * chunks with clock-gated power). Initial temperatures come from a
+ * core for exactly the thermal cooling time (advanced in
+ * sample-interval chunks with clock-gated power, plus a final
+ * partial chunk for the remainder). Initial temperatures come from
+ * a
  * steady-state solve of the first interval's power, clamped to the
  * thermal threshold, so runs begin thermally warmed.
  */
@@ -105,8 +107,12 @@ class Simulator
     void setTrace(ThermalTrace* trace) { trace_ = trace; }
 
   private:
-    /** Simulate one sampling interval; false if stalled interval. */
-    void runInterval(bool stalled);
+    /**
+     * Simulate one interval of `cycles` cycles (a full sampling
+     * interval normally; cooling stalls may use a final partial
+     * chunk so the stall covers the cooling time exactly).
+     */
+    void runInterval(bool stalled, std::uint64_t cycles);
 
     SimConfig config_;
     Floorplan floorplan_;
@@ -117,6 +123,7 @@ class Simulator
     std::unique_ptr<ResourceBalancingDtm> dtm_;
 
     std::vector<Watt> powerScratch_;
+    std::vector<Kelvin> tempsScratch_;
 
     // Accumulated statistics.
     ActivityRecord total_;

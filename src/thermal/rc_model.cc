@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
 #include "common/log.hh"
@@ -190,10 +191,22 @@ RcModel::step(Seconds dt)
 {
     if (dt <= 0)
         return;
-    const int substeps = std::max(
-        1, static_cast<int>(std::ceil(dt / maxStableDt_)));
-    const Seconds h = dt / substeps;
-    for (int s = 0; s < substeps; ++s)
+    // The substep count can exceed any integer type for small
+    // timeScale (tiny capacitances => tiny maxStableDt_), and
+    // casting the ceil to int would be UB; bound it in floating
+    // point first, then count in 64 bits.
+    constexpr double kMaxSubsteps = 10'000'000.0;
+    const double raw = std::ceil(dt / maxStableDt_);
+    if (!(raw < kMaxSubsteps)) {
+        fatal("RcModel::step: dt=", dt, " s needs ", raw,
+              " explicit-Euler substeps (maxStableDt=",
+              maxStableDt_, " s); timeScale=", params_.timeScale,
+              " is too small to integrate at this step size");
+    }
+    const std::int64_t substeps =
+        std::max<std::int64_t>(1, static_cast<std::int64_t>(raw));
+    const Seconds h = dt / static_cast<double>(substeps);
+    for (std::int64_t s = 0; s < substeps; ++s)
         eulerStep(h);
 }
 

@@ -23,13 +23,19 @@ SensorBank::read(int block)
     return t;
 }
 
+void
+SensorBank::readAll(std::vector<Kelvin>& out)
+{
+    out.resize(static_cast<std::size_t>(model_.numBlocks()));
+    for (int i = 0; i < model_.numBlocks(); ++i)
+        out[static_cast<std::size_t>(i)] = read(i);
+}
+
 std::vector<Kelvin>
 SensorBank::readAll()
 {
-    std::vector<Kelvin> out(
-        static_cast<std::size_t>(model_.numBlocks()));
-    for (int i = 0; i < model_.numBlocks(); ++i)
-        out[static_cast<std::size_t>(i)] = read(i);
+    std::vector<Kelvin> out;
+    readAll(out);
     return out;
 }
 

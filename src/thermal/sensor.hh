@@ -37,7 +37,14 @@ class SensorBank
     /** Read one block's sensor. */
     Kelvin read(int block);
 
-    /** Read every sensor into a vector (index = block). */
+    /**
+     * Read every sensor into a caller-owned buffer (index =
+     * block), resizing it as needed. The hot path: no allocation
+     * once the buffer has reached size.
+     */
+    void readAll(std::vector<Kelvin>& out);
+
+    /** Read every sensor into a fresh vector (index = block). */
     std::vector<Kelvin> readAll();
 
     int numSensors() const { return model_.numBlocks(); }

@@ -79,7 +79,7 @@ IssueQueue::dispatch(const IqEntry& entry, ActivityRecord& activity)
     ++tailLogical_;
     ++count_;
     ++halfCount_[halfOfPhys(phys)];
-    if (!slot.ready() && !slot.pendingInvalid)
+    if (!slot.ready())
         waiting_.push_back(phys);
     // Payload RAM write plus the entry write itself, charged to
     // the physical half that receives the dispatch.

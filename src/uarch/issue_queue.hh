@@ -198,6 +198,14 @@ class IssueQueue
     /** Valid entries currently in a physical half. */
     int occupancyOfHalf(int half) const;
 
+    /** Dispatched-but-unready entries the wakeup CAM is watching
+     * (for tests: an entry ready at dispatch never appears). */
+    int
+    waitingCount() const
+    {
+        return static_cast<int>(waiting_.size());
+    }
+
     /** Remove everything (used by tests). */
     void clear();
 

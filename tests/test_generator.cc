@@ -62,9 +62,10 @@ TEST(Generator, ProducersPrecedeConsumersAndWriteRegisters)
                 continue;
             ASSERT_LT(op.src[k], op.seq);
             auto it = has_dest.find(op.src[k]);
-            if (it != has_dest.end())
+            if (it != has_dest.end()) {
                 ASSERT_TRUE(it->second)
                     << "dependence on a non-writing instruction";
+            }
         }
         has_dest[op.seq] = op.hasDest;
     }

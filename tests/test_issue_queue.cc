@@ -366,6 +366,33 @@ TEST_P(IssueQueueFuzz, NoLossNoDuplication)
                                        pending));
 }
 
+TEST(IssueQueue, ReadyAtDispatchIsNeverWatchedByWakeup)
+{
+    // Regression for the dead condition in dispatch(): an entry
+    // whose sources are all ready when it enters the queue must
+    // not join the wakeup list, and tag broadcasts must not touch
+    // it.
+    IssueQueue iq(8, 4, QueueKind::Int);
+    ActivityRecord act;
+    IqEntry e = makeEntry(1);
+    e.numSrcs = 1;
+    e.src[0] = 7;
+    e.srcReady[0] = true; // producer completed before dispatch
+    iq.dispatch(e, act);
+    EXPECT_EQ(iq.waitingCount(), 0);
+    EXPECT_TRUE(iq.entryAtPhys(0).ready());
+
+    // An unready entry is watched; broadcasting the ready entry's
+    // (already satisfied) tag wakes nothing.
+    iq.dispatch(makeEntry(2, /*ready=*/false), act);
+    EXPECT_EQ(iq.waitingCount(), 1);
+    const std::uint64_t tag = 7;
+    iq.broadcastMany(&tag, 1, act);
+    EXPECT_EQ(iq.waitingCount(), 1);
+    EXPECT_FALSE(iq.entryAtPhys(1).ready());
+    EXPECT_TRUE(iq.entryAtPhys(0).ready());
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, IssueQueueFuzz,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7,
                                            8));

@@ -74,8 +74,9 @@ TEST_P(AllProfiles, UniqueSeeds)
 {
     const BenchmarkProfile& p = spec2000(GetParam());
     for (const auto& other : spec2000Names()) {
-        if (other != GetParam())
+        if (other != GetParam()) {
             EXPECT_NE(p.seed, spec2000(other).seed);
+        }
     }
 }
 

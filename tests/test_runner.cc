@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests for the parallel experiment runner: deterministic seed
+ * derivation, bit-identical serial/parallel results at several
+ * thread counts, per-job error capture, and progress reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/log.hh"
+
+#include "sim/experiment.hh"
+#include "sim/runner.hh"
+
+namespace tempest
+{
+namespace
+{
+
+using namespace experiments;
+
+constexpr std::uint64_t kCycles = 1'000'000;
+
+/** A small but representative sweep: a stalling benchmark and a
+ * cool one under two configurations. */
+std::vector<ExperimentJob>
+sweepJobs()
+{
+    std::vector<ExperimentJob> jobs;
+    const std::vector<std::pair<std::string, SimConfig>> configs{
+        {"base", iqBase()}, {"toggling", iqToggling()}};
+    for (const auto& [tag, config] : configs) {
+        for (const char* bench : {"eon", "art"}) {
+            ExperimentJob job;
+            job.tag = tag;
+            job.benchmark = bench;
+            job.config = config;
+            job.cycles = kCycles;
+            jobs.push_back(job);
+        }
+    }
+    return jobs;
+}
+
+/** Bit-identical comparison (EXPECT_EQ on doubles is exact). */
+void
+expectIdentical(const SimResult& a, const SimResult& b)
+{
+    EXPECT_EQ(a.benchmark, b.benchmark);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.stallCycles, b.stallCycles);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.dtm.globalStalls, b.dtm.globalStalls);
+    EXPECT_EQ(a.dtm.iqToggles, b.dtm.iqToggles);
+    ASSERT_EQ(a.blocks.size(), b.blocks.size());
+    for (std::size_t i = 0; i < a.blocks.size(); ++i) {
+        EXPECT_EQ(a.blocks[i].name, b.blocks[i].name);
+        EXPECT_EQ(a.blocks[i].avg, b.blocks[i].avg) << a.blocks[i].name;
+        EXPECT_EQ(a.blocks[i].max, b.blocks[i].max) << a.blocks[i].name;
+    }
+}
+
+TEST(DeriveRunSeed, StableAndSensitiveToEveryComponent)
+{
+    const std::uint64_t s = deriveRunSeed(1, "eon", "base");
+    EXPECT_EQ(s, deriveRunSeed(1, "eon", "base"));
+    EXPECT_NE(s, deriveRunSeed(2, "eon", "base"));
+    EXPECT_NE(s, deriveRunSeed(1, "art", "base"));
+    EXPECT_NE(s, deriveRunSeed(1, "eon", "toggling"));
+    // The separator keeps (benchmark, tag) concatenations apart.
+    EXPECT_NE(deriveRunSeed(1, "ab", "c"),
+              deriveRunSeed(1, "a", "bc"));
+}
+
+TEST(Runner, SerialAndParallelAreBitIdentical)
+{
+    const std::vector<ExperimentJob> jobs = sweepJobs();
+    const std::uint64_t base_seed = 7;
+
+    // Serial reference: one job after another on this thread.
+    std::vector<ExperimentOutcome> serial;
+    for (const ExperimentJob& job : jobs)
+        serial.push_back(ExperimentRunner::runJob(job, base_seed));
+    for (const ExperimentOutcome& o : serial)
+        ASSERT_TRUE(o.ok) << o.error;
+
+    for (const int threads : {1, 2, 8}) {
+        ExperimentRunner::Options options;
+        options.threads = threads;
+        options.baseSeed = base_seed;
+        ExperimentRunner runner(options);
+        for (const ExperimentJob& job : jobs)
+            runner.add(job);
+        const std::vector<ExperimentOutcome> parallel =
+            runner.run();
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            SCOPED_TRACE(testing::Message()
+                         << "threads=" << threads << " job="
+                         << serial[i].tag << "/"
+                         << serial[i].benchmark);
+            ASSERT_TRUE(parallel[i].ok) << parallel[i].error;
+            EXPECT_EQ(parallel[i].tag, serial[i].tag);
+            EXPECT_EQ(parallel[i].benchmark,
+                      serial[i].benchmark);
+            EXPECT_EQ(parallel[i].seed, serial[i].seed);
+            expectIdentical(parallel[i].result,
+                            serial[i].result);
+        }
+    }
+}
+
+TEST(Runner, MatchesLegacySerialPathForSameSeed)
+{
+    // runBenchmark with an explicitly derived seed is the serial
+    // path; the parallel runner must reproduce it bit for bit.
+    SimConfig config = iqBase();
+    config.runSeed = deriveRunSeed(5, "gzip", "base");
+    const SimResult serial = runBenchmark(config, "gzip", kCycles);
+
+    ExperimentRunner::Options options;
+    options.threads = 2;
+    options.baseSeed = 5;
+    ExperimentRunner runner(options);
+    runner.add("base", iqBase(), "gzip", kCycles);
+    const std::vector<ExperimentOutcome> out = runner.run();
+    ASSERT_EQ(out.size(), 1u);
+    ASSERT_TRUE(out[0].ok) << out[0].error;
+    expectIdentical(out[0].result, serial);
+}
+
+TEST(Runner, CapturesJobErrorsWithoutAbortingTheSweep)
+{
+    ExperimentRunner::Options options;
+    options.threads = 2;
+    ExperimentRunner runner(options);
+    runner.add("base", iqBase(), "nosuchbenchmark", 100'000);
+    runner.add("base",
+               baseConfig(FloorplanVariant::Baseline), "gzip",
+               100'000);
+    const std::vector<ExperimentOutcome> outcomes = runner.run();
+    ASSERT_EQ(outcomes.size(), 2u);
+    EXPECT_FALSE(outcomes[0].ok);
+    EXPECT_NE(outcomes[0].error.find("nosuchbenchmark"),
+              std::string::npos);
+    ASSERT_TRUE(outcomes[1].ok) << outcomes[1].error;
+    EXPECT_GT(outcomes[1].result.instructions, 0u);
+}
+
+TEST(Runner, RunBenchmarkRethrowsCapturedFatal)
+{
+    EXPECT_THROW(runBenchmark(iqBase(), "nosuchbenchmark", 1000),
+                 FatalError);
+}
+
+TEST(Runner, ProgressCallbackSeesEveryCompletion)
+{
+    std::vector<std::string> seen; // serialized by the runner
+    std::size_t last_total = 0;
+    std::size_t max_done = 0;
+    ExperimentRunner::Options options;
+    options.threads = 4;
+    options.progress = [&](const ExperimentOutcome& o,
+                           std::size_t done, std::size_t total) {
+        seen.push_back(o.tag + "/" + o.benchmark);
+        last_total = total;
+        max_done = std::max(max_done, done);
+    };
+    ExperimentRunner runner(options);
+    const SimConfig config =
+        baseConfig(FloorplanVariant::Baseline);
+    for (const char* bench : {"gzip", "art", "mcf", "gcc"})
+        runner.add("base", config, bench, 100'000);
+    const std::vector<ExperimentOutcome> outcomes = runner.run();
+    ASSERT_EQ(outcomes.size(), 4u);
+    EXPECT_EQ(seen.size(), 4u);
+    EXPECT_EQ(last_total, 4u);
+    EXPECT_EQ(max_done, 4u);
+}
+
+TEST(Runner, RunSweepCoversTheCrossProductInSubmissionOrder)
+{
+    ExperimentRunner::Options options;
+    options.threads = 3;
+    const std::vector<ExperimentOutcome> outcomes = runSweep(
+        {{"a", baseConfig(FloorplanVariant::Baseline)},
+         {"b", iqBase()}},
+        {"gzip", "art"}, 100'000, options);
+    ASSERT_EQ(outcomes.size(), 4u);
+    EXPECT_EQ(outcomes[0].tag, "a");
+    EXPECT_EQ(outcomes[0].benchmark, "gzip");
+    EXPECT_EQ(outcomes[1].tag, "a");
+    EXPECT_EQ(outcomes[1].benchmark, "art");
+    EXPECT_EQ(outcomes[2].tag, "b");
+    EXPECT_EQ(outcomes[2].benchmark, "gzip");
+    EXPECT_EQ(outcomes[3].tag, "b");
+    EXPECT_EQ(outcomes[3].benchmark, "art");
+    for (const ExperimentOutcome& o : outcomes)
+        EXPECT_TRUE(o.ok) << o.error;
+}
+
+} // namespace
+} // namespace tempest

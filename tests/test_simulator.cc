@@ -105,19 +105,21 @@ TEST(Simulator, CoolBenchmarkNeverStalls)
     EXPECT_LT(r.block("IntQ1").max, 350.0);
 }
 
-TEST(Simulator, StallsRespectCoolingTime)
+TEST(Simulator, StallsCoverCoolingTimeExactly)
 {
     SimConfig cfg = iqBase(0.04);
     Simulator sim(cfg, spec2000("eon"));
     const SimResult r = sim.run(10000000);
-    if (r.dtm.globalStalls > 0) {
-        const auto cooling_cycles = static_cast<std::uint64_t>(
-            cfg.dtm.coolingTime * cfg.thermal.timeScale *
-            cfg.pipeline.frequencyHz);
-        EXPECT_GE(r.stallCycles,
-                  r.dtm.globalStalls * (cooling_cycles -
-                                        cfg.sampleIntervalCycles));
-    }
+    const auto cooling_cycles = static_cast<std::uint64_t>(
+        cfg.dtm.coolingTime * cfg.thermal.timeScale *
+        cfg.pipeline.frequencyHz);
+    ASSERT_GT(r.dtm.globalStalls, 0u);
+    // Each stop-go trigger stalls for the cooling time exactly:
+    // whole sampling intervals plus a final partial chunk.
+    // (Regression: truncating integer division used to drop up to
+    // one sample interval of stall per trigger.)
+    EXPECT_EQ(r.stallCycles,
+              r.dtm.globalStalls * cooling_cycles);
 }
 
 TEST(Experiments, ConfigsSelectTechniques)

@@ -257,5 +257,35 @@ TEST(Thermal, TotalPowerSums)
     EXPECT_DOUBLE_EQ(rc.totalPower(), 4.0);
 }
 
+TEST(Thermal, StepHandlesLargeSubstepCounts)
+{
+    // Regression: ceil(dt / maxStableDt_) used to be cast to int,
+    // which overflows (UB) for small timeScale. A count in the
+    // tens of thousands must integrate fine...
+    ThermalParams params;
+    RcModel rc(singleBlock(), params);
+    rc.setPower(0, 1.0);
+    rc.step(rc.maxStableDt() * 20000.5);
+    EXPECT_GT(rc.temperature(0), params.ambient);
+    EXPECT_TRUE(std::isfinite(rc.temperature(0)));
+}
+
+TEST(Thermal, StepRejectsAbsurdSubstepCountsNamingTimeScale)
+{
+    // ...while a count that would once have overflowed int is
+    // rejected with a diagnostic naming timeScale.
+    ThermalParams params;
+    params.timeScale = 1e-12;
+    RcModel rc(singleBlock(), params);
+    try {
+        rc.step(1.0);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        EXPECT_NE(std::string(e.what()).find("timeScale"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
 } // namespace
 } // namespace tempest
