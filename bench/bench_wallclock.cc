@@ -1,0 +1,241 @@
+/**
+ * @file
+ * End-to-end wall-clock throughput tracking.
+ *
+ * Unlike the table/figure benches (which report *simulated*
+ * quantities), this binary measures how fast the simulator itself
+ * runs: simulated cycles per wall-clock second over a Table-4
+ * style sweep (IQ-constrained base + toggling configurations), for
+ * both transient thermal solvers and for serial vs 8-thread
+ * execution on the parallel runner. Results go to stdout as a
+ * table and to BENCH_wallclock.json so perf regressions are
+ * visible across commits (see tools/record_bench.py).
+ *
+ * The serial and threaded sweeps must produce bit-identical
+ * simulation results (the runner's core guarantee); this binary
+ * re-checks that and fails if they diverge, so the perf numbers
+ * can never come from a run that silently changed behaviour.
+ *
+ * Environment knobs:
+ * - TEMPEST_CYCLES: simulated cycles per run (default 2,000,000)
+ * - TEMPEST_BENCHMARKS: comma-separated benchmark subset
+ * - TEMPEST_SEED: base seed for per-run seed derivation
+ * - TEMPEST_SMOKE: set for a fast CI pass (200,000 cycles)
+ * - TEMPEST_BENCH_JSON: output path (default BENCH_wallclock.json)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/log.hh"
+#include "sim/experiment.hh"
+#include "sim/runner.hh"
+
+namespace tempest
+{
+namespace
+{
+
+struct SweepTiming
+{
+    std::string solver;
+    int threads = 1;
+    double wallSeconds = 0.0;
+    std::uint64_t simCycles = 0;
+    std::size_t jobs = 0;
+    std::vector<ExperimentOutcome> outcomes;
+
+    double
+    cyclesPerSecond() const
+    {
+        return wallSeconds > 0
+                   ? static_cast<double>(simCycles) / wallSeconds
+                   : 0.0;
+    }
+};
+
+std::uint64_t
+envU64(const char* name, std::uint64_t fallback)
+{
+    if (const char* env = std::getenv(name))
+        return static_cast<std::uint64_t>(std::atoll(env));
+    return fallback;
+}
+
+std::vector<std::string>
+benchmarkList()
+{
+    if (const char* env = std::getenv("TEMPEST_BENCHMARKS")) {
+        std::vector<std::string> out;
+        std::stringstream ss(env);
+        std::string item;
+        while (std::getline(ss, item, ','))
+            out.push_back(item);
+        return out;
+    }
+    return {"art", "facerec", "mesa"}; // the Table 4 bench's set
+}
+
+std::vector<std::pair<std::string, SimConfig>>
+sweepConfigs(ThermalSolver solver)
+{
+    std::vector<std::pair<std::string, SimConfig>> configs = {
+        {"iq_base", experiments::iqBase()},
+        {"iq_toggling", experiments::iqToggling()},
+    };
+    for (auto& [tag, config] : configs)
+        config.thermal.solver = solver;
+    return configs;
+}
+
+SweepTiming
+timeSweep(ThermalSolver solver, int threads,
+          const std::vector<std::string>& benchmarks,
+          std::uint64_t cycles, std::uint64_t base_seed)
+{
+    SweepTiming t;
+    t.solver = solver == ThermalSolver::Expm ? "expm" : "euler";
+    t.threads = threads;
+
+    ExperimentRunner::Options options;
+    options.threads = threads;
+    options.baseSeed = base_seed;
+
+    const auto configs = sweepConfigs(solver);
+    const auto start = std::chrono::steady_clock::now();
+    t.outcomes = experiments::runSweep(configs, benchmarks, cycles,
+                                       options);
+    const auto end = std::chrono::steady_clock::now();
+    t.wallSeconds =
+        std::chrono::duration<double>(end - start).count();
+
+    for (const ExperimentOutcome& o : t.outcomes) {
+        if (!o.ok)
+            fatal("sweep job ", o.tag, "/", o.benchmark,
+                  " failed: ", o.error);
+        t.simCycles += o.result.cycles;
+    }
+    t.jobs = t.outcomes.size();
+    return t;
+}
+
+/** The runner's serial/parallel bit-identity, re-checked here so a
+ * concurrency bug can never masquerade as a speedup. */
+void
+checkIdentical(const SweepTiming& serial,
+               const SweepTiming& threaded)
+{
+    if (serial.outcomes.size() != threaded.outcomes.size())
+        fatal("serial/threaded sweeps ran different job counts");
+    for (std::size_t i = 0; i < serial.outcomes.size(); ++i) {
+        const SimResult& a = serial.outcomes[i].result;
+        const SimResult& b = threaded.outcomes[i].result;
+        if (a.ipc != b.ipc || a.cycles != b.cycles ||
+            a.instructions != b.instructions ||
+            a.stallCycles != b.stallCycles) {
+            fatal("serial vs ", threaded.threads,
+                  "-thread results diverged for job ",
+                  serial.outcomes[i].tag, "/",
+                  serial.outcomes[i].benchmark);
+        }
+    }
+}
+
+void
+writeJson(const std::string& path,
+          const std::vector<SweepTiming>& timings,
+          const std::vector<std::string>& benchmarks,
+          std::uint64_t cycles)
+{
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot write ", path);
+    std::fprintf(f, "{\n  \"bench\": \"wallclock\",\n");
+    std::fprintf(f, "  \"cycles_per_run\": %llu,\n",
+                 static_cast<unsigned long long>(cycles));
+    std::fprintf(f, "  \"benchmarks\": [");
+    for (std::size_t i = 0; i < benchmarks.size(); ++i)
+        std::fprintf(f, "%s\"%s\"", i ? ", " : "",
+                     benchmarks[i].c_str());
+    std::fprintf(f, "],\n  \"runs\": [\n");
+    for (std::size_t i = 0; i < timings.size(); ++i) {
+        const SweepTiming& t = timings[i];
+        std::fprintf(
+            f,
+            "    {\"solver\": \"%s\", \"threads\": %d, "
+            "\"jobs\": %zu, \"wall_seconds\": %.4f, "
+            "\"sim_cycles\": %llu, "
+            "\"sim_cycles_per_second\": %.0f}%s\n",
+            t.solver.c_str(), t.threads, t.jobs, t.wallSeconds,
+            static_cast<unsigned long long>(t.simCycles),
+            t.cyclesPerSecond(),
+            i + 1 < timings.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+}
+
+int
+run()
+{
+    const bool smoke = std::getenv("TEMPEST_SMOKE") != nullptr;
+    const std::uint64_t cycles =
+        envU64("TEMPEST_CYCLES", smoke ? 200'000 : 2'000'000);
+    const std::uint64_t base_seed = envU64("TEMPEST_SEED", 1);
+    const std::vector<std::string> benchmarks = benchmarkList();
+
+    std::vector<SweepTiming> timings;
+    for (const ThermalSolver solver :
+         {ThermalSolver::Expm, ThermalSolver::Euler}) {
+        SweepTiming serial =
+            timeSweep(solver, 1, benchmarks, cycles, base_seed);
+        SweepTiming threaded =
+            timeSweep(solver, 8, benchmarks, cycles, base_seed);
+        checkIdentical(serial, threaded);
+        timings.push_back(std::move(serial));
+        timings.push_back(std::move(threaded));
+    }
+
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"solver", "threads", "jobs", "wall s",
+                    "Mcycles/s"});
+    char buf[64];
+    for (const SweepTiming& t : timings) {
+        std::vector<std::string> row;
+        row.push_back(t.solver);
+        row.push_back(std::to_string(t.threads));
+        row.push_back(std::to_string(t.jobs));
+        std::snprintf(buf, sizeof(buf), "%.2f", t.wallSeconds);
+        row.push_back(buf);
+        std::snprintf(buf, sizeof(buf), "%.2f",
+                      t.cyclesPerSecond() / 1e6);
+        row.push_back(buf);
+        rows.push_back(std::move(row));
+    }
+    std::printf("%s", experiments::renderTable(rows).c_str());
+
+    const double expm = timings[0].cyclesPerSecond();
+    const double euler = timings[2].cyclesPerSecond();
+    if (euler > 0)
+        std::printf("serial expm/euler throughput ratio: %.2fx\n",
+                    expm / euler);
+
+    const char* json = std::getenv("TEMPEST_BENCH_JSON");
+    writeJson(json ? json : "BENCH_wallclock.json", timings,
+              benchmarks, cycles);
+    return 0;
+}
+
+} // namespace
+} // namespace tempest
+
+int
+main()
+{
+    return tempest::run();
+}

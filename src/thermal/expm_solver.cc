@@ -1,0 +1,258 @@
+#include "thermal/expm_solver.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace tempest
+{
+
+namespace
+{
+
+/** Largest row sum of absolute values (induced inf-norm). */
+double
+infNorm(const std::vector<double>& m, int n)
+{
+    double norm = 0.0;
+    for (int r = 0; r < n; ++r) {
+        double row = 0.0;
+        for (int c = 0; c < n; ++c)
+            row += std::abs(m[static_cast<std::size_t>(r) * n + c]);
+        norm = std::max(norm, row);
+    }
+    return norm;
+}
+
+/** out = a * b for n x n row-major matrices. */
+void
+matmul(const std::vector<double>& a, const std::vector<double>& b,
+       std::vector<double>& out, int n)
+{
+    for (int r = 0; r < n; ++r) {
+        double* dst = &out[static_cast<std::size_t>(r) * n];
+        std::fill(dst, dst + n, 0.0);
+        for (int k = 0; k < n; ++k) {
+            const double f = a[static_cast<std::size_t>(r) * n + k];
+            if (f == 0.0)
+                continue;
+            const double* src =
+                &b[static_cast<std::size_t>(k) * n];
+            for (int c = 0; c < n; ++c)
+                dst[c] += f * src[c];
+        }
+    }
+}
+
+} // namespace
+
+ExpmSolver::ExpmSolver(std::vector<double> conductance,
+                       std::vector<double> capacitance,
+                       std::vector<double> const_heat)
+    : capacitance_(std::move(capacitance)),
+      constHeat_(std::move(const_heat))
+{
+    n_ = static_cast<int>(capacitance_.size());
+    if (n_ < 1)
+        fatal("ExpmSolver needs at least one node");
+    if (conductance.size() !=
+        static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_))
+        fatal("ExpmSolver: conductance matrix size mismatch");
+    if (constHeat_.size() != static_cast<std::size_t>(n_))
+        fatal("ExpmSolver: const_heat size mismatch");
+    for (double c : capacitance_) {
+        if (c <= 0)
+            fatal("ExpmSolver: capacitances must be positive");
+    }
+
+    // A = -C^{-1} G, kept for propagator construction.
+    negGOverC_.assign(conductance.size(), 0.0);
+    for (int r = 0; r < n_; ++r) {
+        const double inv_c =
+            1.0 / capacitance_[static_cast<std::size_t>(r)];
+        for (int c = 0; c < n_; ++c) {
+            const auto idx =
+                static_cast<std::size_t>(r) * n_ + c;
+            negGOverC_[idx] = -conductance[idx] * inv_c;
+        }
+    }
+
+    // LU factorization of G with partial pivoting (Doolittle),
+    // done once; steady-state solves reuse the factors.
+    lu_ = std::move(conductance);
+    pivot_.resize(static_cast<std::size_t>(n_));
+    auto at = [this](int r, int c) -> double& {
+        return lu_[static_cast<std::size_t>(r) * n_ + c];
+    };
+    for (int col = 0; col < n_; ++col) {
+        int pivot = col;
+        for (int r = col + 1; r < n_; ++r) {
+            if (std::abs(at(r, col)) > std::abs(at(pivot, col)))
+                pivot = r;
+        }
+        if (std::abs(at(pivot, col)) < 1e-20)
+            panic("singular thermal conductance matrix");
+        pivot_[static_cast<std::size_t>(col)] = pivot;
+        if (pivot != col) {
+            for (int c = 0; c < n_; ++c)
+                std::swap(at(pivot, c), at(col, c));
+        }
+        const double inv_p = 1.0 / at(col, col);
+        for (int r = col + 1; r < n_; ++r) {
+            const double f = at(r, col) * inv_p;
+            at(r, col) = f;
+            if (f == 0.0)
+                continue;
+            for (int c = col + 1; c < n_; ++c)
+                at(r, c) -= f * at(col, c);
+        }
+    }
+
+    rhs_.assign(static_cast<std::size_t>(n_), 0.0);
+    diff_.assign(static_cast<std::size_t>(n_), 0.0);
+}
+
+void
+ExpmSolver::luSolve(std::vector<double>& rhs) const
+{
+    // Apply the row permutation, then forward/back substitution.
+    for (int col = 0; col < n_; ++col) {
+        const int p = pivot_[static_cast<std::size_t>(col)];
+        if (p != col)
+            std::swap(rhs[static_cast<std::size_t>(col)],
+                      rhs[static_cast<std::size_t>(p)]);
+    }
+    for (int r = 1; r < n_; ++r) {
+        double v = rhs[static_cast<std::size_t>(r)];
+        const double* row = &lu_[static_cast<std::size_t>(r) * n_];
+        for (int c = 0; c < r; ++c)
+            v -= row[c] * rhs[static_cast<std::size_t>(c)];
+        rhs[static_cast<std::size_t>(r)] = v;
+    }
+    for (int r = n_ - 1; r >= 0; --r) {
+        double v = rhs[static_cast<std::size_t>(r)];
+        const double* row = &lu_[static_cast<std::size_t>(r) * n_];
+        for (int c = r + 1; c < n_; ++c)
+            v -= row[c] * rhs[static_cast<std::size_t>(c)];
+        rhs[static_cast<std::size_t>(r)] = v / row[r];
+    }
+}
+
+std::vector<double>
+ExpmSolver::expm(const std::vector<double>& m, int n)
+{
+    if (m.size() !=
+        static_cast<std::size_t>(n) * static_cast<std::size_t>(n))
+        fatal("expm: matrix size mismatch");
+
+    // Scaling: halve until the norm is small enough that the
+    // Taylor series converges in a handful of terms.
+    int squarings = 0;
+    double norm = infNorm(m, n);
+    while (norm > 0.5 && squarings < 64) {
+        norm *= 0.5;
+        ++squarings;
+    }
+    const double scale = std::ldexp(1.0, -squarings);
+    std::vector<double> scaled(m.size());
+    for (std::size_t i = 0; i < m.size(); ++i)
+        scaled[i] = m[i] * scale;
+
+    // Taylor core: P = sum_k scaled^k / k!.
+    std::vector<double> result(m.size(), 0.0);
+    std::vector<double> term(m.size(), 0.0);
+    std::vector<double> next(m.size(), 0.0);
+    for (int r = 0; r < n; ++r) {
+        result[static_cast<std::size_t>(r) * n + r] = 1.0;
+        term[static_cast<std::size_t>(r) * n + r] = 1.0;
+    }
+    for (int k = 1; k <= 40; ++k) {
+        matmul(term, scaled, next, n);
+        const double inv_k = 1.0 / static_cast<double>(k);
+        for (std::size_t i = 0; i < term.size(); ++i)
+            term[i] = next[i] * inv_k;
+        for (std::size_t i = 0; i < result.size(); ++i)
+            result[i] += term[i];
+        if (infNorm(term, n) < 1e-19)
+            break;
+    }
+
+    // Undo the scaling by repeated squaring.
+    for (int s = 0; s < squarings; ++s) {
+        matmul(result, result, next, n);
+        result.swap(next);
+    }
+    return result;
+}
+
+const std::vector<double>&
+ExpmSolver::propagatorFor(Seconds dt)
+{
+    for (const CachedPropagator& c : cache_) {
+        if (c.dt == dt)
+            return c.phi;
+    }
+    std::vector<double> a_dt(negGOverC_.size());
+    for (std::size_t i = 0; i < negGOverC_.size(); ++i)
+        a_dt[i] = negGOverC_[i] * dt;
+    CachedPropagator entry{dt, expm(a_dt, n_)};
+    if (cache_.size() < kMaxCachedPropagators) {
+        cache_.push_back(std::move(entry));
+        return cache_.back().phi;
+    }
+    // Deterministic round-robin eviction; in practice a run sees
+    // only the sampling-interval dt plus a few partial chunks.
+    const std::size_t slot = evictNext_;
+    evictNext_ = (evictNext_ + 1) % kMaxCachedPropagators;
+    cache_[slot] = std::move(entry);
+    return cache_[slot].phi;
+}
+
+void
+ExpmSolver::steadyState(std::vector<Kelvin>& temps,
+                        const std::vector<Watt>& powers)
+{
+    if (powers.size() > static_cast<std::size_t>(n_))
+        fatal("ExpmSolver: more powers than nodes");
+    rhs_ = constHeat_;
+    for (std::size_t i = 0; i < powers.size(); ++i)
+        rhs_[i] += powers[i];
+    luSolve(rhs_);
+    temps = rhs_;
+}
+
+void
+ExpmSolver::advance(std::vector<Kelvin>& temps,
+                    const std::vector<Watt>& powers, Seconds dt)
+{
+    if (temps.size() != static_cast<std::size_t>(n_))
+        fatal("ExpmSolver: temperature vector size mismatch");
+    if (dt <= 0)
+        return;
+
+    // T_ss for the current powers (O(n^2) via the LU factors).
+    rhs_ = constHeat_;
+    for (std::size_t i = 0; i < powers.size(); ++i)
+        rhs_[i] += powers[i];
+    luSolve(rhs_);
+
+    // T <- T_ss + Phi (T - T_ss).
+    const std::vector<double>& phi = propagatorFor(dt);
+    for (int i = 0; i < n_; ++i) {
+        diff_[static_cast<std::size_t>(i)] =
+            temps[static_cast<std::size_t>(i)] -
+            rhs_[static_cast<std::size_t>(i)];
+    }
+    for (int r = 0; r < n_; ++r) {
+        const double* row =
+            &phi[static_cast<std::size_t>(r) * n_];
+        double acc = 0.0;
+        for (int c = 0; c < n_; ++c)
+            acc += row[c] * diff_[static_cast<std::size_t>(c)];
+        temps[static_cast<std::size_t>(r)] =
+            rhs_[static_cast<std::size_t>(r)] + acc;
+    }
+}
+
+} // namespace tempest

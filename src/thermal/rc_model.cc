@@ -116,6 +116,49 @@ RcModel::RcModel(const Floorplan& floorplan,
         }
     }
     maxStableDt_ *= 0.25;
+
+    // O(1) resistance lookups for the DTM/floorplan setup paths.
+    verticalRes_.assign(static_cast<std::size_t>(numBlocks_),
+                        std::numeric_limits<double>::infinity());
+    lateralRes_.assign(static_cast<std::size_t>(numBlocks_) *
+                           static_cast<std::size_t>(numBlocks_),
+                       std::numeric_limits<double>::infinity());
+    for (const Edge& e : edges_) {
+        if (e.a < numBlocks_ && e.b == spreaderNode_) {
+            verticalRes_[static_cast<std::size_t>(e.a)] =
+                1.0 / e.conductance;
+        } else if (e.a < numBlocks_ && e.b < numBlocks_) {
+            const KelvinPerWatt r = 1.0 / e.conductance;
+            lateralRes_[static_cast<std::size_t>(e.a) * numBlocks_ +
+                        e.b] = r;
+            lateralRes_[static_cast<std::size_t>(e.b) * numBlocks_ +
+                        e.a] = r;
+        }
+    }
+
+    // Assemble the dense conductance system once and hand it to
+    // the exponential-integrator backend; its LU factors also
+    // serve every steady-state solve.
+    std::vector<double> g(static_cast<std::size_t>(numNodes_) *
+                              static_cast<std::size_t>(numNodes_),
+                          0.0);
+    for (const Edge& e : edges_) {
+        const auto a = static_cast<std::size_t>(e.a);
+        const auto b = static_cast<std::size_t>(e.b);
+        const auto n = static_cast<std::size_t>(numNodes_);
+        g[a * n + a] += e.conductance;
+        g[b * n + b] += e.conductance;
+        g[a * n + b] -= e.conductance;
+        g[b * n + a] -= e.conductance;
+    }
+    g[static_cast<std::size_t>(sinkNode_) * numNodes_ +
+      sinkNode_] += gSinkAmbient_;
+    std::vector<double> const_heat(
+        static_cast<std::size_t>(numNodes_), 0.0);
+    const_heat[static_cast<std::size_t>(sinkNode_)] =
+        gSinkAmbient_ * params_.ambient;
+    expm_.emplace(std::move(g), capacitance_,
+                  std::move(const_heat));
 }
 
 void
@@ -191,6 +234,10 @@ RcModel::step(Seconds dt)
 {
     if (dt <= 0)
         return;
+    if (params_.solver == ThermalSolver::Expm) {
+        expm_->advance(temp_, power_, dt);
+        return;
+    }
     // The substep count can exceed any integer type for small
     // timeScale (tiny capacitances => tiny maxStableDt_), and
     // casting the ceil to int would be UB; bound it in floating
@@ -213,63 +260,9 @@ RcModel::step(Seconds dt)
 void
 RcModel::solveSteadyState()
 {
-    // Dense Gaussian elimination on the conductance matrix; the
-    // network is ~25 nodes so this is exact and cheap.
-    const int n = numNodes_;
-    std::vector<double> m(static_cast<std::size_t>(n) * n, 0.0);
-    std::vector<double> rhs(static_cast<std::size_t>(n), 0.0);
-    auto at = [&m, n](int r, int c) -> double& {
-        return m[static_cast<std::size_t>(r) * n + c];
-    };
-
-    for (const Edge& e : edges_) {
-        at(e.a, e.a) += e.conductance;
-        at(e.b, e.b) += e.conductance;
-        at(e.a, e.b) -= e.conductance;
-        at(e.b, e.a) -= e.conductance;
-    }
-    at(sinkNode_, sinkNode_) += gSinkAmbient_;
-    rhs[static_cast<std::size_t>(sinkNode_)] +=
-        gSinkAmbient_ * params_.ambient;
-    for (int i = 0; i < numBlocks_; ++i)
-        rhs[static_cast<std::size_t>(i)] +=
-            power_[static_cast<std::size_t>(i)];
-
-    // Forward elimination with partial pivoting.
-    std::vector<int> perm(static_cast<std::size_t>(n));
-    for (int i = 0; i < n; ++i)
-        perm[static_cast<std::size_t>(i)] = i;
-    for (int col = 0; col < n; ++col) {
-        int pivot = col;
-        for (int r = col + 1; r < n; ++r) {
-            if (std::abs(at(r, col)) > std::abs(at(pivot, col)))
-                pivot = r;
-        }
-        if (std::abs(at(pivot, col)) < 1e-20)
-            panic("singular thermal conductance matrix");
-        if (pivot != col) {
-            for (int c = 0; c < n; ++c)
-                std::swap(at(pivot, c), at(col, c));
-            std::swap(rhs[static_cast<std::size_t>(pivot)],
-                      rhs[static_cast<std::size_t>(col)]);
-        }
-        for (int r = col + 1; r < n; ++r) {
-            const double f = at(r, col) / at(col, col);
-            if (f == 0.0)
-                continue;
-            for (int c = col; c < n; ++c)
-                at(r, c) -= f * at(col, c);
-            rhs[static_cast<std::size_t>(r)] -=
-                f * rhs[static_cast<std::size_t>(col)];
-        }
-    }
-    // Back substitution.
-    for (int r = n - 1; r >= 0; --r) {
-        double v = rhs[static_cast<std::size_t>(r)];
-        for (int c = r + 1; c < n; ++c)
-            v -= at(r, c) * temp_[static_cast<std::size_t>(c)];
-        temp_[static_cast<std::size_t>(r)] = v / at(r, r);
-    }
+    // One O(n^2) solve through the LU factors cached at
+    // construction (the exponential backend owns them).
+    expm_->steadyState(temp_, power_);
 }
 
 Kelvin
@@ -309,21 +302,18 @@ RcModel::setTemperature(int block, Kelvin t)
 KelvinPerWatt
 RcModel::verticalResistance(int block) const
 {
-    for (const Edge& e : edges_) {
-        if (e.a == block && e.b == spreaderNode_)
-            return 1.0 / e.conductance;
-    }
-    panic("no vertical edge for block ", block);
+    if (block < 0 || block >= numBlocks_)
+        panic("no vertical edge for block ", block);
+    return verticalRes_[static_cast<std::size_t>(block)];
 }
 
 KelvinPerWatt
 RcModel::lateralResistance(int a, int b) const
 {
-    for (const Edge& e : edges_) {
-        if ((e.a == a && e.b == b) || (e.a == b && e.b == a))
-            return 1.0 / e.conductance;
-    }
-    return std::numeric_limits<double>::infinity(); // not adjacent
+    if (a < 0 || a >= numBlocks_ || b < 0 || b >= numBlocks_)
+        return std::numeric_limits<double>::infinity();
+    return lateralRes_[static_cast<std::size_t>(a) * numBlocks_ +
+                       b]; // infinity if not adjacent
 }
 
 } // namespace tempest

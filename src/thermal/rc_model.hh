@@ -11,9 +11,12 @@
  * small blocks, which yields the paper's key physical property:
  * adjacent resource copies can sit several Kelvin apart.
  *
- * Transient integration is explicit Euler with automatic
- * substepping below the smallest node time constant; a dense
- * steady-state solver provides warmed-up initial conditions.
+ * Transient integration defaults to the exponential integrator
+ * (ExpmSolver): exact for piecewise-constant power, one dense
+ * matvec per step. The original explicit Euler path (automatic
+ * substepping below the smallest node time constant) is retained
+ * behind ThermalParams::solver as a cross-check oracle. Steady
+ * states come from the LU factors cached at construction.
  *
  * `timeScale` scales every capacitance, compressing the thermal
  * dynamics so short simulations traverse multiple time constants
@@ -24,13 +27,30 @@
 #ifndef TEMPEST_THERMAL_RC_MODEL_HH
 #define TEMPEST_THERMAL_RC_MODEL_HH
 
+#include <optional>
 #include <vector>
 
 #include "common/types.hh"
+#include "thermal/expm_solver.hh"
 #include "thermal/floorplan.hh"
 
 namespace tempest
 {
+
+/**
+ * Transient integration scheme.
+ *
+ * Expm is the production path: exact for piecewise-constant power
+ * via the precomputed matrix exponential, one O(n^2) update per
+ * step regardless of stiffness. Euler is the original explicit
+ * integrator with automatic substepping, retained as a
+ * cross-check oracle (the expm tests assert agreement with it).
+ */
+enum class ThermalSolver
+{
+    Expm,
+    Euler
+};
 
 /** Package and material parameters. */
 struct ThermalParams
@@ -81,6 +101,9 @@ struct ThermalParams
     /** Capacitance compression for short simulations. */
     double timeScale = 1.0;
 
+    /** Transient integration scheme (see ThermalSolver). */
+    ThermalSolver solver = ThermalSolver::Expm;
+
     void validate() const;
 };
 
@@ -122,12 +145,17 @@ class RcModel
     /** Largest stable explicit-Euler step. */
     Seconds maxStableDt() const { return maxStableDt_; }
 
-    /** Vertical block-to-spreader resistance (for tests). */
+    /** Vertical block-to-spreader resistance (O(1) lookup). */
     KelvinPerWatt verticalResistance(int block) const;
 
     /** Lateral resistance between two blocks; 0 conductance
-     * (infinite resistance) if not adjacent. */
+     * (infinite resistance) if not adjacent. O(1) lookup. */
     KelvinPerWatt lateralResistance(int a, int b) const;
+
+    /** The exponential-integrator backend (always built; also
+     * serves the LU-backed steady-state solves). */
+    ExpmSolver& expmSolver() { return *expm_; }
+    const ExpmSolver& expmSolver() const { return *expm_; }
 
     const ThermalParams& params() const { return params_; }
 
@@ -155,6 +183,14 @@ class RcModel
     std::vector<Watt> power_;          ///< block nodes only
     double gSinkAmbient_ = 0.0;
     Seconds maxStableDt_ = 0.0;
+
+    // Per-block resistance lookups built in the constructor so
+    // the DTM/floorplan setup paths avoid O(edges) scans.
+    std::vector<KelvinPerWatt> verticalRes_;   ///< per block
+    std::vector<KelvinPerWatt> lateralRes_;    ///< blocks x blocks
+
+    /** Exponential-integrator backend (holds the LU of G). */
+    std::optional<ExpmSolver> expm_;
 
     // Scratch for the Euler step.
     std::vector<double> flux_;

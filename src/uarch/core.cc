@@ -22,12 +22,59 @@ OooCore::OooCore(const PipelineConfig& config,
       caches_(config)
 {
     config_.validate();
+    if (config.activeListEntries >
+        static_cast<int>(doneMask_ + 1)) {
+        fatal("active list (", config.activeListEntries,
+              ") exceeds the completed-producer ring (",
+              doneMask_ + 1,
+              "); in-flight sequence numbers would alias");
+    }
     rob_.assign(static_cast<std::size_t>(config.activeListEntries),
                 RobEntry{});
-    const int wheel_size =
+
+    // Completion wheel: power-of-two slot count so the cycle index
+    // reduces with a mask, deep enough for the longest latency.
+    const int min_slots =
         std::max(512, 2 * (config.memCycles + config.l2HitCycles));
-    wheel_.assign(static_cast<std::size_t>(wheel_size), {});
+    std::size_t slots = 1;
+    while (slots < static_cast<std::size_t>(min_slots))
+        slots <<= 1;
+    wheelMask_ = slots - 1;
+
+    // Per-slot capacity: each distinct operation latency maps a
+    // slot back to one issue cycle, and an issue cycle contributes
+    // at most issueWidth completions. The active list bounds total
+    // in-flight ops regardless.
+    const int latencies[] = {
+        std::max(1, config.intAluLatency),
+        std::max(1, config.intMulLatency),
+        std::max(1, config.fpAddLatency),
+        std::max(1, config.fpMulLatency),
+        std::max(1, config.l1HitCycles),
+        std::max(1, config.l2HitCycles),
+        std::max(1, config.memCycles),
+    };
+    constexpr int num_latencies =
+        static_cast<int>(sizeof(latencies) / sizeof(latencies[0]));
+    int distinct = 0;
+    for (int i = 0; i < num_latencies; ++i) {
+        bool seen = false;
+        for (int j = 0; j < i; ++j)
+            seen = seen || latencies[j] == latencies[i];
+        if (!seen)
+            ++distinct;
+    }
+    wheelSlotCap_ = std::min(config.activeListEntries,
+                             config.issueWidth * distinct);
+    wheel_.assign(slots * static_cast<std::size_t>(wheelSlotCap_),
+                  Completion{});
+    wheelCount_.assign(slots, 0);
+
     done_.assign(doneMask_ + 1, 1);
+
+    fetchCap_ = 4 * config.fetchWidth;
+    fetchRing_.assign(static_cast<std::size_t>(fetchCap_),
+                      MicroOp{});
 }
 
 void
@@ -58,27 +105,39 @@ OooCore::schedule(const Completion& completion, int latency)
 {
     if (latency < 1)
         latency = 1;
-    const auto slot = (cycle_ + static_cast<Cycle>(latency)) %
-                      wheel_.size();
-    wheel_[slot].push_back(completion);
+    const std::size_t slot = static_cast<std::size_t>(
+        (cycle_ + static_cast<Cycle>(latency)) & wheelMask_);
+    int& n = wheelCount_[slot];
+    if (n >= wheelSlotCap_)
+        panic("completion wheel slot overflow (cap ",
+              wheelSlotCap_, "); per-cycle completion bound broken");
+    wheel_[slot * static_cast<std::size_t>(wheelSlotCap_) +
+           static_cast<std::size_t>(n)] = completion;
+    ++n;
 }
 
 void
 OooCore::doWriteback(ActivityRecord& activity)
 {
-    auto& events = wheel_[cycle_ % wheel_.size()];
-    if (events.empty())
+    const std::size_t slot =
+        static_cast<std::size_t>(cycle_ & wheelMask_);
+    const int num_events = wheelCount_[slot];
+    if (num_events == 0)
         return;
-    // Result tags completing this cycle, broadcast together in one
-    // CAM pass per queue.
-    std::uint64_t tags[64];
+    const Completion* events =
+        &wheel_[slot * static_cast<std::size_t>(wheelSlotCap_)];
+    // Count the result tags completing this cycle; dependents wake
+    // through the completed-producer scoreboard in one pass per
+    // queue, so the same-cycle completion count is unbounded (the
+    // old fixed tag list silently dropped wakeups past its cap,
+    // deadlocking the queues).
     int num_tags = 0;
-    for (const Completion& c : events) {
+    for (int i = 0; i < num_events; ++i) {
+        const Completion& c = events[i];
         rob_[static_cast<std::size_t>(c.robIdx)].completed = true;
         done_[c.seq & doneMask_] = 1;
         if (c.hasDest) {
-            if (num_tags < 64)
-                tags[num_tags++] = c.seq;
+            ++num_tags;
             // Result write: all integer copies, or the FP file.
             if (c.fpDest)
                 ++activity.fpRegWrites;
@@ -94,12 +153,14 @@ OooCore::doWriteback(ActivityRecord& activity)
                 static_cast<Cycle>(config_.branchRedirectPenalty);
         }
     }
-    events.clear();
+    wheelCount_[slot] = 0;
     // Clock-gated empty queues skip the broadcast entirely.
     if (intIq_.count() > 0)
-        intIq_.broadcastMany(tags, num_tags, activity);
+        intIq_.wakeupScoreboard(done_.data(), doneMask_, num_tags,
+                                activity);
     if (fpIq_.count() > 0)
-        fpIq_.broadcastMany(tags, num_tags, activity);
+        fpIq_.wakeupScoreboard(done_.data(), doneMask_, num_tags,
+                               activity);
 }
 
 void
@@ -111,7 +172,8 @@ OooCore::doCommit(ActivityRecord& activity)
             break;
         if (head.isMem)
             --lsqCount_;
-        robHead_ = (robHead_ + 1) % config_.activeListEntries;
+        if (++robHead_ == config_.activeListEntries)
+            robHead_ = 0;
         --robCount_;
         ++committed_;
         ++activity.commits;
@@ -124,6 +186,19 @@ OooCore::doIssue(ActivityRecord& activity)
 {
     int budget = config_.issueWidth;
     int mem_ports_left = config_.l1dPorts;
+
+    // The active list does not move during select, so the head
+    // position/sequence used for ROB indexing can be read once.
+    const std::uint64_t head_seq = robHeadSeq();
+    const int head_idx = robHead_;
+    const int rob_entries = config_.activeListEntries;
+    auto rob_index_of = [head_seq, head_idx,
+                         rob_entries](std::uint64_t seq) {
+        int idx = head_idx + static_cast<int>(seq - head_seq);
+        if (idx >= rob_entries)
+            idx -= rob_entries;
+        return idx;
+    };
 
     // Alternate which queue selects first so FP workloads are not
     // starved by the integer queue's address traffic.
@@ -170,12 +245,8 @@ OooCore::doIssue(ActivityRecord& activity)
                 latency = alus_.latencyOf(entry.cls);
             }
 
-            const int rob_idx = static_cast<int>(
-                (static_cast<std::uint64_t>(robHead_) +
-                 (entry.seq - robHeadSeq())) %
-                static_cast<std::uint64_t>(
-                    config_.activeListEntries));
-            schedule({entry.seq, rob_idx, entry.hasDest,
+            schedule({entry.seq, rob_index_of(entry.seq),
+                      entry.hasDest,
                       /*fpDest=*/false,
                       entry.cls == OpClass::Branch &&
                           entry.mispredicted},
@@ -212,12 +283,8 @@ OooCore::doIssue(ActivityRecord& activity)
                 static_cast<std::uint64_t>(entry.numSrcs);
 
             const int latency = alus_.latencyOf(entry.cls);
-            const int rob_idx = static_cast<int>(
-                (static_cast<std::uint64_t>(robHead_) +
-                 (entry.seq - robHeadSeq())) %
-                static_cast<std::uint64_t>(
-                    config_.activeListEntries));
-            schedule({entry.seq, rob_idx, entry.hasDest,
+            schedule({entry.seq, rob_index_of(entry.seq),
+                      entry.hasDest,
                       /*fpDest=*/true, false},
                      latency);
         }
@@ -236,11 +303,12 @@ void
 OooCore::doDispatch(ActivityRecord& activity)
 {
     for (int n = 0; n < config_.issueWidth; ++n) {
-        if (fetchBuffer_.empty())
+        if (fetchCount_ == 0)
             return;
         if (robCount_ >= config_.activeListEntries)
             return;
-        const MicroOp& op = fetchBuffer_.front();
+        const MicroOp& op =
+            fetchRing_[static_cast<std::size_t>(fetchHead_)];
         const bool is_mem = isMemClass(op.cls);
         if (is_mem && lsqCount_ >= config_.lsqEntries)
             return;
@@ -262,8 +330,9 @@ OooCore::doDispatch(ActivityRecord& activity)
 
         // Allocate the active-list slot before inserting so the
         // in-flight window check in producerReady stays correct.
-        const int rob_idx =
-            (robHead_ + robCount_) % config_.activeListEntries;
+        int rob_idx = robHead_ + robCount_;
+        if (rob_idx >= config_.activeListEntries)
+            rob_idx -= config_.activeListEntries;
         rob_[static_cast<std::size_t>(rob_idx)] = {op.seq, false,
                                                    is_mem};
         ++robCount_;
@@ -277,7 +346,9 @@ OooCore::doDispatch(ActivityRecord& activity)
         ++activity.renameOps;
 
         iq.dispatch(entry, activity);
-        fetchBuffer_.pop_front();
+        if (++fetchHead_ == fetchCap_)
+            fetchHead_ = 0;
+        --fetchCount_;
     }
 }
 
@@ -298,16 +369,18 @@ OooCore::doFetch(ActivityRecord& activity)
         cycle_ % static_cast<Cycle>(fetchInterval_) != 0) {
         return; // thermally throttled
     }
-    if (fetchBuffer_.size() >=
-        static_cast<std::size_t>(3 * config_.fetchWidth)) {
+    if (fetchCount_ >= 3 * config_.fetchWidth)
         return; // fetch buffer full
-    }
     ++activity.l1iAccesses;
     for (int n = 0; n < config_.fetchWidth; ++n) {
-        MicroOp op = stream_.next();
+        const MicroOp op = stream_.next();
         const bool blocks = op.cls == OpClass::Branch &&
                             op.mispredicted;
-        fetchBuffer_.push_back(op);
+        int tail = fetchHead_ + fetchCount_;
+        if (tail >= fetchCap_)
+            tail -= fetchCap_;
+        fetchRing_[static_cast<std::size_t>(tail)] = op;
+        ++fetchCount_;
         if (blocks) {
             // Fetch goes down the wrong path; stop supplying
             // correct-path work until the branch resolves.

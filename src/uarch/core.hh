@@ -15,7 +15,6 @@
 #define TEMPEST_UARCH_CORE_HH
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "common/types.hh"
@@ -102,6 +101,8 @@ class OooCore
     int lsqCount() const { return lsqCount_; }
 
   private:
+    friend struct CoreTestPeer; ///< white-box writeback tests
+
     struct RobEntry
     {
         std::uint64_t seq = 0;
@@ -151,14 +152,28 @@ class OooCore
     int robCount_ = 0;
     int lsqCount_ = 0;
 
-    // Completion wheel indexed by cycle modulo its size.
-    std::vector<std::vector<Completion>> wheel_;
+    // Completion wheel, flattened: a power-of-two number of slots
+    // (indexed by cycle & wheelMask_) times a fixed per-slot
+    // capacity, with a count per slot. The capacity is the static
+    // bound on same-cycle completions: at most issueWidth ops issue
+    // per cycle, and a slot only collects from one issue cycle per
+    // distinct operation latency (see the constructor).
+    std::vector<Completion> wheel_;
+    std::vector<int> wheelCount_;
+    std::uint64_t wheelMask_ = 0;
+    int wheelSlotCap_ = 0;
 
     // Completed-producer ring (sized beyond any in-flight window).
     std::vector<std::uint8_t> done_;
     static constexpr std::uint64_t doneMask_ = 4095;
 
-    std::deque<MicroOp> fetchBuffer_;
+    // Fetch buffer as a fixed ring (capacity 4 * fetchWidth covers
+    // the high-water mark: the 3 * fetchWidth full check plus one
+    // more fetch group).
+    std::vector<MicroOp> fetchRing_;
+    int fetchHead_ = 0;
+    int fetchCount_ = 0;
+    int fetchCap_ = 0;
     int fetchInterval_ = 1;
     bool fetchBlocked_ = false;
     std::uint64_t blockingBranchSeq_ = 0;

@@ -9,7 +9,8 @@ namespace tempest
 
 IssueQueue::IssueQueue(int num_entries, int issue_width,
                        QueueKind kind)
-    : size_(num_entries), issueWidth_(issue_width), kind_(kind)
+    : size_(num_entries), half_(num_entries / 2),
+      issueWidth_(issue_width), kind_(kind)
 {
     if (num_entries < 2 || num_entries % 2 != 0)
         fatal("issue queue size must be even and >= 2");
@@ -121,12 +122,46 @@ IssueQueue::broadcastMany(const std::uint64_t* producer_seqs, int n,
 }
 
 void
+IssueQueue::wakeupScoreboard(const std::uint8_t* done,
+                             std::uint64_t mask, int n_tags,
+                             ActivityRecord& activity)
+{
+    if (n_tags <= 0)
+        return;
+    activity.iqTagBroadcasts[queueIndex()] +=
+        static_cast<std::uint64_t>(n_tags);
+    // Check each watched source against the completed-producer
+    // ring. Entries that became fully ready (or were invalidated by
+    // clear()) leave the list; survivors keep their relative order.
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < waiting_.size(); ++i) {
+        const int phys = waiting_[i];
+        IqEntry& entry = phys_[static_cast<std::size_t>(phys)];
+        if (!entry.valid)
+            continue;
+        bool still_waiting = false;
+        for (int s = 0; s < entry.numSrcs; ++s) {
+            if (entry.srcReady[s])
+                continue;
+            if (done[entry.src[s] & mask] != 0)
+                entry.srcReady[s] = true;
+            else
+                still_waiting = true;
+        }
+        if (still_waiting)
+            waiting_[keep++] = phys;
+    }
+    waiting_.resize(keep);
+}
+
+void
 IssueQueue::markIssued(int phys_idx, ActivityRecord& activity)
 {
     IqEntry& entry = entryAtPhys(phys_idx);
     if (!entry.valid || entry.pendingInvalid)
         panic("markIssued on an empty or already-issued entry");
     entry.pendingInvalid = true;
+    ++pendingInvalidCount_;
     const int q = queueIndex();
     // Payload RAM read + select-network access per issue.
     ++activity.iqPayloadAccesses[q];
@@ -140,6 +175,21 @@ IssueQueue::compactStep(ActivityRecord& activity)
 
     // Clock-gating control logic runs every cycle.
     ++activity.iqClockGateCycles[q];
+
+    // Early out when there is nothing to compact: no entries were
+    // issued last cycle and the occupied region is hole-free
+    // (tail == valid count). The full pass below would then only
+    // rebuild the wakeup list with identical contents — that list
+    // is kept consistent incrementally by dispatch() and
+    // wakeupScoreboard() instead. Occupancy accounting still runs:
+    // the valid entries burn leakage whether or not anything moves.
+    if (pendingInvalidCount_ == 0 && tailLogical_ == count_) {
+        activity.iqOccupiedCycles[q][0] +=
+            static_cast<std::uint64_t>(halfCount_[0]);
+        activity.iqOccupiedCycles[q][1] +=
+            static_cast<std::uint64_t>(halfCount_[1]);
+        return;
+    }
 
     // One pass in logical (priority) order: convert last cycle's
     // issues into holes, then shift valid entries toward the head
@@ -205,6 +255,9 @@ IssueQueue::compactStep(ActivityRecord& activity)
             waiting_.push_back(final_phys);
     }
     tailLogical_ = last_valid + 1;
+    // Every pending invalid sat below the old tail, so the pass
+    // converted all of them.
+    pendingInvalidCount_ = 0;
 
     // Idle/leakage accounting: valid entry-cycles per half.
     activity.iqOccupiedCycles[q][0] +=
@@ -233,6 +286,7 @@ IssueQueue::clear()
     count_ = 0;
     halfCount_[0] = halfCount_[1] = 0;
     tailLogical_ = 0;
+    pendingInvalidCount_ = 0;
     waiting_.clear();
 }
 

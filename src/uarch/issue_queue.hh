@@ -123,6 +123,20 @@ class IssueQueue
                        ActivityRecord& activity);
 
     /**
+     * Scoreboard variant of the same-cycle wakeup: instead of
+     * matching each waiting source against a bounded list of
+     * completing tags, consult the core's completed-producer ring
+     * (`done[seq & mask]`). Models the same hardware event — the
+     * activity charge is still one tag broadcast per completing
+     * destination (`n_tags`) — but has no cap on how many results
+     * can wake dependents in one cycle. Woken and invalidated
+     * entries are pruned from the wakeup list.
+     */
+    void wakeupScoreboard(const std::uint8_t* done,
+                          std::uint64_t mask, int n_tags,
+                          ActivityRecord& activity);
+
+    /**
      * Visit ready entries in priority (logical) order. The visitor
      * receives (physical index, entry) and returns false to stop.
      */
@@ -130,9 +144,24 @@ class IssueQueue
     void
     forEachReadyInPriorityOrder(Visitor&& visit) const
     {
+        // Conventional mode is the common case: logical == physical,
+        // so the scan is a straight array walk.
+        if (mode_ == CompactionMode::Conventional) {
+            for (int p = 0; p < tailLogical_; ++p) {
+                const IqEntry& e =
+                    phys_[static_cast<std::size_t>(p)];
+                if (e.ready()) {
+                    if (!visit(p, e))
+                        return;
+                }
+            }
+            return;
+        }
         for (int l = 0; l < tailLogical_; ++l) {
-            const int p = physOfLogical(l);
-            const IqEntry& e = phys_[p];
+            int p = l + half_;
+            if (p >= size_)
+                p -= size_;
+            const IqEntry& e = phys_[static_cast<std::size_t>(p)];
             if (e.ready()) {
                 if (!visit(p, e))
                     return;
@@ -166,29 +195,33 @@ class IssueQueue
     std::uint64_t toggleCount() const { return toggleCount_; }
 
     /** Physical index of a logical position under the current
-     * mode. */
+     * mode. Inputs are in [0, size), so the toggled-mode rotation
+     * by size/2 reduces with one conditional subtract (no `%`). */
     int
     physOfLogical(int logical) const
     {
-        return mode_ == CompactionMode::Conventional
-                   ? logical
-                   : (logical + size_ / 2) % size_;
+        if (mode_ == CompactionMode::Conventional)
+            return logical;
+        const int p = logical + half_;
+        return p >= size_ ? p - size_ : p;
     }
 
     /** Logical position of a physical index. */
     int
     logicalOfPhys(int phys) const
     {
-        return mode_ == CompactionMode::Conventional
-                   ? phys
-                   : (phys + size_ - size_ / 2) % size_;
+        if (mode_ == CompactionMode::Conventional)
+            return phys;
+        // size - size/2 == size/2 for the even sizes we require.
+        const int l = phys + half_;
+        return l >= size_ ? l - size_ : l;
     }
 
     /** Physical half (0 = lower) of a physical index. */
     int
     halfOfPhys(int phys) const
     {
-        return phys < size_ / 2 ? 0 : 1;
+        return phys < half_ ? 0 : 1;
     }
 
     /** Entry access by physical index (for tests and the core). */
@@ -217,6 +250,7 @@ class IssueQueue
     void recomputeTail();
 
     int size_;
+    int half_; ///< size_ / 2, the toggled-mode rotation
     int issueWidth_;
     QueueKind kind_;
     CompactionMode mode_ = CompactionMode::Conventional;
@@ -228,6 +262,7 @@ class IssueQueue
     // toggle so the per-cycle paths avoid full scans.
     int tailLogical_ = 0;       ///< one past highest occupied slot
     int halfCount_[2] = {0, 0}; ///< valid entries per physical half
+    int pendingInvalidCount_ = 0; ///< issued, not yet holes
 
     /** Physical indices of entries with at least one unready
      * source; rebuilt each compaction, appended by dispatch. */

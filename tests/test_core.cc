@@ -9,6 +9,55 @@
 
 namespace tempest
 {
+
+/** White-box access for writeback tests: stages producers in the
+ * ROB/wheel directly so a single cycle can complete more results
+ * than any organic schedule would. */
+struct CoreTestPeer
+{
+    /** Mark a producer seq dispatched-but-incomplete. */
+    static void
+    markInFlight(OooCore& core, std::uint64_t seq)
+    {
+        core.done_[seq & OooCore::doneMask_] = 0;
+    }
+
+    /** Append a ROB entry; @return its ring index. */
+    static int
+    addRobEntry(OooCore& core, std::uint64_t seq)
+    {
+        int idx = core.robHead_ + core.robCount_;
+        if (idx >= core.config_.activeListEntries)
+            idx -= core.config_.activeListEntries;
+        core.rob_[static_cast<std::size_t>(idx)] = {seq, false,
+                                                    false};
+        ++core.robCount_;
+        return idx;
+    }
+
+    static void
+    scheduleCompletion(OooCore& core, std::uint64_t seq,
+                       int rob_idx, int latency)
+    {
+        core.schedule({seq, rob_idx, /*hasDest=*/true,
+                       /*fpDest=*/false,
+                       /*mispredictedBranch=*/false},
+                      latency);
+    }
+
+    static void
+    advanceCycle(OooCore& core)
+    {
+        ++core.cycle_;
+    }
+
+    static void
+    writeback(OooCore& core, ActivityRecord& activity)
+    {
+        core.doWriteback(activity);
+    }
+};
+
 namespace
 {
 
@@ -215,6 +264,53 @@ TEST(Core, ActivityConservation)
     EXPECT_LE(issued, core.committed() +
                           static_cast<std::uint64_t>(
                               cfg.activeListEntries));
+}
+
+TEST(Core, WritebackWakesBeyondSixtyFourSameCycleCompletions)
+{
+    // Regression: writeback used to collect completing result tags
+    // into a fixed 64-slot list before broadcasting. With more than
+    // 64 destinations completing in one cycle the overflow tags
+    // were silently dropped, so their dependents slept in the issue
+    // queues forever (deadlock). The scoreboard wakeup has no cap.
+    PipelineConfig cfg;
+    cfg.issueWidth = 16; // completion-wheel slot bound >= 80
+    cfg.intIqEntries = 128;
+    OooCore core(cfg, spec2000("gzip"), 1);
+    ActivityRecord act;
+
+    constexpr int kProducers = 80; // > the old 64-tag cap
+    IssueQueue& iq = core.intQueue();
+    for (int i = 0; i < kProducers; ++i) {
+        const std::uint64_t producer_seq =
+            static_cast<std::uint64_t>(i + 1);
+        const int rob_idx =
+            CoreTestPeer::addRobEntry(core, producer_seq);
+        CoreTestPeer::markInFlight(core, producer_seq);
+
+        IqEntry waiter;
+        waiter.seq = static_cast<std::uint64_t>(1000 + i);
+        waiter.cls = OpClass::IntAlu;
+        waiter.numSrcs = 1;
+        waiter.src[0] = producer_seq;
+        waiter.srcReady[0] = false;
+        ASSERT_TRUE(iq.canDispatch());
+        iq.dispatch(waiter, act);
+
+        CoreTestPeer::scheduleCompletion(core, producer_seq,
+                                         rob_idx, 1);
+    }
+    ASSERT_EQ(iq.waitingCount(), kProducers);
+
+    CoreTestPeer::advanceCycle(core);
+    CoreTestPeer::writeback(core, act);
+
+    for (int p = 0; p < kProducers; ++p)
+        EXPECT_TRUE(iq.entryAtPhys(p).ready()) << "entry " << p;
+    EXPECT_EQ(iq.waitingCount(), 0);
+    // One tag-broadcast charge per completing destination.
+    EXPECT_EQ(act.iqTagBroadcasts[0],
+              static_cast<std::uint64_t>(kProducers));
 }
 
 TEST(Core, RobAndLsqBounded)

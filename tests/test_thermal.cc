@@ -185,6 +185,7 @@ TEST(Thermal, StabilityAcrossLargeSteps)
 {
     // Substepping must keep explicit Euler stable for any dt.
     ThermalParams params;
+    params.solver = ThermalSolver::Euler;
     params.timeScale = 0.05;
     RcModel rc(
         Floorplan::ev6Like(FloorplanVariant::IqConstrained),
@@ -263,6 +264,7 @@ TEST(Thermal, StepHandlesLargeSubstepCounts)
     // which overflows (UB) for small timeScale. A count in the
     // tens of thousands must integrate fine...
     ThermalParams params;
+    params.solver = ThermalSolver::Euler;
     RcModel rc(singleBlock(), params);
     rc.setPower(0, 1.0);
     rc.step(rc.maxStableDt() * 20000.5);
@@ -273,8 +275,10 @@ TEST(Thermal, StepHandlesLargeSubstepCounts)
 TEST(Thermal, StepRejectsAbsurdSubstepCountsNamingTimeScale)
 {
     // ...while a count that would once have overflowed int is
-    // rejected with a diagnostic naming timeScale.
+    // rejected with a diagnostic naming timeScale. (The expm
+    // solver has no substep limit; this guard is Euler-only.)
     ThermalParams params;
+    params.solver = ThermalSolver::Euler;
     params.timeScale = 1e-12;
     RcModel rc(singleBlock(), params);
     try {

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Run bench_wallclock and record the result trajectory.
+
+Executes the wall-clock benchmark binary, stamps its output with
+the current git revision and a UTC timestamp, and appends the entry
+to BENCH_wallclock.json at the repository root. Each entry is one
+measurement of simulator throughput (simulated cycles per wall
+second, per thermal solver and thread count), so the file grows
+into a perf history across commits.
+
+Usage:
+    python3 tools/record_bench.py [--build-dir build]
+        [--output BENCH_wallclock.json] [--smoke] [--cycles N]
+
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import datetime
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def repo_root():
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.dirname(here)
+
+
+def git_rev(root):
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=root, capture_output=True, text=True, check=True)
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def run_bench(binary, smoke, cycles):
+    env = dict(os.environ)
+    if smoke:
+        env["TEMPEST_SMOKE"] = "1"
+    if cycles:
+        env["TEMPEST_CYCLES"] = str(cycles)
+    with tempfile.NamedTemporaryFile(
+            mode="r", suffix=".json", delete=False) as tmp:
+        env["TEMPEST_BENCH_JSON"] = tmp.name
+        try:
+            subprocess.run([binary], env=env, check=True)
+            tmp.seek(0)
+            return json.load(tmp)
+        finally:
+            os.unlink(tmp.name)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="CMake build directory (default: "
+                             "build)")
+    parser.add_argument("--output", default=None,
+                        help="trajectory file (default: "
+                             "BENCH_wallclock.json at repo root)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast pass (200k cycles per run)")
+    parser.add_argument("--cycles", type=int, default=None,
+                        help="simulated cycles per run override")
+    args = parser.parse_args()
+
+    root = repo_root()
+    binary = os.path.join(root, args.build_dir, "bench",
+                          "bench_wallclock")
+    if not os.path.exists(binary):
+        sys.exit(f"{binary} not found; build the project first "
+                 f"(cmake --build {args.build_dir} --target "
+                 f"bench_wallclock)")
+
+    payload = run_bench(binary, args.smoke, args.cycles)
+    entry = {
+        "recorded_at": datetime.datetime.now(
+            datetime.timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "git_rev": git_rev(root),
+        "cycles_per_run": payload.get("cycles_per_run"),
+        "benchmarks": payload.get("benchmarks"),
+        "runs": payload.get("runs"),
+    }
+
+    output = args.output or os.path.join(root,
+                                         "BENCH_wallclock.json")
+    history = []
+    if os.path.exists(output):
+        with open(output) as f:
+            previous = json.load(f)
+        # Accept both the trajectory format and a raw bench dump.
+        history = previous.get("history", [])
+    history.append(entry)
+    with open(output, "w") as f:
+        json.dump({"bench": "wallclock", "history": history}, f,
+                  indent=2)
+        f.write("\n")
+
+    best = max(entry["runs"],
+               key=lambda r: r["sim_cycles_per_second"])
+    print(f"recorded {entry['git_rev']} -> {output} "
+          f"(best {best['sim_cycles_per_second'] / 1e6:.2f} "
+          f"Mcycles/s, solver={best['solver']} "
+          f"threads={best['threads']})")
+
+
+if __name__ == "__main__":
+    main()

@@ -14,7 +14,8 @@
  *              round_robin, fetch_throttling,
  *              mapping = priority|balanced|completely-balanced,
  *              max_temperature, toggle_delta, cooling_time
- *   [thermal]  time_scale, ambient, convection
+ *   [thermal]  time_scale, ambient, convection,
+ *              solver = expm|euler
  *   [sim]      sample_interval, warm_start
  */
 
@@ -47,6 +48,16 @@ parseVariant(const std::string& name)
           "' (baseline|iq|alu|regfile)");
 }
 
+ThermalSolver
+parseSolver(const std::string& name)
+{
+    if (name == "expm")
+        return ThermalSolver::Expm;
+    if (name == "euler")
+        return ThermalSolver::Euler;
+    fatal("unknown thermal solver '", name, "' (expm|euler)");
+}
+
 PortMapping
 parseMapping(const std::string& name)
 {
@@ -71,6 +82,8 @@ buildSimConfig(const Config& cfg)
         cfg.getDouble("thermal.ambient", sim.thermal.ambient);
     sim.thermal.rConvection = cfg.getDouble(
         "thermal.convection", sim.thermal.rConvection);
+    sim.thermal.solver = parseSolver(
+        cfg.getString("thermal.solver", "expm"));
     sim.sampleIntervalCycles = static_cast<std::uint64_t>(
         cfg.getInt("sim.sample_interval", 50000));
     sim.warmStart = cfg.getBool("sim.warm_start", true);
