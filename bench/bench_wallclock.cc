@@ -29,6 +29,7 @@
 #include <cstdlib>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -158,6 +159,27 @@ writeJson(const std::string& path,
     std::fprintf(f, "{\n  \"bench\": \"wallclock\",\n");
     std::fprintf(f, "  \"cycles_per_run\": %llu,\n",
                  static_cast<unsigned long long>(cycles));
+    // Thread counts above the machine's core count oversubscribe:
+    // their rows measure scheduling overhead, not a perf
+    // regression. Record the core count so readers (and the perf
+    // smoke check) can tell the two apart.
+    const unsigned hw_threads =
+        std::thread::hardware_concurrency();
+    std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+                 hw_threads);
+    bool oversubscribed = false;
+    for (const SweepTiming& t : timings)
+        oversubscribed = oversubscribed ||
+                         static_cast<unsigned>(t.threads) >
+                             hw_threads;
+    if (oversubscribed) {
+        std::fprintf(
+            f,
+            "  \"note\": \"thread counts above "
+            "hardware_concurrency oversubscribe the machine; "
+            "slower multi-thread rows are expected there, not a "
+            "regression\",\n");
+    }
     std::fprintf(f, "  \"benchmarks\": [");
     for (std::size_t i = 0; i < benchmarks.size(); ++i)
         std::fprintf(f, "%s\"%s\"", i ? ", " : "",

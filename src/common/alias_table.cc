@@ -1,0 +1,64 @@
+#include "common/alias_table.hh"
+
+#include "common/log.hh"
+
+namespace tempest
+{
+
+void
+AliasTable::build(const double* weights, int n)
+{
+    if (n <= 0)
+        panic("alias table needs at least one class");
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+        if (weights[i] < 0.0)
+            panic("alias table weights must be non-negative");
+        total += weights[i];
+    }
+    if (total <= 0.0)
+        panic("alias table needs positive total weight");
+
+    n_ = n;
+    prob_.assign(static_cast<std::size_t>(n), 0.0);
+    alias_.assign(static_cast<std::size_t>(n), 0);
+
+    // Scale weights to mean 1 and split columns into under- and
+    // over-full. Each pairing step tops an under-full column up to
+    // exactly 1 with mass from an over-full donor; index order is
+    // fixed so the table (and therefore every sampled stream) is
+    // deterministic for a given distribution.
+    std::vector<double> scaled(static_cast<std::size_t>(n));
+    std::vector<int> small;
+    std::vector<int> large;
+    for (int i = 0; i < n; ++i) {
+        scaled[static_cast<std::size_t>(i)] =
+            weights[i] * n / total;
+        if (scaled[static_cast<std::size_t>(i)] < 1.0)
+            small.push_back(i);
+        else
+            large.push_back(i);
+    }
+    while (!small.empty() && !large.empty()) {
+        const int s = small.back();
+        const int l = large.back();
+        small.pop_back();
+        prob_[static_cast<std::size_t>(s)] =
+            scaled[static_cast<std::size_t>(s)];
+        alias_[static_cast<std::size_t>(s)] = l;
+        scaled[static_cast<std::size_t>(l)] -=
+            1.0 - scaled[static_cast<std::size_t>(s)];
+        if (scaled[static_cast<std::size_t>(l)] < 1.0) {
+            large.pop_back();
+            small.push_back(l);
+        }
+    }
+    // Leftovers are exactly full up to rounding; they never take
+    // their (self) alias.
+    for (const int i : large)
+        prob_[static_cast<std::size_t>(i)] = 1.0;
+    for (const int i : small)
+        prob_[static_cast<std::size_t>(i)] = 1.0;
+}
+
+} // namespace tempest

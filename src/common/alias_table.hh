@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Walker alias table for O(1) categorical sampling.
+ *
+ * A categorical draw over n classes via a cumulative-distribution
+ * scan costs one uniform plus up to n compares on the hot path. The
+ * alias method folds the same distribution into two n-entry tables
+ * (a cutoff probability and an alias index per column) built once;
+ * each sample then needs exactly one uniform: the integer part picks
+ * a column, the fractional part picks between the column's own index
+ * and its alias. The workload generator draws one class per
+ * instruction, so this runs hundreds of millions of times per
+ * simulation.
+ */
+
+#ifndef TEMPEST_COMMON_ALIAS_TABLE_HH
+#define TEMPEST_COMMON_ALIAS_TABLE_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace tempest
+{
+
+/** Precomputed alias table over a fixed discrete distribution. */
+class AliasTable
+{
+  public:
+    AliasTable() = default;
+
+    /**
+     * Build from non-negative weights (need not be normalized).
+     * @param weights weight per class; at least one must be > 0
+     * @param n number of classes
+     */
+    void build(const double* weights, int n);
+
+    /** Draw one class index using a single uniform from @p rng. */
+    int
+    sample(Rng& rng) const
+    {
+        const double x = rng.uniform() * n_;
+        const int col = static_cast<int>(x);
+        return (x - col) < prob_[static_cast<std::size_t>(col)]
+                   ? col
+                   : alias_[static_cast<std::size_t>(col)];
+    }
+
+    int size() const { return n_; }
+
+  private:
+    std::vector<double> prob_; ///< cutoff within each column
+    std::vector<int> alias_;   ///< donor class above the cutoff
+    int n_ = 0;
+};
+
+} // namespace tempest
+
+#endif // TEMPEST_COMMON_ALIAS_TABLE_HH

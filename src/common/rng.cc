@@ -113,14 +113,22 @@ Rng::chance(double p)
 std::uint64_t
 Rng::geometric(double p)
 {
+    return geometricFromUniform(uniform(), p);
+}
+
+std::uint64_t
+Rng::geometricFromUniform(double u, double p)
+{
     if (p >= 1.0)
         return 0;
     if (p <= 0.0)
-        panic("Rng::geometric with p <= 0");
-    // Inversion method.
-    const double u = 1.0 - uniform(); // in (0, 1]
+        panic("geometric draw with p <= 0");
+    // Inversion method. A rescaled uniform can round up to exactly
+    // 1.0; floor it against the smallest positive tail so the log
+    // stays finite.
+    const double tail = std::max(1.0 - u, 1e-300); // in (0, 1]
     return static_cast<std::uint64_t>(
-        std::floor(std::log(u) / std::log1p(-p)));
+        std::floor(std::log(tail) / std::log1p(-p)));
 }
 
 double

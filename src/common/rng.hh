@@ -56,6 +56,14 @@ class Rng
      */
     std::uint64_t geometric(double p);
 
+    /**
+     * Geometric inversion of an externally supplied uniform in
+     * [0, 1). Lets callers split one raw draw into several
+     * conditioned variates (rescaled-uniform composition) instead
+     * of burning a generator step per variate.
+     */
+    static std::uint64_t geometricFromUniform(double u, double p);
+
     /** Standard normal draw (Box-Muller, no caching). */
     double gaussian();
 

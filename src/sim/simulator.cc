@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/log.hh"
+#include "common/profiler.hh"
 
 namespace tempest
 {
@@ -54,8 +55,11 @@ Simulator::runInterval(bool stalled, std::uint64_t cycles)
             core_->tick(interval);
     }
 
-    power_->blockPowers(interval, powerScratch_);
-    rc_->setPowers(powerScratch_);
+    {
+        TEMPEST_PROF_SCOPE(ProfStage::Power);
+        power_->blockPowers(interval, powerScratch_);
+        rc_->setPowers(powerScratch_);
+    }
 
     if (!warmed_) {
         // Warm start: steady state of the first interval's power,
@@ -78,11 +82,17 @@ Simulator::runInterval(bool stalled, std::uint64_t cycles)
     const Seconds dt =
         static_cast<double>(interval.cycles) /
         config_.pipeline.frequencyHz;
-    rc_->step(dt);
+    {
+        TEMPEST_PROF_SCOPE(ProfStage::Thermal);
+        rc_->step(dt);
+    }
 
     total_.add(interval);
 
-    sensors_->readAll(tempsScratch_);
+    {
+        TEMPEST_PROF_SCOPE(ProfStage::Sensor);
+        sensors_->readAll(tempsScratch_);
+    }
     const std::vector<Kelvin>& temps = tempsScratch_;
     for (int b = 0; b < floorplan_.numBlocks(); ++b) {
         const auto i = static_cast<std::size_t>(b);
@@ -97,7 +107,13 @@ Simulator::runInterval(bool stalled, std::uint64_t cycles)
                        powerScratch_);
     }
 
-    if (!stalled && dtm_->sample(temps) == DtmAction::GlobalStall) {
+    bool global_stall = false;
+    if (!stalled) {
+        TEMPEST_PROF_SCOPE(ProfStage::Dtm);
+        global_stall =
+            dtm_->sample(temps) == DtmAction::GlobalStall;
+    }
+    if (global_stall) {
         // Stall for the cooling time, advanced in interval-sized
         // chunks so the thermal trace stays smooth, plus a final
         // partial chunk covering the remainder so the stall spans

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "common/profiler.hh"
 
 namespace tempest
 {
@@ -70,7 +71,9 @@ OooCore::OooCore(const PipelineConfig& config,
                   Completion{});
     wheelCount_.assign(slots, 0);
 
-    done_.assign(doneMask_ + 1, 1);
+    // All-ones: every not-yet-dispatched sequence number reads as
+    // complete until dispatch clears its bit.
+    done_.assign((doneMask_ + 1) / 64, ~0ULL);
 
     fetchCap_ = 4 * config.fetchWidth;
     fetchRing_.assign(static_cast<std::size_t>(fetchCap_),
@@ -97,7 +100,8 @@ OooCore::producerReady(std::uint64_t producer_seq) const
 {
     if (producer_seq == 0 || producer_seq < robHeadSeq())
         return true; // committed (or no producer)
-    return done_[producer_seq & doneMask_] != 0;
+    const std::uint64_t idx = producer_seq & doneMask_;
+    return ((done_[idx >> 6] >> (idx & 63)) & 1) != 0;
 }
 
 void
@@ -135,7 +139,7 @@ OooCore::doWriteback(ActivityRecord& activity)
     for (int i = 0; i < num_events; ++i) {
         const Completion& c = events[i];
         rob_[static_cast<std::size_t>(c.robIdx)].completed = true;
-        done_[c.seq & doneMask_] = 1;
+        markDone(c.seq);
         if (c.hasDest) {
             ++num_tags;
             // Result write: all integer copies, or the FP file.
@@ -225,7 +229,11 @@ OooCore::doIssue(ActivityRecord& activity)
             },
             grantScratch_);
         for (const Grant& g : grantScratch_) {
-            const IqEntry entry = intIq_.entryAtPhys(g.physIdx);
+            // markIssued only flips the pending-invalid flag, so
+            // reading the entry through a reference afterwards is
+            // safe and skips a 60-byte copy per grant.
+            const IqEntry& entry =
+                intIq_.entryAtPhysUnchecked(g.physIdx);
             intIq_.markIssued(g.physIdx, activity);
             --budget;
             ++activity.intAluOps[g.fu];
@@ -272,7 +280,8 @@ OooCore::doIssue(ActivityRecord& activity)
             },
             grantScratch_);
         for (const Grant& g : grantScratch_) {
-            const IqEntry entry = fpIq_.entryAtPhys(g.physIdx);
+            const IqEntry& entry =
+                fpIq_.entryAtPhysUnchecked(g.physIdx);
             fpIq_.markIssued(g.physIdx, activity);
             --budget;
             if (g.fu == mul_fu)
@@ -336,7 +345,7 @@ OooCore::doDispatch(ActivityRecord& activity)
         rob_[static_cast<std::size_t>(rob_idx)] = {op.seq, false,
                                                    is_mem};
         ++robCount_;
-        done_[op.seq & doneMask_] = 0;
+        markInFlight(op.seq);
         if (is_mem) {
             ++lsqCount_;
             ++activity.lsqOps;
@@ -394,13 +403,31 @@ OooCore::doFetch(ActivityRecord& activity)
 void
 OooCore::tick(ActivityRecord& activity)
 {
-    doWriteback(activity);
-    intIq_.compactStep(activity);
-    fpIq_.compactStep(activity);
-    doCommit(activity);
-    doIssue(activity);
-    doDispatch(activity);
-    doFetch(activity);
+    {
+        TEMPEST_PROF_SCOPE(ProfStage::Writeback);
+        doWriteback(activity);
+    }
+    {
+        TEMPEST_PROF_SCOPE(ProfStage::Compact);
+        intIq_.compactStep(activity);
+        fpIq_.compactStep(activity);
+    }
+    {
+        TEMPEST_PROF_SCOPE(ProfStage::Commit);
+        doCommit(activity);
+    }
+    {
+        TEMPEST_PROF_SCOPE(ProfStage::Issue);
+        doIssue(activity);
+    }
+    {
+        TEMPEST_PROF_SCOPE(ProfStage::Dispatch);
+        doDispatch(activity);
+    }
+    {
+        TEMPEST_PROF_SCOPE(ProfStage::Fetch);
+        doFetch(activity);
+    }
     ++cycle_;
     ++activity.cycles;
 }

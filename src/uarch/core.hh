@@ -163,9 +163,28 @@ class OooCore
     std::uint64_t wheelMask_ = 0;
     int wheelSlotCap_ = 0;
 
-    // Completed-producer ring (sized beyond any in-flight window).
-    std::vector<std::uint8_t> done_;
+    // Completed-producer ring (sized beyond any in-flight window),
+    // one bit per sequence number: word (seq & mask) / 64, bit
+    // (seq & mask) % 64. The wakeup scoreboard tests these bits
+    // directly.
+    std::vector<std::uint64_t> done_;
     static constexpr std::uint64_t doneMask_ = 4095;
+
+    /** Set the completed bit for a sequence number. */
+    void
+    markDone(std::uint64_t seq)
+    {
+        const std::uint64_t idx = seq & doneMask_;
+        done_[idx >> 6] |= 1ULL << (idx & 63);
+    }
+
+    /** Clear the completed bit (op is dispatched, in flight). */
+    void
+    markInFlight(std::uint64_t seq)
+    {
+        const std::uint64_t idx = seq & doneMask_;
+        done_[idx >> 6] &= ~(1ULL << (idx & 63));
+    }
 
     // Fetch buffer as a fixed ring (capacity 4 * fetchWidth covers
     // the high-water mark: the 3 * fetchWidth full check plus one

@@ -10,14 +10,16 @@ namespace tempest
 IssueQueue::IssueQueue(int num_entries, int issue_width,
                        QueueKind kind)
     : size_(num_entries), half_(num_entries / 2),
-      issueWidth_(issue_width), kind_(kind)
+      words_((num_entries + 63) / 64), issueWidth_(issue_width),
+      kind_(kind)
 {
     if (num_entries < 2 || num_entries % 2 != 0)
         fatal("issue queue size must be even and >= 2");
     if (issue_width < 1)
         fatal("issue width must be >= 1");
     phys_.assign(static_cast<std::size_t>(num_entries), IqEntry{});
-    waiting_.reserve(static_cast<std::size_t>(num_entries));
+    ready_.assign(static_cast<std::size_t>(words_), 0);
+    waiting_.assign(static_cast<std::size_t>(words_), 0);
 }
 
 const IqEntry&
@@ -56,6 +58,16 @@ IssueQueue::recomputeTail()
     }
 }
 
+void
+IssueQueue::rebuildReadyBits()
+{
+    std::fill(ready_.begin(), ready_.end(), 0);
+    for (int p = 0; p < size_; ++p) {
+        if (phys_[static_cast<std::size_t>(p)].ready())
+            setReadyBit(logicalOfPhys(p));
+    }
+}
+
 bool
 IssueQueue::canDispatch() const
 {
@@ -77,11 +89,13 @@ IssueQueue::dispatch(const IqEntry& entry, ActivityRecord& activity)
     slot = entry;
     slot.valid = true;
     slot.pendingInvalid = false;
+    if (slot.ready())
+        setReadyBit(tailLogical_);
+    else
+        setWaitingBit(phys);
     ++tailLogical_;
     ++count_;
     ++halfCount_[halfOfPhys(phys)];
-    if (!slot.ready())
-        waiting_.push_back(phys);
     // Payload RAM write plus the entry write itself, charged to
     // the physical half that receives the dispatch.
     ++activity.iqPayloadAccesses[queueIndex()];
@@ -103,26 +117,36 @@ IssueQueue::broadcastMany(const std::uint64_t* producer_seqs, int n,
         return;
     activity.iqTagBroadcasts[queueIndex()] +=
         static_cast<std::uint64_t>(n);
-    for (int phys : waiting_) {
-        IqEntry& entry = phys_[static_cast<std::size_t>(phys)];
-        if (!entry.valid)
-            continue;
-        for (int s = 0; s < entry.numSrcs; ++s) {
-            if (entry.srcReady[s])
-                continue;
-            const std::uint64_t want = entry.src[s];
-            for (int t = 0; t < n; ++t) {
-                if (producer_seqs[t] == want) {
+    for (int w = 0; w < words_; ++w) {
+        std::uint64_t m = waiting_[static_cast<std::size_t>(w)];
+        while (m != 0) {
+            const int phys = w * 64 + std::countr_zero(m);
+            m &= m - 1;
+            IqEntry& entry = phys_[static_cast<std::size_t>(phys)];
+            bool still_waiting = false;
+            for (int s = 0; s < entry.numSrcs; ++s) {
+                if (entry.srcReady[s])
+                    continue;
+                const std::uint64_t want = entry.src[s];
+                bool matched = false;
+                for (int t = 0; t < n; ++t)
+                    matched = matched || producer_seqs[t] == want;
+                if (matched)
                     entry.srcReady[s] = true;
-                    break;
-                }
+                else
+                    still_waiting = true;
+            }
+            if (!still_waiting) {
+                waiting_[static_cast<std::size_t>(w)] &=
+                    ~(1ULL << (phys & 63));
+                setReadyBit(logicalOfPhys(phys));
             }
         }
     }
 }
 
 void
-IssueQueue::wakeupScoreboard(const std::uint8_t* done,
+IssueQueue::wakeupScoreboard(const std::uint64_t* done_bits,
                              std::uint64_t mask, int n_tags,
                              ActivityRecord& activity)
 {
@@ -130,28 +154,32 @@ IssueQueue::wakeupScoreboard(const std::uint8_t* done,
         return;
     activity.iqTagBroadcasts[queueIndex()] +=
         static_cast<std::uint64_t>(n_tags);
-    // Check each watched source against the completed-producer
-    // ring. Entries that became fully ready (or were invalidated by
-    // clear()) leave the list; survivors keep their relative order.
-    std::size_t keep = 0;
-    for (std::size_t i = 0; i < waiting_.size(); ++i) {
-        const int phys = waiting_[i];
-        IqEntry& entry = phys_[static_cast<std::size_t>(phys)];
-        if (!entry.valid)
-            continue;
-        bool still_waiting = false;
-        for (int s = 0; s < entry.numSrcs; ++s) {
-            if (entry.srcReady[s])
-                continue;
-            if (done[entry.src[s] & mask] != 0)
-                entry.srcReady[s] = true;
-            else
-                still_waiting = true;
+    // Check each watched source against the completed-producer bit
+    // ring; entries that became fully ready move from the waiting
+    // bitmap to the (logical-order) ready bitmap.
+    for (int w = 0; w < words_; ++w) {
+        std::uint64_t m = waiting_[static_cast<std::size_t>(w)];
+        while (m != 0) {
+            const int phys = w * 64 + std::countr_zero(m);
+            m &= m - 1;
+            IqEntry& entry = phys_[static_cast<std::size_t>(phys)];
+            bool still_waiting = false;
+            for (int s = 0; s < entry.numSrcs; ++s) {
+                if (entry.srcReady[s])
+                    continue;
+                const std::uint64_t idx = entry.src[s] & mask;
+                if ((done_bits[idx >> 6] >> (idx & 63)) & 1)
+                    entry.srcReady[s] = true;
+                else
+                    still_waiting = true;
+            }
+            if (!still_waiting) {
+                waiting_[static_cast<std::size_t>(w)] &=
+                    ~(1ULL << (phys & 63));
+                setReadyBit(logicalOfPhys(phys));
+            }
         }
-        if (still_waiting)
-            waiting_[keep++] = phys;
     }
-    waiting_.resize(keep);
 }
 
 void
@@ -162,6 +190,7 @@ IssueQueue::markIssued(int phys_idx, ActivityRecord& activity)
         panic("markIssued on an empty or already-issued entry");
     entry.pendingInvalid = true;
     ++pendingInvalidCount_;
+    clearReadyBit(logicalOfPhys(phys_idx));
     const int q = queueIndex();
     // Payload RAM read + select-network access per issue.
     ++activity.iqPayloadAccesses[q];
@@ -179,10 +208,11 @@ IssueQueue::compactStep(ActivityRecord& activity)
     // Early out when there is nothing to compact: no entries were
     // issued last cycle and the occupied region is hole-free
     // (tail == valid count). The full pass below would then only
-    // rebuild the wakeup list with identical contents — that list
-    // is kept consistent incrementally by dispatch() and
-    // wakeupScoreboard() instead. Occupancy accounting still runs:
-    // the valid entries burn leakage whether or not anything moves.
+    // rebuild the ready/waiting bitmaps with identical contents —
+    // they are kept consistent incrementally by dispatch(),
+    // markIssued() and wakeupScoreboard() instead. Occupancy
+    // accounting still runs: the valid entries burn leakage
+    // whether or not anything moves.
     if (pendingInvalidCount_ == 0 && tailLogical_ == count_) {
         activity.iqOccupiedCycles[q][0] +=
             static_cast<std::uint64_t>(halfCount_[0]);
@@ -196,9 +226,12 @@ IssueQueue::compactStep(ActivityRecord& activity)
     // by the number of holes below them, at most issueWidth per
     // cycle. Gaps-below is nondecreasing in logical order, so the
     // in-place ascending application is collision-free and
-    // order-preserving. The waiting list is rebuilt here because
-    // entries change physical slots.
-    waiting_.clear();
+    // order-preserving. The ready/waiting bitmaps move
+    // incrementally with the entries: each valid entry holds
+    // exactly one bit (ready at its logical position, or waiting
+    // at its physical slot), maintained by dispatch/wakeup/issue,
+    // so a move relocates that one bit and unmoved entries touch
+    // neither map.
     int gaps = 0;
     int last_valid = -1;
     for (int l = 0; l < tailLogical_; ++l) {
@@ -210,7 +243,9 @@ IssueQueue::compactStep(ActivityRecord& activity)
         }
         if (e.pendingInvalid) {
             // The paper's one-cycle replay window: issued last
-            // cycle, becomes a hole now.
+            // cycle, becomes a hole now. markIssued() already
+            // cleared the ready bit (issued entries were ready,
+            // so no waiting bit exists either).
             e.valid = false;
             e.pendingInvalid = false;
             --count_;
@@ -218,41 +253,44 @@ IssueQueue::compactStep(ActivityRecord& activity)
             ++gaps;
             continue;
         }
-        const int shift = std::min(gaps, issueWidth_);
-        int final_phys = p;
-        if (shift > 0) {
-            const int dst_l = l - shift;
-            const int dst_p = physOfLogical(dst_l);
-            const int src_half = halfOfPhys(p);
-            const int dst_half = halfOfPhys(dst_p);
-
-            // Compaction moves down in physical space; a physical
-            // *increase* means the move wrapped around the queue
-            // ends (possible only in toggled mode) over the long
-            // wires.
-            const bool wrapped = dst_p > p;
-            if (wrapped)
-                ++activity.iqLongCompactions[q][src_half];
-            else
-                ++activity.iqEntryMoves[q][src_half];
-            // The receiving entry drives its cross-queue mux
-            // selects; the invalids-counter stages activate for
-            // participating entries (clock-gated otherwise).
-            ++activity.iqMuxSelects[q][dst_half];
-            ++activity.iqCounterOps[q][src_half];
-
-            phys_[static_cast<std::size_t>(dst_p)] = e;
-            e.valid = false;
-            e.pendingInvalid = false;
-            --halfCount_[src_half];
-            ++halfCount_[dst_half];
-            final_phys = dst_p;
-            last_valid = dst_l;
-        } else {
+        if (gaps == 0) {
             last_valid = l;
+            continue;
         }
-        if (!phys_[static_cast<std::size_t>(final_phys)].ready())
-            waiting_.push_back(final_phys);
+        const int shift = std::min(gaps, issueWidth_);
+        const int dst_l = l - shift;
+        const int dst_p = physOfLogical(dst_l);
+        const int src_half = halfOfPhys(p);
+        const int dst_half = halfOfPhys(dst_p);
+
+        // Compaction moves down in physical space; a physical
+        // *increase* means the move wrapped around the queue
+        // ends (possible only in toggled mode) over the long
+        // wires.
+        const bool wrapped = dst_p > p;
+        if (wrapped)
+            ++activity.iqLongCompactions[q][src_half];
+        else
+            ++activity.iqEntryMoves[q][src_half];
+        // The receiving entry drives its cross-queue mux
+        // selects; the invalids-counter stages activate for
+        // participating entries (clock-gated otherwise).
+        ++activity.iqMuxSelects[q][dst_half];
+        ++activity.iqCounterOps[q][src_half];
+
+        phys_[static_cast<std::size_t>(dst_p)] = e;
+        e.valid = false;
+        e.pendingInvalid = false;
+        --halfCount_[src_half];
+        ++halfCount_[dst_half];
+        if (testReadyBit(l)) {
+            clearReadyBit(l);
+            setReadyBit(dst_l);
+        } else {
+            clearWaitingBit(p);
+            setWaitingBit(dst_p);
+        }
+        last_valid = dst_l;
     }
     tailLogical_ = last_valid + 1;
     // Every pending invalid sat below the old tail, so the pass
@@ -274,8 +312,11 @@ IssueQueue::toggleMode()
                 : CompactionMode::Conventional;
     ++toggleCount_;
     // Entries stay in their physical slots; logical positions (and
-    // hence the tail) are re-derived under the new mapping.
+    // hence the tail and the logical-order ready bitmap) are
+    // re-derived under the new mapping. The waiting bitmap is
+    // physically indexed and unaffected.
     recomputeTail();
+    rebuildReadyBits();
 }
 
 void
@@ -287,7 +328,8 @@ IssueQueue::clear()
     halfCount_[0] = halfCount_[1] = 0;
     tailLogical_ = 0;
     pendingInvalidCount_ = 0;
-    waiting_.clear();
+    std::fill(ready_.begin(), ready_.end(), 0);
+    std::fill(waiting_.begin(), waiting_.end(), 0);
 }
 
 } // namespace tempest

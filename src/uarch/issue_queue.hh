@@ -23,11 +23,24 @@
  * Toggling the mode leaves physical contents in place and
  * re-derives logical positions, reproducing the paper's transiently
  * inverted priorities right after a toggle.
+ *
+ * Readiness is tracked in two 64-bit bitmaps maintained
+ * incrementally by dispatch/wakeup/issue/compaction:
+ *
+ * - `readyBits_`, indexed by *logical* position: bit l is set iff
+ *   the entry at logical l is ready to issue. The select network
+ *   walks these words with std::countr_zero, so priority order
+ *   falls out of bit order with no per-entry scan.
+ * - `waitingBits_`, indexed by *physical* slot: bit p is set iff
+ *   the entry at p has at least one unready source (the set the
+ *   wakeup CAM watches). Physical indexing makes a mode toggle a
+ *   no-op for this map — entries do not move.
  */
 
 #ifndef TEMPEST_UARCH_ISSUE_QUEUE_HH
 #define TEMPEST_UARCH_ISSUE_QUEUE_HH
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -125,44 +138,44 @@ class IssueQueue
     /**
      * Scoreboard variant of the same-cycle wakeup: instead of
      * matching each waiting source against a bounded list of
-     * completing tags, consult the core's completed-producer ring
-     * (`done[seq & mask]`). Models the same hardware event — the
-     * activity charge is still one tag broadcast per completing
-     * destination (`n_tags`) — but has no cap on how many results
-     * can wake dependents in one cycle. Woken and invalidated
-     * entries are pruned from the wakeup list.
+     * completing tags, consult the core's completed-producer bit
+     * ring (bit `seq & mask` of `done_bits`). Models the same
+     * hardware event — the activity charge is still one tag
+     * broadcast per completing destination (`n_tags`) — but has no
+     * cap on how many results can wake dependents in one cycle.
+     * Entries that become fully ready move from the waiting bitmap
+     * to the ready bitmap.
      */
-    void wakeupScoreboard(const std::uint8_t* done,
+    void wakeupScoreboard(const std::uint64_t* done_bits,
                           std::uint64_t mask, int n_tags,
                           ActivityRecord& activity);
 
+    /** Ready bitmap in logical-priority order: bit l of word l/64
+     * is set iff the entry at logical position l is ready. */
+    const std::uint64_t* readyBits() const { return ready_.data(); }
+
+    /** Number of 64-bit words in the ready/waiting bitmaps. */
+    int bitWords() const { return words_; }
+
     /**
-     * Visit ready entries in priority (logical) order. The visitor
-     * receives (physical index, entry) and returns false to stop.
+     * Visit ready entries in priority (logical) order by walking
+     * the ready bitmap. The visitor receives (physical index,
+     * entry) and returns false to stop. Entries issued by the
+     * visitor itself are not revisited; entries dispatched during
+     * iteration are not picked up.
      */
     template <typename Visitor>
     void
     forEachReadyInPriorityOrder(Visitor&& visit) const
     {
-        // Conventional mode is the common case: logical == physical,
-        // so the scan is a straight array walk.
-        if (mode_ == CompactionMode::Conventional) {
-            for (int p = 0; p < tailLogical_; ++p) {
+        for (int w = 0; w < words_; ++w) {
+            std::uint64_t m = ready_[static_cast<std::size_t>(w)];
+            while (m != 0) {
+                const int l = w * 64 + std::countr_zero(m);
+                m &= m - 1;
+                const int p = physOfLogical(l);
                 const IqEntry& e =
                     phys_[static_cast<std::size_t>(p)];
-                if (e.ready()) {
-                    if (!visit(p, e))
-                        return;
-                }
-            }
-            return;
-        }
-        for (int l = 0; l < tailLogical_; ++l) {
-            int p = l + half_;
-            if (p >= size_)
-                p -= size_;
-            const IqEntry& e = phys_[static_cast<std::size_t>(p)];
-            if (e.ready()) {
                 if (!visit(p, e))
                     return;
             }
@@ -228,6 +241,14 @@ class IssueQueue
     const IqEntry& entryAtPhys(int phys) const;
     IqEntry& entryAtPhys(int phys);
 
+    /** Unchecked entry access for the select hot path; the index
+     * must come from the ready bitmap. */
+    const IqEntry&
+    entryAtPhysUnchecked(int phys) const
+    {
+        return phys_[static_cast<std::size_t>(phys)];
+    }
+
     /** Valid entries currently in a physical half. */
     int occupancyOfHalf(int half) const;
 
@@ -236,7 +257,11 @@ class IssueQueue
     int
     waitingCount() const
     {
-        return static_cast<int>(waiting_.size());
+        int n = 0;
+        for (int w = 0; w < words_; ++w)
+            n += std::popcount(
+                waiting_[static_cast<std::size_t>(w)]);
+        return n;
     }
 
     /** Remove everything (used by tests). */
@@ -249,8 +274,49 @@ class IssueQueue
      * occupied logical slot). */
     void recomputeTail();
 
+    /** Rebuild the logical-order ready bitmap from entry state
+     * (used after a mode toggle re-derives logical positions). */
+    void rebuildReadyBits();
+
+    void
+    setReadyBit(int logical)
+    {
+        ready_[static_cast<std::size_t>(logical >> 6)] |=
+            1ULL << (logical & 63);
+    }
+
+    void
+    clearReadyBit(int logical)
+    {
+        ready_[static_cast<std::size_t>(logical >> 6)] &=
+            ~(1ULL << (logical & 63));
+    }
+
+    void
+    setWaitingBit(int phys)
+    {
+        waiting_[static_cast<std::size_t>(phys >> 6)] |=
+            1ULL << (phys & 63);
+    }
+
+    void
+    clearWaitingBit(int phys)
+    {
+        waiting_[static_cast<std::size_t>(phys >> 6)] &=
+            ~(1ULL << (phys & 63));
+    }
+
+    bool
+    testReadyBit(int logical) const
+    {
+        return (ready_[static_cast<std::size_t>(logical >> 6)] >>
+                (logical & 63)) &
+               1;
+    }
+
     int size_;
     int half_; ///< size_ / 2, the toggled-mode rotation
+    int words_; ///< bitmap words, (size_ + 63) / 64
     int issueWidth_;
     QueueKind kind_;
     CompactionMode mode_ = CompactionMode::Conventional;
@@ -264,9 +330,11 @@ class IssueQueue
     int halfCount_[2] = {0, 0}; ///< valid entries per physical half
     int pendingInvalidCount_ = 0; ///< issued, not yet holes
 
-    /** Physical indices of entries with at least one unready
-     * source; rebuilt each compaction, appended by dispatch. */
-    std::vector<int> waiting_;
+    /** Ready entries by logical position (see file comment). */
+    std::vector<std::uint64_t> ready_;
+    /** Entries with at least one unready source, by physical
+     * slot; rebuilt each compaction, appended by dispatch. */
+    std::vector<std::uint64_t> waiting_;
 };
 
 } // namespace tempest

@@ -25,6 +25,23 @@ RegisterFile::RegisterFile(int num_copies, int num_alus,
         fatal("register file copies out of range");
     if (num_alus < 1 || num_alus % num_copies != 0)
         fatal("ALU count must divide evenly across copies");
+    rebuildCopyTables();
+}
+
+void
+RegisterFile::rebuildCopyTables()
+{
+    alusOfCopy_.assign(static_cast<std::size_t>(numCopies_), {});
+    for (int c = 0; c < numCopies_; ++c) {
+        std::vector<int>& alus =
+            alusOfCopy_[static_cast<std::size_t>(c)];
+        for (int a = 0; a < numAlus_; ++a) {
+            if (mapping_ == PortMapping::CompletelyBalanced ||
+                copyForAlu(a) == c) {
+                alus.push_back(a);
+            }
+        }
+    }
 }
 
 int
@@ -44,22 +61,12 @@ RegisterFile::copyForAlu(int alu) const
     panic("unreachable mapping");
 }
 
-std::vector<int>
+const std::vector<int>&
 RegisterFile::alusOfCopy(int copy) const
 {
     if (copy < 0 || copy >= numCopies_)
         panic("alusOfCopy: copy index ", copy, " out of range");
-    std::vector<int> alus;
-    if (mapping_ == PortMapping::CompletelyBalanced) {
-        for (int a = 0; a < numAlus_; ++a)
-            alus.push_back(a);
-        return alus;
-    }
-    for (int a = 0; a < numAlus_; ++a) {
-        if (copyForAlu(a) == copy)
-            alus.push_back(a);
-    }
-    return alus;
+    return alusOfCopy_[static_cast<std::size_t>(copy)];
 }
 
 void

@@ -58,7 +58,13 @@ class RegisterFile
     int numCopies() const { return numCopies_; }
     int numAlus() const { return numAlus_; }
     PortMapping mapping() const { return mapping_; }
-    void setMapping(PortMapping mapping) { mapping_ = mapping; }
+
+    void
+    setMapping(PortMapping mapping)
+    {
+        mapping_ = mapping;
+        rebuildCopyTables();
+    }
 
     /**
      * Copy serving reads for an ALU under Priority/Balanced mapping.
@@ -68,8 +74,9 @@ class RegisterFile
 
     /** ALUs whose read ports are wired to a copy (Priority or
      * Balanced; under CompletelyBalanced every ALU maps to every
-     * copy). */
-    std::vector<int> alusOfCopy(int copy) const;
+     * copy). Precomputed per mapping; the DTM layer calls this in
+     * its per-interval loops, so no allocation per call. */
+    const std::vector<int>& alusOfCopy(int copy) const;
 
     /**
      * Charge read-port accesses for an instruction executing on
@@ -82,9 +89,13 @@ class RegisterFile
     void chargeWrite(ActivityRecord& activity) const;
 
   private:
+    /** Recompute the copy→ALUs tables for the current mapping. */
+    void rebuildCopyTables();
+
     int numCopies_;
     int numAlus_;
     PortMapping mapping_;
+    std::vector<std::vector<int>> alusOfCopy_;
 };
 
 } // namespace tempest

@@ -15,13 +15,18 @@
  *
  * The head/tail configuration of the queue is already encoded in
  * the queue's logical order (only the select-tree root changes
- * between modes, §2.1.1), so the trees here simply scan in logical
- * priority order.
+ * between modes, §2.1.1), so the trees here simply consume the
+ * queue's logical-order ready bitmap: each tree walks set bits
+ * with std::countr_zero (lowest logical position = oldest =
+ * highest priority first) and serialization is a bit clear in a
+ * scratch copy of the mask — no per-entry scan, no per-request
+ * granted vector.
  */
 
 #ifndef TEMPEST_UARCH_SELECT_HH
 #define TEMPEST_UARCH_SELECT_HH
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -76,18 +81,18 @@ class SelectNetwork
         if (max_grants <= 0)
             return 0;
 
-        // Gather requests once, in priority (logical) order; the
-        // trees then serialize over this request vector.
-        ready_.clear();
-        iq.forEachReadyInPriorityOrder(
-            [this](int phys, const IqEntry&) {
-                ready_.push_back(phys);
-                return true;
-            });
-        if (ready_.empty())
+        // Snapshot the queue's ready bitmap once; the trees then
+        // serialize by clearing granted bits in this scratch mask.
+        const std::uint64_t* ready = iq.readyBits();
+        const int num_words = iq.bitWords();
+        avail_.resize(static_cast<std::size_t>(num_words));
+        std::uint64_t any = 0;
+        for (int w = 0; w < num_words; ++w) {
+            avail_[static_cast<std::size_t>(w)] = ready[w];
+            any |= ready[w];
+        }
+        if (any == 0)
             return 0;
-
-        granted_.assign(ready_.size(), false);
 
         int num_granted = 0;
         const int offset =
@@ -97,16 +102,26 @@ class SelectNetwork
             const int fu = (t + offset) % numFus_;
             if (!fu_available(fu))
                 continue; // busy/turned-off: no grant, no masking
-            for (std::size_t r = 0; r < ready_.size(); ++r) {
-                if (granted_[r])
-                    continue;
-                const IqEntry& entry = iq.entryAtPhys(ready_[r]);
-                if (!can_use(fu, entry))
-                    continue;
-                granted_[r] = true;
-                grants.push_back({fu, ready_[r]});
-                ++num_granted;
-                break;
+            bool granted = false;
+            for (int w = 0; w < num_words && !granted; ++w) {
+                std::uint64_t m =
+                    avail_[static_cast<std::size_t>(w)];
+                while (m != 0) {
+                    const int bit = std::countr_zero(m);
+                    m &= m - 1;
+                    const int phys =
+                        iq.physOfLogical(w * 64 + bit);
+                    const IqEntry& entry =
+                        iq.entryAtPhysUnchecked(phys);
+                    if (!can_use(fu, entry))
+                        continue;
+                    avail_[static_cast<std::size_t>(w)] &=
+                        ~(1ULL << bit);
+                    grants.push_back({fu, phys});
+                    ++num_granted;
+                    granted = true;
+                    break;
+                }
             }
         }
         return num_granted;
@@ -115,9 +130,9 @@ class SelectNetwork
   private:
     int numFus_;
     bool roundRobin_ = false;
-    // Scratch buffers reused across cycles to avoid allocation.
-    std::vector<int> ready_;
-    std::vector<char> granted_;
+    // Scratch request mask reused across cycles (no allocation at
+    // steady state).
+    std::vector<std::uint64_t> avail_;
 };
 
 } // namespace tempest

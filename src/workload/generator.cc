@@ -16,6 +16,17 @@ constexpr std::uint64_t hotBase = 0x0010'0000;
 constexpr std::uint64_t warmBase = 0x0100'0000;
 constexpr std::uint64_t coldBase = 0x4000'0000;
 
+/** Map a uniform in [0, 1) to an index in [0, n). */
+std::uint64_t
+indexFromUniform(double u, std::uint64_t n)
+{
+    // A rescaled uniform can round up to exactly 1.0; clamp the
+    // product back into range.
+    const auto idx =
+        static_cast<std::uint64_t>(u * static_cast<double>(n));
+    return std::min(idx, n - 1);
+}
+
 } // namespace
 
 InstructionStream::InstructionStream(const BenchmarkProfile& profile,
@@ -24,12 +35,8 @@ InstructionStream::InstructionStream(const BenchmarkProfile& profile,
       rng_(profile.seed ^ (run_seed * 0x9e3779b97f4a7c15ULL + 1))
 {
     profile_.validate();
-    double acc = 0.0;
-    for (int i = 0; i < static_cast<int>(OpClass::NumOpClasses);
-         ++i) {
-        acc += profile_.mix[i];
-        mixCdf_[i] = acc;
-    }
+    mixTable_.build(profile_.mix,
+                    static_cast<int>(OpClass::NumOpClasses));
     updatePhase();
 }
 
@@ -69,8 +76,14 @@ InstructionStream::drawProducer()
         return 0;
     // Dependence mixture: near (chain) draws follow a recent
     // producer and spread issue slots across the queue; far draws
-    // are usually complete by dispatch and set the ILP.
-    const bool near = rng_.chance(profile_.nearDepFrac);
+    // are usually complete by dispatch and set the ILP. One uniform
+    // covers both the mixture choice and the distance: conditioned
+    // on landing in a branch of probability p, u rescaled by p is
+    // again uniform in [0, 1) and feeds the geometric inversion.
+    const double p_near = profile_.nearDepFrac;
+    double u = rng_.uniform();
+    const bool near = u < p_near;
+    u = near ? u / p_near : (u - p_near) / (1.0 - p_near);
     const double base_mean =
         near ? profile_.nearDepDist
              : profile_.meanDepDist * depScale_;
@@ -79,7 +92,7 @@ InstructionStream::drawProducer()
     // value-producing instructions.
     std::uint64_t dist = 1;
     if (mean > 1.0)
-        dist += rng_.geometric(1.0 / mean);
+        dist += Rng::geometricFromUniform(u, 1.0 / mean);
     const std::uint64_t window =
         std::min(destCount_, destRingSize_);
     if (dist > window)
@@ -90,26 +103,30 @@ InstructionStream::drawProducer()
 std::uint64_t
 InstructionStream::drawLineAddr()
 {
+    // One uniform picks the pool and, rescaled to the chosen
+    // pool's probability slice, the line within it.
     const double l2 = profile_.loadL2Frac * missScale_;
     const double mem = profile_.loadMemFrac * missScale_;
-    const double u = rng_.uniform();
+    double u = rng_.uniform();
     if (u < mem)
         return coldBase + coldCursor_++;
-    if (u < mem + l2)
-        return warmBase + rng_.below(warmLines);
-    return hotBase + rng_.below(hotLines);
+    u -= mem;
+    if (u < l2)
+        return warmBase + indexFromUniform(u / l2, warmLines);
+    u -= l2;
+    const double hot_slice = std::max(1.0 - mem - l2, 1e-12);
+    return hotBase + indexFromUniform(u / hot_slice, hotLines);
 }
 
 MicroOp
-InstructionStream::next()
+InstructionStream::generate()
 {
     updatePhase();
 
     MicroOp op;
     op.seq = ++seq_;
 
-    const int n = static_cast<int>(OpClass::NumOpClasses);
-    op.cls = static_cast<OpClass>(rng_.categoricalFromCdf(mixCdf_, n));
+    op.cls = static_cast<OpClass>(mixTable_.sample(rng_));
 
     switch (op.cls) {
       case OpClass::Load:
@@ -145,6 +162,15 @@ InstructionStream::next()
         destRing_[destCount_++ % destRingSize_] = op.seq;
 
     return op;
+}
+
+void
+InstructionStream::refill()
+{
+    for (int i = 0; i < batchSize_; ++i)
+        batch_[static_cast<std::size_t>(i)] = generate();
+    batchNext_ = 0;
+    batchCount_ = batchSize_;
 }
 
 } // namespace tempest

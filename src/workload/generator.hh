@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "common/alias_table.hh"
 #include "common/rng.hh"
 #include "workload/instruction.hh"
 #include "workload/profile.hh"
@@ -41,11 +42,22 @@ class InstructionStream
     explicit InstructionStream(const BenchmarkProfile& profile,
                                std::uint64_t run_seed = 0);
 
-    /** Generate the next dynamic instruction. */
-    MicroOp next();
+    /** Return the next dynamic instruction. */
+    MicroOp
+    next()
+    {
+        if (batchNext_ == batchCount_)
+            refill();
+        ++consumed_;
+        return batch_[static_cast<std::size_t>(batchNext_++)];
+    }
 
-    /** Sequence number of the most recently generated instruction. */
-    std::uint64_t generated() const { return seq_; }
+    /**
+     * Sequence number of the most recently *returned* instruction
+     * (generation runs ahead by up to one batch; consumers never
+     * observe the pre-generated tail).
+     */
+    std::uint64_t generated() const { return consumed_; }
 
     /** @return true if the stream is currently in a burst phase. */
     bool inBurst() const { return inBurst_; }
@@ -68,6 +80,12 @@ class InstructionStream
     /** Advance phase state and return current dep-distance scale. */
     void updatePhase();
 
+    /** Generate one instruction (advances the RNG stream). */
+    MicroOp generate();
+
+    /** Refill the batch ring with freshly generated instructions. */
+    void refill();
+
     /** Draw a producer sequence number for one source operand. */
     std::uint64_t drawProducer();
 
@@ -77,10 +95,20 @@ class InstructionStream
     BenchmarkProfile profile_;
     Rng rng_;
 
-    std::uint64_t seq_ = 0;
+    std::uint64_t seq_ = 0;      ///< generated (runs ahead)
+    std::uint64_t consumed_ = 0; ///< returned via next()
 
-    // Cumulative mix distribution for categorical class draws.
-    double mixCdf_[static_cast<int>(OpClass::NumOpClasses)] = {};
+    // One-uniform categorical sampler for the op-class mix.
+    AliasTable mixTable_;
+
+    // Batch ring: generation is feedback-free (nothing the core
+    // does influences the stream), so instructions are produced a
+    // batch at a time — the generator's state stays hot in cache
+    // and the per-call path is a copy plus two counter bumps.
+    static constexpr int batchSize_ = 64;
+    MicroOp batch_[batchSize_];
+    int batchNext_ = 0;
+    int batchCount_ = 0;
 
     // Phase state.
     bool inBurst_ = false;

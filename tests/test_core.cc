@@ -19,7 +19,7 @@ struct CoreTestPeer
     static void
     markInFlight(OooCore& core, std::uint64_t seq)
     {
-        core.done_[seq & OooCore::doneMask_] = 0;
+        core.markInFlight(seq);
     }
 
     /** Append a ROB entry; @return its ring index. */

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Golden-result regression test: the full `SimResult` of a matrix
+ * of (benchmark × DTM/floorplan/port-mapping config) runs is
+ * hashed field-by-field and compared against checked-in goldens.
+ *
+ * The paper's asymmetry phenomena (per-half issue-queue activity,
+ * per-ALU utilization skew, per-copy register-file heating) live in
+ * exactly the structures the perf work keeps rewriting — compacting
+ * queues, select trees, wakeup, the workload sampler. A perf
+ * refactor that silently changes simulation semantics shifts these
+ * hashes and fails here loudly, instead of quietly invalidating
+ * every table and figure.
+ *
+ * The hash covers ipc (bit pattern), cycles, instructions, stall
+ * cycles, every ActivityRecord counter, the DTM event counts, and
+ * all per-block temperature statistics (bit patterns). Runs are
+ * short (200k cycles) so the matrix stays fast in Debug builds.
+ *
+ * Re-deriving goldens (only when a semantic change is intended and
+ * documented, e.g. the PR-3 sampler rework — see DESIGN.md §10):
+ * run with TEMPEST_PRINT_GOLDENS=1 and paste the printed table.
+ * Goldens assume IEEE double evaluation without FP contraction;
+ * the build sets -ffp-contract=off so Debug and Release agree.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace tempest
+{
+namespace
+{
+
+/** FNV-1a 64-bit, fed one 64-bit word at a time. */
+class Fnv1a
+{
+  public:
+    void
+    word(std::uint64_t w)
+    {
+        for (int b = 0; b < 8; ++b) {
+            hash_ ^= (w >> (8 * b)) & 0xff;
+            hash_ *= 0x100000001b3ULL;
+        }
+    }
+
+    void
+    real(double d)
+    {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(d));
+        std::memcpy(&bits, &d, sizeof(bits));
+        word(bits);
+    }
+
+    void
+    text(const std::string& s)
+    {
+        for (const char c : s) {
+            hash_ ^= static_cast<unsigned char>(c);
+            hash_ *= 0x100000001b3ULL;
+        }
+    }
+
+    std::uint64_t value() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+std::uint64_t
+hashResult(const SimResult& r)
+{
+    Fnv1a h;
+    h.text(r.benchmark);
+    h.real(r.ipc);
+    h.word(r.cycles);
+    h.word(r.instructions);
+    h.word(r.stallCycles);
+
+    const ActivityRecord& a = r.activity;
+    for (int q = 0; q < kNumIssueQueues; ++q) {
+        for (int half = 0; half < 2; ++half) {
+            h.word(a.iqEntryMoves[q][half]);
+            h.word(a.iqMuxSelects[q][half]);
+            h.word(a.iqLongCompactions[q][half]);
+            h.word(a.iqCounterOps[q][half]);
+            h.word(a.iqOccupiedCycles[q][half]);
+            h.word(a.iqDispatchWrites[q][half]);
+        }
+        h.word(a.iqTagBroadcasts[q]);
+        h.word(a.iqPayloadAccesses[q]);
+        h.word(a.iqSelectAccesses[q]);
+        h.word(a.iqClockGateCycles[q]);
+    }
+    for (int i = 0; i < kMaxIntAlus; ++i)
+        h.word(a.intAluOps[i]);
+    for (int i = 0; i < kMaxFpAdders; ++i)
+        h.word(a.fpAddOps[i]);
+    h.word(a.fpMulOps);
+    for (int i = 0; i < kMaxRegfileCopies; ++i) {
+        h.word(a.intRegReads[i]);
+        h.word(a.intRegWrites[i]);
+    }
+    h.word(a.fpRegReads);
+    h.word(a.fpRegWrites);
+    h.word(a.l1iAccesses);
+    h.word(a.l1dAccesses);
+    h.word(a.l2Accesses);
+    h.word(a.bpredAccesses);
+    h.word(a.renameOps);
+    h.word(a.lsqOps);
+    h.word(a.commits);
+    h.word(a.cycles);
+    h.word(a.stallCycles);
+    h.word(a.instructions);
+
+    h.word(r.dtm.iqToggles);
+    h.word(r.dtm.aluTurnoffEvents);
+    h.word(r.dtm.fpAdderTurnoffEvents);
+    h.word(r.dtm.regfileTurnoffEvents);
+    h.word(r.dtm.globalStalls);
+    h.word(r.dtm.fetchThrottleEvents);
+
+    for (const BlockTempStats& b : r.blocks) {
+        h.text(b.name);
+        h.real(b.avg);
+        h.real(b.max);
+    }
+    return h.value();
+}
+
+/** Short runs keep the 12-job matrix fast even in Debug builds. */
+constexpr std::uint64_t kGoldenCycles = 200'000;
+
+struct GoldenCase
+{
+    const char* config;
+    const char* benchmark;
+    std::uint64_t hash;
+};
+
+/**
+ * Checked-in goldens. Derived once from the post-PR-3 sampler
+ * (alias-table workload generation; DESIGN.md §10 documents the
+ * one-time re-derivation); every config shares one workload stream
+ * per benchmark, so cross-config asymmetries remain comparable.
+ */
+constexpr GoldenCase kGoldens[] = {
+    {"iq_base", "art", 0x31247fe7bc36023bULL},
+    {"iq_base", "facerec", 0x6741aedb7fa4d32aULL},
+    {"iq_base", "mesa", 0x54273f6f1820625eULL},
+    {"iq_toggling", "art", 0x31247fe7bc36023bULL},
+    {"iq_toggling", "facerec", 0x6741aedb7fa4d32aULL},
+    {"iq_toggling", "mesa", 0x3e647b7574d36182ULL},
+    {"alu_turnoff", "art", 0xcad35a6df15dc1faULL},
+    {"alu_turnoff", "facerec", 0xcc4ae242ea4954deULL},
+    {"alu_turnoff", "mesa", 0xad042b9d31642ff3ULL},
+    {"regfile_balanced", "art", 0xa3914234c1d2d9ccULL},
+    {"regfile_balanced", "facerec", 0xfcb6de89ac972a26ULL},
+    {"regfile_balanced", "mesa", 0x0d495c8a08bdf587ULL},
+};
+
+SimConfig
+configFor(const std::string& name)
+{
+    if (name == "iq_base")
+        return experiments::iqBase();
+    if (name == "iq_toggling")
+        return experiments::iqToggling();
+    if (name == "alu_turnoff")
+        return experiments::aluFineGrain();
+    if (name == "regfile_balanced")
+        return experiments::regfileConfig(PortMapping::Balanced,
+                                          /*fine_grain=*/true);
+    ADD_FAILURE() << "unknown golden config " << name;
+    return experiments::iqBase();
+}
+
+TEST(Golden, SimResultBitIdentity)
+{
+    const bool print =
+        std::getenv("TEMPEST_PRINT_GOLDENS") != nullptr;
+    if (print)
+        std::printf("constexpr GoldenCase kGoldens[] = {\n");
+    for (const GoldenCase& c : kGoldens) {
+        const SimResult r = experiments::runBenchmark(
+            configFor(c.config), c.benchmark, kGoldenCycles);
+        const std::uint64_t got = hashResult(r);
+        if (print) {
+            std::printf("    {\"%s\", \"%s\", 0x%016llxULL},\n",
+                        c.config, c.benchmark,
+                        static_cast<unsigned long long>(got));
+            continue;
+        }
+        EXPECT_EQ(got, c.hash)
+            << c.config << "/" << c.benchmark
+            << ": SimResult changed (got 0x" << std::hex << got
+            << ", golden 0x" << c.hash << std::dec
+            << "). If the semantic change is intended, re-derive "
+               "with TEMPEST_PRINT_GOLDENS=1 and document it.";
+    }
+    if (print)
+        std::printf("};\n");
+}
+
+/** The goldens must not depend on which config ran first: each
+ * run constructs its own stream, so running one case in isolation
+ * yields the same hash (guards against hidden global state). */
+TEST(Golden, RunsAreIndependent)
+{
+    const SimResult a = experiments::runBenchmark(
+        configFor("iq_base"), "art", kGoldenCycles);
+    const SimResult b = experiments::runBenchmark(
+        configFor("iq_base"), "art", kGoldenCycles);
+    EXPECT_EQ(hashResult(a), hashResult(b));
+}
+
+} // namespace
+} // namespace tempest

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Advisory perf-smoke check against the recorded bench history.
+
+Runs bench_wallclock in smoke mode and compares serial (1-thread)
+throughput against the most recent entry in BENCH_wallclock.json.
+Prints a loud warning when throughput drops more than the threshold
+below the recorded value, but always exits 0: smoke runs on shared
+CI machines are too noisy to gate merges, they exist to make a real
+regression visible in the log.
+
+Only serial rows are compared. Multi-thread rows depend on the
+machine's core count (see hardware_concurrency in the history
+entries); comparing them across machines conflates oversubscription
+with regression.
+
+Usage:
+    python3 tools/perf_smoke.py [--build-dir build]
+        [--history BENCH_wallclock.json] [--threshold 0.10]
+
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def repo_root():
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.dirname(here)
+
+
+def serial_best(runs):
+    vals = [r["sim_cycles_per_second"] for r in runs
+            if r.get("threads") == 1]
+    return max(vals) if vals else None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--history", default=None,
+                        help="recorded trajectory (default: "
+                             "BENCH_wallclock.json at repo root)")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="fractional drop that triggers the "
+                             "warning (default: 0.10)")
+    args = parser.parse_args()
+
+    root = repo_root()
+    history_path = args.history or os.path.join(
+        root, "BENCH_wallclock.json")
+    if not os.path.exists(history_path):
+        print(f"perf-smoke: no history at {history_path}; "
+              "nothing to compare against")
+        return 0
+    with open(history_path) as f:
+        history = json.load(f).get("history", [])
+    if not history:
+        print("perf-smoke: empty history; nothing to compare")
+        return 0
+    baseline = serial_best(history[-1].get("runs", []))
+    if baseline is None:
+        print("perf-smoke: last history entry has no serial runs")
+        return 0
+
+    binary = os.path.join(root, args.build_dir, "bench",
+                          "bench_wallclock")
+    if not os.path.exists(binary):
+        print(f"perf-smoke: {binary} not found; skipping")
+        return 0
+
+    env = dict(os.environ)
+    env["TEMPEST_SMOKE"] = "1"
+    with tempfile.NamedTemporaryFile(
+            mode="r", suffix=".json", delete=False) as tmp:
+        env["TEMPEST_BENCH_JSON"] = tmp.name
+        try:
+            subprocess.run([binary], env=env, check=True)
+            tmp.seek(0)
+            payload = json.load(tmp)
+        finally:
+            os.unlink(tmp.name)
+
+    current = serial_best(payload.get("runs", []))
+    if current is None:
+        print("perf-smoke: smoke run produced no serial rows")
+        return 0
+
+    ratio = current / baseline
+    print(f"perf-smoke: serial throughput {current / 1e6:.2f} "
+          f"Mcycles/s vs recorded {baseline / 1e6:.2f} Mcycles/s "
+          f"({ratio:.2f}x)")
+    if ratio < 1.0 - args.threshold:
+        drop = (1.0 - ratio) * 100.0
+        print("::warning title=perf-smoke::wall-clock throughput "
+              f"is {drop:.0f}% below the last recorded bench "
+              f"entry ({history[-1].get('git_rev', '?')}); "
+              "advisory only, but worth a look", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

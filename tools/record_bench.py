@@ -85,8 +85,12 @@ def main():
         "git_rev": git_rev(root),
         "cycles_per_run": payload.get("cycles_per_run"),
         "benchmarks": payload.get("benchmarks"),
+        "hardware_concurrency": payload.get(
+            "hardware_concurrency"),
         "runs": payload.get("runs"),
     }
+    if payload.get("note") is not None:
+        entry["note"] = payload["note"]
 
     output = args.output or os.path.join(root,
                                          "BENCH_wallclock.json")
