@@ -147,9 +147,124 @@ checkIdentical(const SweepTiming& serial,
     }
 }
 
+/** Warm-fork vs cold-sweep timing (see DESIGN.md §11). */
+struct WarmForkTiming
+{
+    std::size_t configs = 0;
+    std::uint64_t warmupCycles = 0;
+    std::uint64_t measureCycles = 0;
+    double coldWallSeconds = 0.0;
+    double warmWallSeconds = 0.0;     ///< serial warm-fork sweep
+    double threadedWallSeconds = 0.0; ///< 8-thread warm-fork sweep
+
+    double
+    speedup() const
+    {
+        return warmWallSeconds > 0
+                   ? coldWallSeconds / warmWallSeconds
+                   : 0.0;
+    }
+};
+
+/** Four DTM variants on the IQ-constrained floorplan: warm-fork
+ * requires every fork to share the warm-up's geometry, and these
+ * differ only in technique flags restoreCheckpoint re-asserts. */
+std::vector<std::pair<std::string, SimConfig>>
+warmForkConfigs()
+{
+    auto make = [](bool toggling, bool throttle) {
+        SimConfig config = experiments::iqBase();
+        config.dtm.iqToggling = toggling;
+        config.dtm.fetchThrottling = throttle;
+        return config;
+    };
+    return {
+        {"iq_base", make(false, false)},
+        {"iq_toggling", make(true, false)},
+        {"iq_throttle", make(false, true)},
+        {"iq_toggle_throttle", make(true, true)},
+    };
+}
+
+/**
+ * Time the warm-fork path against the cold sweep it replaces: the
+ * cold sweep simulates warm-up + measurement in every job; the
+ * warm-fork sweep warms each benchmark once and forks the
+ * measurement region per config. Serial vs 8-thread fork results
+ * are checked bit-identical before any number is reported.
+ */
+WarmForkTiming
+timeWarmFork(const std::vector<std::string>& benchmarks,
+             std::uint64_t cycles, std::uint64_t base_seed)
+{
+    const auto configs = warmForkConfigs();
+    WarmForkTiming t;
+    t.configs = configs.size();
+    t.warmupCycles = cycles / 2;
+    t.measureCycles = cycles - t.warmupCycles;
+
+    ExperimentRunner::Options serial_options;
+    serial_options.threads = 1;
+    serial_options.baseSeed = base_seed;
+
+    experiments::WarmForkOptions warm;
+    warm.warmConfig = experiments::iqBase();
+    warm.warmupCycles = t.warmupCycles;
+
+    auto timed = [](auto&& fn) {
+        const auto start = std::chrono::steady_clock::now();
+        auto outcomes = fn();
+        const double wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        for (const ExperimentOutcome& o : outcomes) {
+            if (!o.ok)
+                fatal("warm-fork bench job ", o.tag, "/",
+                      o.benchmark, " failed: ", o.error);
+        }
+        return std::make_pair(wall, std::move(outcomes));
+    };
+
+    auto [cold_wall, cold] = timed([&] {
+        return experiments::runSweep(configs, benchmarks, cycles,
+                                     serial_options);
+    });
+    t.coldWallSeconds = cold_wall;
+
+    auto [warm_wall, warm_serial] = timed([&] {
+        return experiments::runWarmForkSweep(
+            configs, benchmarks, t.measureCycles, warm,
+            serial_options);
+    });
+    t.warmWallSeconds = warm_wall;
+
+    ExperimentRunner::Options threaded_options = serial_options;
+    threaded_options.threads = 8;
+    auto [threaded_wall, warm_threaded] = timed([&] {
+        return experiments::runWarmForkSweep(
+            configs, benchmarks, t.measureCycles, warm,
+            threaded_options);
+    });
+    t.threadedWallSeconds = threaded_wall;
+
+    if (warm_serial.size() != warm_threaded.size())
+        fatal("warm-fork serial/threaded job counts diverged");
+    for (std::size_t i = 0; i < warm_serial.size(); ++i) {
+        if (experiments::hashSimResult(warm_serial[i].result) !=
+            experiments::hashSimResult(warm_threaded[i].result)) {
+            fatal("warm-fork serial vs 8-thread results diverged "
+                  "for job ", warm_serial[i].tag, "/",
+                  warm_serial[i].benchmark);
+        }
+    }
+    return t;
+}
+
 void
 writeJson(const std::string& path,
           const std::vector<SweepTiming>& timings,
+          const WarmForkTiming& warm_fork,
           const std::vector<std::string>& benchmarks,
           std::uint64_t cycles)
 {
@@ -198,7 +313,21 @@ writeJson(const std::string& path,
             t.cyclesPerSecond(),
             i + 1 < timings.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f, "  ],\n");
+    std::fprintf(
+        f,
+        "  \"warm_fork\": {\"configs\": %zu, "
+        "\"warmup_cycles\": %llu, \"measure_cycles\": %llu, "
+        "\"cold_wall_seconds\": %.4f, "
+        "\"warm_wall_seconds\": %.4f, "
+        "\"threaded_wall_seconds\": %.4f, "
+        "\"speedup\": %.3f}\n",
+        warm_fork.configs,
+        static_cast<unsigned long long>(warm_fork.warmupCycles),
+        static_cast<unsigned long long>(warm_fork.measureCycles),
+        warm_fork.coldWallSeconds, warm_fork.warmWallSeconds,
+        warm_fork.threadedWallSeconds, warm_fork.speedup());
+    std::fprintf(f, "}\n");
     std::fclose(f);
 }
 
@@ -247,9 +376,21 @@ run()
         std::printf("serial expm/euler throughput ratio: %.2fx\n",
                     expm / euler);
 
+    const WarmForkTiming warm_fork =
+        timeWarmFork(benchmarks, cycles, base_seed);
+    std::printf(
+        "warm-fork sweep (%zu configs, %llu warm-up + %llu "
+        "measure cycles): cold %.2fs, warm-fork %.2fs serial "
+        "(%.2fx), %.2fs at 8 threads\n",
+        warm_fork.configs,
+        static_cast<unsigned long long>(warm_fork.warmupCycles),
+        static_cast<unsigned long long>(warm_fork.measureCycles),
+        warm_fork.coldWallSeconds, warm_fork.warmWallSeconds,
+        warm_fork.speedup(), warm_fork.threadedWallSeconds);
+
     const char* json = std::getenv("TEMPEST_BENCH_JSON");
     writeJson(json ? json : "BENCH_wallclock.json", timings,
-              benchmarks, cycles);
+              warm_fork, benchmarks, cycles);
     return 0;
 }
 

@@ -79,6 +79,18 @@ class Rng
     /** Re-seed the generator (resets the stream). */
     void reseed(std::uint64_t seed);
 
+    /** Raw generator state (for checkpointing). */
+    const std::array<std::uint64_t, 4>& state() const
+    {
+        return state_;
+    }
+
+    /** Restore raw generator state (for checkpointing). */
+    void setState(const std::array<std::uint64_t, 4>& s)
+    {
+        state_ = s;
+    }
+
   private:
     std::array<std::uint64_t, 4> state_;
 };

@@ -66,6 +66,25 @@ class RunningStat
         max_ = -std::numeric_limits<double>::infinity();
     }
 
+    /**
+     * Restore from checkpointed values. With n == 0 the sentinel
+     * infinities are re-established (min()/max() report through the
+     * n-guarded getters, so saving their raw values is lossless for
+     * any n > 0).
+     */
+    void
+    restore(std::uint64_t n, double sum, double min, double max)
+    {
+        if (n == 0) {
+            reset();
+            return;
+        }
+        n_ = n;
+        sum_ = sum;
+        min_ = min;
+        max_ = max;
+    }
+
   private:
     std::uint64_t n_ = 0;
     double sum_ = 0.0;

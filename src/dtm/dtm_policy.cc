@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "sim/checkpoint/stateio.hh"
 
 namespace tempest
 {
@@ -235,6 +236,52 @@ ResourceBalancingDtm::sample(const std::vector<Kelvin>& temps)
     if (stall)
         ++stats_.globalStalls;
     return stall ? DtmAction::GlobalStall : DtmAction::Continue;
+}
+
+void
+ResourceBalancingDtm::saveState(StateWriter& w) const
+{
+    w.i32(numIntAlus_);
+    w.i32(numFpAdders_);
+    w.i32(numRegCopies_);
+    for (const bool off : regCopyOff_)
+        w.boolean(off);
+    for (const std::uint8_t off : aluUnitOff_)
+        w.u8(off);
+    for (const std::uint8_t off : fpUnitOff_)
+        w.u8(off);
+    w.u64(stats_.iqToggles);
+    w.u64(stats_.aluTurnoffEvents);
+    w.u64(stats_.fpAdderTurnoffEvents);
+    w.u64(stats_.regfileTurnoffEvents);
+    w.u64(stats_.globalStalls);
+    w.u64(stats_.fetchThrottleEvents);
+}
+
+void
+ResourceBalancingDtm::loadState(StateReader& r)
+{
+    const int alus = r.i32();
+    const int adders = r.i32();
+    const int copies = r.i32();
+    if (alus != numIntAlus_ || adders != numFpAdders_ ||
+        copies != numRegCopies_) {
+        fatal("checkpoint DTM mismatch: saved ", alus, "/", adders,
+              "/", copies, " ALUs/adders/copies, this policy has ",
+              numIntAlus_, "/", numFpAdders_, "/", numRegCopies_);
+    }
+    for (bool& off : regCopyOff_)
+        off = r.boolean();
+    for (std::uint8_t& off : aluUnitOff_)
+        off = r.u8();
+    for (std::uint8_t& off : fpUnitOff_)
+        off = r.u8();
+    stats_.iqToggles = r.u64();
+    stats_.aluTurnoffEvents = r.u64();
+    stats_.fpAdderTurnoffEvents = r.u64();
+    stats_.regfileTurnoffEvents = r.u64();
+    stats_.globalStalls = r.u64();
+    stats_.fetchThrottleEvents = r.u64();
 }
 
 } // namespace tempest

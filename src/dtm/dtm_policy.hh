@@ -39,6 +39,9 @@
 namespace tempest
 {
 
+class StateWriter;
+class StateReader;
+
 /** Which techniques are active and their thresholds. */
 struct DtmConfig
 {
@@ -144,6 +147,16 @@ class ResourceBalancingDtm
     /** @return true if the given int ALU is currently turned off
      * because its register-file copy is cooling (for tests). */
     bool aluOffForRegfile(int alu) const;
+
+    /** Zero the lifetime statistics (warm-fork measurement reset;
+     * turnoff state is left as-is). */
+    void resetStats() { stats_ = DtmStats{}; }
+
+    /** Serialize turnoff bookkeeping and statistics. */
+    void saveState(StateWriter& w) const;
+
+    /** Restore state saved by saveState(). */
+    void loadState(StateReader& r);
 
   private:
     /** Toggle handling for one queue given its two half blocks. */

@@ -1,0 +1,191 @@
+#include "sim/checkpoint/checkpoint.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace tempest
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'T', 'M', 'P', 'S', 'T', 'C', 'K', 'P'};
+
+std::string
+tagName(std::uint32_t id)
+{
+    std::string s(4, '?');
+    for (int i = 0; i < 4; ++i) {
+        const char c = static_cast<char>((id >> (8 * i)) & 0xff);
+        s[static_cast<std::size_t>(i)] =
+            (c >= 0x20 && c < 0x7f) ? c : '?';
+    }
+    return s;
+}
+
+} // namespace
+
+StateWriter&
+CheckpointWriter::chunk(std::uint32_t id)
+{
+    for (const Chunk& c : chunks_) {
+        if (c.id == id)
+            fatal("duplicate checkpoint chunk '", tagName(id), "'");
+    }
+    chunks_.push_back(Chunk{id, StateWriter{}});
+    return chunks_.back().payload;
+}
+
+std::string
+CheckpointWriter::serialize() const
+{
+    StateWriter out;
+    for (const char c : kMagic)
+        out.u8(static_cast<std::uint8_t>(c));
+    out.u32(kCheckpointVersion);
+    out.u32(static_cast<std::uint32_t>(chunks_.size()));
+    for (const Chunk& c : chunks_) {
+        const std::string& payload = c.payload.bytes();
+        out.u32(c.id);
+        out.u32(0); // flags, reserved
+        out.u64(payload.size());
+        for (const char b : payload)
+            out.u8(static_cast<std::uint8_t>(b));
+        out.u64(fnv1a64(payload.data(), payload.size()));
+    }
+    return out.bytes();
+}
+
+CheckpointReader::CheckpointReader(std::string_view bytes)
+{
+    if (bytes.size() < sizeof(kMagic) + 8) {
+        fatal("checkpoint too small (", bytes.size(),
+              " bytes): truncated or not a checkpoint");
+    }
+    if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
+        fatal("bad checkpoint magic: not a Tempest checkpoint");
+
+    StateReader r(bytes.substr(sizeof(kMagic)));
+    const std::uint32_t version = r.u32();
+    if (version != kCheckpointVersion) {
+        fatal("unsupported checkpoint version ", version,
+              " (this build reads version ", kCheckpointVersion,
+              ")");
+    }
+    const std::uint32_t count = r.u32();
+    // Chunk payloads are views into `bytes`; track the absolute
+    // offset so the views do not copy.
+    std::size_t offset = sizeof(kMagic) + 8;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        if (r.remaining() < 16) {
+            fatal("checkpoint truncated in chunk header ", i + 1,
+                  " of ", count);
+        }
+        const std::uint32_t id = r.u32();
+        (void)r.u32(); // flags
+        const std::uint64_t len = r.u64();
+        offset += 16;
+        if (r.remaining() < len + 8) {
+            fatal("checkpoint truncated inside chunk '",
+                  tagName(id), "' (payload ", len, " bytes, ",
+                  r.remaining(), " left)");
+        }
+        const std::string_view payload = bytes.substr(
+            offset, static_cast<std::size_t>(len));
+        for (std::uint64_t skip = 0; skip < len; ++skip)
+            (void)r.u8();
+        const std::uint64_t stored = r.u64();
+        offset += static_cast<std::size_t>(len) + 8;
+        const std::uint64_t computed =
+            fnv1a64(payload.data(), payload.size());
+        if (stored != computed) {
+            fatal("checkpoint chunk '", tagName(id),
+                  "' checksum mismatch (stored 0x", std::hex,
+                  stored, ", computed 0x", computed, std::dec,
+                  "): corrupt checkpoint");
+        }
+        for (const Chunk& c : chunks_) {
+            if (c.id == id) {
+                fatal("checkpoint has duplicate chunk '",
+                      tagName(id), "'");
+            }
+        }
+        chunks_.push_back(Chunk{id, payload});
+    }
+    if (!r.atEnd()) {
+        fatal("checkpoint has ", r.remaining(),
+              " trailing bytes after the last chunk");
+    }
+}
+
+const CheckpointReader::Chunk*
+CheckpointReader::find(std::uint32_t id) const
+{
+    for (const Chunk& c : chunks_) {
+        if (c.id == id)
+            return &c;
+    }
+    return nullptr;
+}
+
+bool
+CheckpointReader::has(std::uint32_t id) const
+{
+    return find(id) != nullptr;
+}
+
+StateReader
+CheckpointReader::chunk(std::uint32_t id) const
+{
+    const Chunk* c = find(id);
+    if (!c) {
+        fatal("checkpoint is missing required chunk '",
+              tagName(id), "'");
+    }
+    return StateReader(c->payload);
+}
+
+void
+writeCheckpointFile(const std::string& path,
+                    const std::string& bytes)
+{
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        fatal("cannot open '", tmp, "' for checkpoint write");
+    const std::size_t written =
+        std::fwrite(bytes.data(), 1, bytes.size(), f);
+    const bool flushed = std::fflush(f) == 0;
+    std::fclose(f);
+    if (written != bytes.size() || !flushed) {
+        std::remove(tmp.c_str());
+        fatal("short write to checkpoint '", tmp, "'");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        fatal("cannot rename checkpoint '", tmp, "' to '", path,
+              "'");
+    }
+}
+
+std::string
+readCheckpointFile(const std::string& path)
+{
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        fatal("cannot open checkpoint '", path, "'");
+    std::string bytes;
+    char buf[65536];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        bytes.append(buf, n);
+    const bool err = std::ferror(f) != 0;
+    std::fclose(f);
+    if (err)
+        fatal("read error on checkpoint '", path, "'");
+    return bytes;
+}
+
+} // namespace tempest

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * StateIO: the byte-stream serializer visitor every stateful
+ * component implements for checkpointing.
+ *
+ * A component's `saveState(StateWriter&)` appends its dynamic state
+ * as fixed-width little-endian fields; `loadState(StateReader&)`
+ * reads them back in the same order. Encoding rules:
+ *
+ * - integers are fixed-width little-endian (u8/u32/u64); signed
+ *   values travel as their two's-complement bit pattern,
+ * - doubles travel as their IEEE-754 bit pattern (bit-exact
+ *   round-trip, the property the resume bit-identity tests rely
+ *   on),
+ * - bools are one byte (0/1),
+ * - strings are a u32 length followed by raw bytes.
+ *
+ * The reader is bounds-checked: any read past the end of the
+ * payload reports a clear fatal() instead of undefined behaviour,
+ * which is what turns a truncated or corrupt checkpoint into a
+ * diagnosable error.
+ *
+ * This header is intentionally dependency-free (common/log.hh
+ * only) so every layer — uarch, workload, thermal, dtm — can
+ * implement the visitor without linking against the sim library.
+ */
+
+#ifndef TEMPEST_SIM_CHECKPOINT_STATEIO_HH
+#define TEMPEST_SIM_CHECKPOINT_STATEIO_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/log.hh"
+
+namespace tempest
+{
+
+/** FNV-1a 64-bit over a byte range (chunk checksums). */
+inline std::uint64_t
+fnv1a64(const void* data, std::size_t size,
+        std::uint64_t h = 0xcbf29ce484222325ULL)
+{
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/** Append-only little-endian field writer. */
+class StateWriter
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf_.push_back(static_cast<char>(v));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+
+    void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+    void boolean(bool v) { u8(v ? 1 : 0); }
+
+    void
+    f64(double v)
+    {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    void
+    str(const std::string& s)
+    {
+        u32(static_cast<std::uint32_t>(s.size()));
+        buf_.append(s);
+    }
+
+    const std::string& bytes() const { return buf_; }
+    std::size_t size() const { return buf_.size(); }
+
+  private:
+    std::string buf_;
+};
+
+/** Bounds-checked reader over one chunk payload (not owned). */
+class StateReader
+{
+  public:
+    explicit StateReader(std::string_view payload)
+        : p_(reinterpret_cast<const unsigned char*>(payload.data())),
+          end_(p_ + payload.size())
+    {}
+
+    std::uint8_t
+    u8()
+    {
+        need(1);
+        return *p_++;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        need(4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(*p_++) << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        need(8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(*p_++) << (8 * i);
+        return v;
+    }
+
+    std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+    bool boolean() { return u8() != 0; }
+
+    double
+    f64()
+    {
+        const std::uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        const std::uint32_t n = u32();
+        need(n);
+        std::string s(reinterpret_cast<const char*>(p_), n);
+        p_ += n;
+        return s;
+    }
+
+    std::size_t
+    remaining() const
+    {
+        return static_cast<std::size_t>(end_ - p_);
+    }
+
+    bool atEnd() const { return p_ == end_; }
+
+  private:
+    void
+    need(std::size_t n)
+    {
+        if (remaining() < n) {
+            fatal("checkpoint chunk ends early (need ", n,
+                  " more bytes, have ", remaining(),
+                  "): truncated or corrupt checkpoint");
+        }
+    }
+
+    const unsigned char* p_;
+    const unsigned char* end_;
+};
+
+} // namespace tempest
+
+#endif // TEMPEST_SIM_CHECKPOINT_STATEIO_HH

@@ -74,6 +74,16 @@ SimResult runBenchmark(const SimConfig& config,
 double speedupPercent(const SimResult& a, const SimResult& b);
 
 /**
+ * FNV-1a 64 over every field of a SimResult: benchmark name, ipc
+ * (IEEE bit pattern), cycles, instructions, stall cycles, every
+ * ActivityRecord counter, the DTM event counts, and all per-block
+ * temperature statistics (bit patterns). Two results hash equal
+ * iff the simulations were bit-identical — the identity the
+ * golden, runner, and checkpoint tests all assert.
+ */
+std::uint64_t hashSimResult(const SimResult& r);
+
+/**
  * Geometric-mean IPC speedup (percent) of config B over config A
  * across paired results.
  */

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <mutex>
 #include <thread>
 
+#include "sim/checkpoint/checkpoint.hh"
 #include "workload/profile.hh"
 
 namespace tempest
@@ -91,6 +93,7 @@ ExperimentRunner::runJob(const ExperimentJob& job,
                    ? deriveRunSeed(base_seed, job.benchmark,
                                    job.tag)
                    : job.config.runSeed;
+    const auto start = std::chrono::steady_clock::now();
     try {
         SimConfig config = job.config;
         config.runSeed = out.seed;
@@ -102,6 +105,10 @@ ExperimentRunner::runJob(const ExperimentJob& job,
     } catch (...) {
         out.error = "unknown exception";
     }
+    out.wallSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
     return out;
 }
 
@@ -156,6 +163,138 @@ ExperimentRunner::run()
 
 namespace experiments
 {
+
+namespace
+{
+
+/** Run `fn(i)` for i in [0, total) on `threads` workers, pulling
+ * indices from a shared counter. */
+template <typename Fn>
+void
+parallelFor(std::size_t total, int threads, Fn&& fn)
+{
+    if (total == 0)
+        return;
+    threads = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(std::max(threads, 1)), total));
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= total)
+                return;
+            fn(i);
+        }
+    };
+    if (threads == 1) {
+        worker();
+        return;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t)
+        pool.emplace_back(worker);
+    for (std::thread& t : pool)
+        t.join();
+}
+
+} // namespace
+
+std::vector<ExperimentOutcome>
+runWarmForkSweep(
+    const std::vector<std::pair<std::string, SimConfig>>& configs,
+    const std::vector<std::string>& benchmarks,
+    std::uint64_t measure_cycles, const WarmForkOptions& warm,
+    const ExperimentRunner::Options& options)
+{
+    const int threads = options.threads > 0
+                            ? options.threads
+                            : ExperimentRunner::defaultThreads();
+    const std::size_t num_benchmarks = benchmarks.size();
+
+    // Phase 1: one warm-up per benchmark under the shared neutral
+    // configuration. Every fork of a benchmark reuses the
+    // warm-up's derived seed so the instruction stream continues
+    // identically in all of them.
+    std::vector<std::uint64_t> warm_seeds(num_benchmarks);
+    std::vector<std::string> snapshots(num_benchmarks);
+    std::vector<std::string> warm_errors(num_benchmarks);
+    parallelFor(num_benchmarks, threads, [&](std::size_t b) {
+        const std::string& benchmark = benchmarks[b];
+        warm_seeds[b] = deriveRunSeed(options.baseSeed, benchmark,
+                                      warm.warmTag);
+        try {
+            SimConfig config = warm.warmConfig;
+            config.runSeed = warm_seeds[b];
+            Simulator sim(config, spec2000(benchmark));
+            sim.runTo(warm.warmupCycles);
+            std::string bytes = sim.saveCheckpoint();
+            if (!warm.spillDir.empty()) {
+                writeCheckpointFile(warm.spillDir + "/warm_" +
+                                        benchmark + ".ckpt",
+                                    bytes);
+            } else {
+                snapshots[b] = std::move(bytes);
+            }
+        } catch (const std::exception& e) {
+            warm_errors[b] = e.what();
+        } catch (...) {
+            warm_errors[b] = "unknown exception";
+        }
+    });
+
+    // Phase 2: fork every (config, benchmark) job from its
+    // benchmark's snapshot. Outcome order matches runSweep.
+    const std::size_t total = configs.size() * num_benchmarks;
+    std::vector<ExperimentOutcome> outcomes(total);
+    std::mutex progress_mutex;
+    std::size_t done = 0;
+    parallelFor(total, threads, [&](std::size_t i) {
+        const std::size_t c = i / num_benchmarks;
+        const std::size_t b = i % num_benchmarks;
+        ExperimentOutcome& out = outcomes[i];
+        out.tag = configs[c].first;
+        out.benchmark = benchmarks[b];
+        out.seed = warm_seeds[b];
+        const auto start = std::chrono::steady_clock::now();
+        if (!warm_errors[b].empty()) {
+            out.error = "warm-up failed: " + warm_errors[b];
+        } else {
+            try {
+                SimConfig config = configs[c].second;
+                config.runSeed = warm_seeds[b];
+                Simulator sim(config,
+                              spec2000(benchmarks[b]));
+                if (!warm.spillDir.empty()) {
+                    sim.restoreCheckpoint(readCheckpointFile(
+                        warm.spillDir + "/warm_" + benchmarks[b] +
+                        ".ckpt"));
+                } else {
+                    sim.restoreCheckpoint(snapshots[b]);
+                }
+                if (warm.resetMeasurement)
+                    sim.resetMeasurement();
+                out.result = sim.run(measure_cycles);
+                out.ok = true;
+            } catch (const std::exception& e) {
+                out.error = e.what();
+            } catch (...) {
+                out.error = "unknown exception";
+            }
+        }
+        out.wallSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        if (options.progress) {
+            const std::lock_guard<std::mutex> lock(
+                progress_mutex);
+            options.progress(out, ++done, total);
+        }
+    });
+    return outcomes;
+}
 
 std::vector<ExperimentOutcome>
 runSweep(

@@ -74,6 +74,9 @@ struct ExperimentOutcome
     bool ok = false;
     std::string error;      ///< failure description when !ok
     SimResult result;       ///< valid only when ok
+    /** Wall-clock seconds this job took (simulation only, not
+     * queueing); informational, never part of the result hash. */
+    double wallSeconds = 0;
 };
 
 /** Fixed-size thread pool over independent simulation jobs. */
@@ -144,6 +147,56 @@ std::vector<ExperimentOutcome> runSweep(
     const std::vector<std::pair<std::string, SimConfig>>& configs,
     const std::vector<std::string>& benchmarks,
     std::uint64_t cycles,
+    const ExperimentRunner::Options& options = {});
+
+/**
+ * Warm-state forking (see DESIGN.md §11).
+ *
+ * Instead of every (config, benchmark) job re-simulating the same
+ * warm-up prefix, each benchmark is warmed up once under a shared
+ * neutral configuration, snapshotted, and every DTM configuration
+ * forks from that snapshot. All forks of a benchmark share the
+ * warm-up's derived seed — deriveRunSeed(baseSeed, benchmark,
+ * warmTag) — so the instruction stream continues identically in
+ * every fork; per-config decorrelation is intentionally given up,
+ * which is exactly the paper's methodology (same workload, DTM
+ * policies differ).
+ *
+ * Discipline: the warm-up configuration must use the same
+ * pipeline geometry, floorplan variant, and thermal parameters as
+ * every fork (restoreCheckpoint enforces this), and should keep
+ * all DTM techniques off so no technique-specific state leaks
+ * into the snapshot. Config-derived controls (round-robin,
+ * port mapping, fetch throttle) are re-asserted per fork by
+ * restoreCheckpoint().
+ */
+struct WarmForkOptions
+{
+    /** Shared warm-up configuration (neutral: techniques off). */
+    SimConfig warmConfig;
+    /** Cycles to warm up before the snapshot. */
+    std::uint64_t warmupCycles = 0;
+    /** Seed identity of the warm-up (shared by all forks). */
+    std::string warmTag = "warmup";
+    /** Zero measurement state after restore so results cover only
+     * the post-fork region. */
+    bool resetMeasurement = true;
+    /** Non-empty: spill snapshots to `<dir>/warm_<bench>.ckpt`
+     * and re-read per fork instead of keeping them in memory. */
+    std::string spillDir;
+};
+
+/**
+ * Run the (configs x benchmarks) sweep with warm-state forking:
+ * one warm-up per benchmark, then every config forks from the
+ * snapshot. Outcome order matches runSweep (configs-major).
+ * Warm-ups and forks both run on the options thread pool, and the
+ * outcome set is bit-identical at any thread count.
+ */
+std::vector<ExperimentOutcome> runWarmForkSweep(
+    const std::vector<std::pair<std::string, SimConfig>>& configs,
+    const std::vector<std::string>& benchmarks,
+    std::uint64_t measure_cycles, const WarmForkOptions& warm,
     const ExperimentRunner::Options& options = {});
 
 } // namespace experiments

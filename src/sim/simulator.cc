@@ -5,9 +5,109 @@
 
 #include "common/log.hh"
 #include "common/profiler.hh"
+#include "sim/checkpoint/checkpoint.hh"
 
 namespace tempest
 {
+
+namespace
+{
+
+// Checkpoint chunk ids, one per component (see DESIGN.md §11).
+constexpr std::uint32_t kChunkMeta = chunkId("META");
+constexpr std::uint32_t kChunkCore = chunkId("CORE");
+constexpr std::uint32_t kChunkWorkload = chunkId("WKLD");
+constexpr std::uint32_t kChunkIqInt = chunkId("IQIN");
+constexpr std::uint32_t kChunkIqFp = chunkId("IQFP");
+constexpr std::uint32_t kChunkAlus = chunkId("ALUP");
+constexpr std::uint32_t kChunkRegfile = chunkId("REGF");
+constexpr std::uint32_t kChunkCaches = chunkId("CACH");
+constexpr std::uint32_t kChunkThermal = chunkId("THRM");
+constexpr std::uint32_t kChunkSensors = chunkId("SENS");
+constexpr std::uint32_t kChunkDtm = chunkId("DTMS");
+constexpr std::uint32_t kChunkSimStats = chunkId("SIMR");
+
+void
+saveActivity(StateWriter& w, const ActivityRecord& a)
+{
+    for (int q = 0; q < kNumIssueQueues; ++q) {
+        for (int h = 0; h < 2; ++h) {
+            w.u64(a.iqEntryMoves[q][h]);
+            w.u64(a.iqMuxSelects[q][h]);
+            w.u64(a.iqLongCompactions[q][h]);
+            w.u64(a.iqCounterOps[q][h]);
+            w.u64(a.iqOccupiedCycles[q][h]);
+            w.u64(a.iqDispatchWrites[q][h]);
+        }
+        w.u64(a.iqTagBroadcasts[q]);
+        w.u64(a.iqPayloadAccesses[q]);
+        w.u64(a.iqSelectAccesses[q]);
+        w.u64(a.iqClockGateCycles[q]);
+    }
+    for (int i = 0; i < kMaxIntAlus; ++i)
+        w.u64(a.intAluOps[i]);
+    for (int i = 0; i < kMaxFpAdders; ++i)
+        w.u64(a.fpAddOps[i]);
+    w.u64(a.fpMulOps);
+    for (int i = 0; i < kMaxRegfileCopies; ++i) {
+        w.u64(a.intRegReads[i]);
+        w.u64(a.intRegWrites[i]);
+    }
+    w.u64(a.fpRegReads);
+    w.u64(a.fpRegWrites);
+    w.u64(a.l1iAccesses);
+    w.u64(a.l1dAccesses);
+    w.u64(a.l2Accesses);
+    w.u64(a.bpredAccesses);
+    w.u64(a.renameOps);
+    w.u64(a.lsqOps);
+    w.u64(a.commits);
+    w.u64(a.cycles);
+    w.u64(a.stallCycles);
+    w.u64(a.instructions);
+}
+
+void
+loadActivity(StateReader& r, ActivityRecord& a)
+{
+    for (int q = 0; q < kNumIssueQueues; ++q) {
+        for (int h = 0; h < 2; ++h) {
+            a.iqEntryMoves[q][h] = r.u64();
+            a.iqMuxSelects[q][h] = r.u64();
+            a.iqLongCompactions[q][h] = r.u64();
+            a.iqCounterOps[q][h] = r.u64();
+            a.iqOccupiedCycles[q][h] = r.u64();
+            a.iqDispatchWrites[q][h] = r.u64();
+        }
+        a.iqTagBroadcasts[q] = r.u64();
+        a.iqPayloadAccesses[q] = r.u64();
+        a.iqSelectAccesses[q] = r.u64();
+        a.iqClockGateCycles[q] = r.u64();
+    }
+    for (int i = 0; i < kMaxIntAlus; ++i)
+        a.intAluOps[i] = r.u64();
+    for (int i = 0; i < kMaxFpAdders; ++i)
+        a.fpAddOps[i] = r.u64();
+    a.fpMulOps = r.u64();
+    for (int i = 0; i < kMaxRegfileCopies; ++i) {
+        a.intRegReads[i] = r.u64();
+        a.intRegWrites[i] = r.u64();
+    }
+    a.fpRegReads = r.u64();
+    a.fpRegWrites = r.u64();
+    a.l1iAccesses = r.u64();
+    a.l1dAccesses = r.u64();
+    a.l2Accesses = r.u64();
+    a.bpredAccesses = r.u64();
+    a.renameOps = r.u64();
+    a.lsqOps = r.u64();
+    a.commits = r.u64();
+    a.cycles = r.u64();
+    a.stallCycles = r.u64();
+    a.instructions = r.u64();
+}
+
+} // namespace
 
 const BlockTempStats&
 SimResult::block(const std::string& name) const
@@ -136,18 +236,26 @@ Simulator::runInterval(bool stalled, std::uint64_t cycles)
     }
 }
 
-SimResult
-Simulator::run(std::uint64_t max_cycles)
+void
+Simulator::runTo(std::uint64_t end_cycle)
 {
-    const std::uint64_t end_cycle = core_->cycle() + max_cycles;
     while (core_->cycle() < end_cycle)
         runInterval(/*stalled=*/false, config_.sampleIntervalCycles);
+}
 
+SimResult
+Simulator::result() const
+{
     SimResult result;
     result.benchmark = core_->profile().name;
-    result.cycles = core_->cycle();
-    result.instructions = core_->committed();
-    result.ipc = core_->ipc();
+    result.cycles = core_->cycle() - measureStartCycle_;
+    result.instructions =
+        core_->committed() - measureStartCommitted_;
+    result.ipc =
+        result.cycles
+            ? static_cast<double>(result.instructions) /
+                  static_cast<double>(result.cycles)
+            : 0.0;
     result.stallCycles = total_.stallCycles;
     result.dtm = dtm_->stats();
     result.activity = total_;
@@ -160,6 +268,164 @@ Simulator::run(std::uint64_t max_cycles)
         result.blocks[i].max = blockMax_[i];
     }
     return result;
+}
+
+SimResult
+Simulator::run(std::uint64_t max_cycles)
+{
+    runTo(core_->cycle() + max_cycles);
+    return result();
+}
+
+void
+Simulator::resetMeasurement()
+{
+    total_.clear();
+    for (RunningStat& s : blockAvg_)
+        s.reset();
+    std::fill(blockMax_.begin(), blockMax_.end(), 0.0);
+    dtm_->resetStats();
+    measureStartCycle_ = core_->cycle();
+    measureStartCommitted_ = core_->committed();
+}
+
+std::string
+Simulator::saveCheckpoint() const
+{
+    CheckpointWriter cp;
+
+    StateWriter& meta = cp.chunk(kChunkMeta);
+    meta.str(core_->profile().name);
+    meta.u64(config_.runSeed);
+    meta.i32(floorplan_.numBlocks());
+    meta.u64(config_.sampleIntervalCycles);
+    meta.u64(core_->cycle());
+
+    core_->saveState(cp.chunk(kChunkCore));
+    core_->stream().saveState(cp.chunk(kChunkWorkload));
+    core_->intQueue().saveState(cp.chunk(kChunkIqInt));
+    core_->fpQueue().saveState(cp.chunk(kChunkIqFp));
+    core_->alus().saveState(cp.chunk(kChunkAlus));
+    core_->intRegfile().saveState(cp.chunk(kChunkRegfile));
+    core_->caches().saveState(cp.chunk(kChunkCaches));
+    rc_->saveState(cp.chunk(kChunkThermal));
+    sensors_->saveState(cp.chunk(kChunkSensors));
+    dtm_->saveState(cp.chunk(kChunkDtm));
+
+    StateWriter& stats = cp.chunk(kChunkSimStats);
+    saveActivity(stats, total_);
+    stats.u32(static_cast<std::uint32_t>(blockAvg_.size()));
+    for (const RunningStat& s : blockAvg_) {
+        stats.u64(s.count());
+        stats.f64(s.sum());
+        stats.f64(s.min());
+        stats.f64(s.max());
+    }
+    for (const Kelvin t : blockMax_)
+        stats.f64(t);
+    stats.boolean(warmed_);
+    stats.u64(measureStartCycle_);
+    stats.u64(measureStartCommitted_);
+
+    return cp.serialize();
+}
+
+void
+Simulator::restoreCheckpoint(const std::string& bytes)
+{
+    const CheckpointReader cp(bytes);
+
+    StateReader meta = cp.chunk(kChunkMeta);
+    const std::string benchmark = meta.str();
+    const std::uint64_t seed = meta.u64();
+    const int blocks = meta.i32();
+    if (benchmark != core_->profile().name) {
+        fatal("checkpoint is for benchmark '", benchmark,
+              "', this simulator runs '", core_->profile().name,
+              "'");
+    }
+    if (seed != config_.runSeed) {
+        fatal("checkpoint was taken with run seed ", seed,
+              ", this simulator uses ", config_.runSeed);
+    }
+    if (blocks != floorplan_.numBlocks()) {
+        fatal("checkpoint floorplan has ", blocks,
+              " blocks, this simulator has ",
+              floorplan_.numBlocks(),
+              " (different floorplan variant?)");
+    }
+
+    {
+        StateReader r = cp.chunk(kChunkCore);
+        core_->loadState(r);
+    }
+    {
+        StateReader r = cp.chunk(kChunkWorkload);
+        core_->stream().loadState(r);
+    }
+    {
+        StateReader r = cp.chunk(kChunkIqInt);
+        core_->intQueue().loadState(r);
+    }
+    {
+        StateReader r = cp.chunk(kChunkIqFp);
+        core_->fpQueue().loadState(r);
+    }
+    {
+        StateReader r = cp.chunk(kChunkAlus);
+        core_->alus().loadState(r);
+    }
+    {
+        StateReader r = cp.chunk(kChunkRegfile);
+        core_->intRegfile().loadState(r);
+    }
+    {
+        StateReader r = cp.chunk(kChunkCaches);
+        core_->caches().loadState(r);
+    }
+    {
+        StateReader r = cp.chunk(kChunkThermal);
+        rc_->loadState(r);
+    }
+    {
+        StateReader r = cp.chunk(kChunkSensors);
+        sensors_->loadState(r);
+    }
+    {
+        StateReader r = cp.chunk(kChunkDtm);
+        dtm_->loadState(r);
+    }
+    {
+        StateReader r = cp.chunk(kChunkSimStats);
+        loadActivity(r, total_);
+        const auto n = r.u32();
+        if (n != blockAvg_.size()) {
+            fatal("checkpoint block statistics cover ", n,
+                  " blocks, this simulator has ",
+                  blockAvg_.size());
+        }
+        for (RunningStat& s : blockAvg_) {
+            const std::uint64_t count = r.u64();
+            const double sum = r.f64();
+            const double min = r.f64();
+            const double max = r.f64();
+            s.restore(count, sum, min, max);
+        }
+        for (Kelvin& t : blockMax_)
+            t = r.f64();
+        warmed_ = r.boolean();
+        measureStartCycle_ = r.u64();
+        measureStartCommitted_ = r.u64();
+    }
+
+    // Re-assert config-derived controls: a warm-state fork
+    // restores a snapshot taken under the (neutral) warm-up
+    // configuration, and this simulator's own DTM config must win
+    // over whatever the snapshot carried.
+    core_->setRoundRobin(config_.dtm.roundRobin);
+    core_->intRegfile().setMapping(config_.dtm.mapping);
+    if (!config_.dtm.fetchThrottling)
+        core_->setFetchInterval(1);
 }
 
 } // namespace tempest

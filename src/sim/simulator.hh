@@ -97,11 +97,57 @@ class Simulator
      */
     SimResult run(std::uint64_t max_cycles);
 
+    /**
+     * Advance whole sampling intervals until the core cycle
+     * reaches `end_cycle` (an absolute cycle, so checkpointed runs
+     * can continue toward the same endpoint). Intervals are
+     * atomic: a cooling stall triggered inside one completes
+     * before this returns, exactly as in run().
+     */
+    void runTo(std::uint64_t end_cycle);
+
+    /** Build the end-of-run result from the measured-region
+     * statistics (everything since the last resetMeasurement(),
+     * or since construction). */
+    SimResult result() const;
+
+    /** Current core cycle (checkpoint loop bookkeeping). */
+    std::uint64_t cycle() const { return core_->cycle(); }
+
+    /**
+     * Serialize the complete simulation state as a versioned
+     * checkpoint (see sim/checkpoint/checkpoint.hh). The returned
+     * bytes restore bit-identically via restoreCheckpoint().
+     */
+    std::string saveCheckpoint() const;
+
+    /**
+     * Restore a checkpoint produced by saveCheckpoint(). The
+     * simulator must have been constructed with the same
+     * benchmark, pipeline geometry, floorplan variant, and run
+     * seed; mismatches are fatal(). Config-derived controls
+     * (round-robin select, register-port mapping, fetch throttle
+     * when disabled) are re-asserted from *this* simulator's
+     * config afterwards, which is what lets a warm-state fork
+     * restore a neutral warm-up snapshot under its own DTM
+     * configuration.
+     */
+    void restoreCheckpoint(const std::string& bytes);
+
+    /**
+     * Zero the measured-region statistics (activity totals, block
+     * temperature stats, DTM counters) and make result() report
+     * cycles/instructions/IPC relative to this point. Used by
+     * warm-state forking to exclude the shared warm-up prefix.
+     */
+    void resetMeasurement();
+
     /** Access to the live pieces (examples, tests). */
     OooCore& core() { return *core_; }
     RcModel& thermalModel() { return *rc_; }
     ResourceBalancingDtm& dtm() { return *dtm_; }
     const Floorplan& floorplan() const { return floorplan_; }
+    const SimConfig& config() const { return config_; }
 
     /** Attach a trace recorder (not owned); nullptr detaches. */
     void setTrace(ThermalTrace* trace) { trace_ = trace; }
@@ -131,6 +177,11 @@ class Simulator
     std::vector<Kelvin> blockMax_;
     bool warmed_ = false;
     ThermalTrace* trace_ = nullptr;
+
+    // Measured-region origin (both 0 unless resetMeasurement()
+    // was called); result() reports relative to these.
+    std::uint64_t measureStartCycle_ = 0;
+    std::uint64_t measureStartCommitted_ = 0;
 };
 
 } // namespace tempest

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "common/log.hh"
+#include "sim/checkpoint/stateio.hh"
 
 namespace tempest
 {
@@ -314,6 +315,34 @@ RcModel::lateralResistance(int a, int b) const
         return std::numeric_limits<double>::infinity();
     return lateralRes_[static_cast<std::size_t>(a) * numBlocks_ +
                        b]; // infinity if not adjacent
+}
+
+void
+RcModel::saveState(StateWriter& w) const
+{
+    w.i32(numNodes_);
+    w.i32(numBlocks_);
+    for (const Kelvin t : temp_)
+        w.f64(t);
+    for (const Watt p : power_)
+        w.f64(p);
+}
+
+void
+RcModel::loadState(StateReader& r)
+{
+    const int nodes = r.i32();
+    const int blocks = r.i32();
+    if (nodes != numNodes_ || blocks != numBlocks_) {
+        fatal("checkpoint thermal model mismatch: saved ", nodes,
+              " nodes / ", blocks, " blocks, this model has ",
+              numNodes_, " / ", numBlocks_,
+              " (different floorplan?)");
+    }
+    for (Kelvin& t : temp_)
+        t = r.f64();
+    for (Watt& p : power_)
+        p = r.f64();
 }
 
 } // namespace tempest

@@ -37,6 +37,9 @@
 namespace tempest
 {
 
+class StateWriter;
+class StateReader;
+
 /**
  * Transient integration scheme.
  *
@@ -158,6 +161,17 @@ class RcModel
     const ExpmSolver& expmSolver() const { return *expm_; }
 
     const ThermalParams& params() const { return params_; }
+
+    /**
+     * Serialize node temperatures and block powers. The network
+     * itself (conductances, capacitances, LU factors, propagator
+     * cache) is a pure function of floorplan + params and is
+     * rebuilt by the constructor, not checkpointed.
+     */
+    void saveState(StateWriter& w) const;
+
+    /** Restore state; the node/block counts must match. */
+    void loadState(StateReader& r);
 
   private:
     struct Edge

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "sim/checkpoint/stateio.hh"
+
 namespace tempest
 {
 
@@ -37,6 +39,22 @@ SensorBank::readAll()
     std::vector<Kelvin> out;
     readAll(out);
     return out;
+}
+
+void
+SensorBank::saveState(StateWriter& w) const
+{
+    for (const std::uint64_t s : rng_.state())
+        w.u64(s);
+}
+
+void
+SensorBank::loadState(StateReader& r)
+{
+    std::array<std::uint64_t, 4> state;
+    for (std::uint64_t& s : state)
+        s = r.u64();
+    rng_.setState(state);
 }
 
 } // namespace tempest

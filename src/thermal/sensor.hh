@@ -20,6 +20,9 @@
 namespace tempest
 {
 
+class StateWriter;
+class StateReader;
+
 /** Per-block temperature sensors. */
 class SensorBank
 {
@@ -48,6 +51,12 @@ class SensorBank
     std::vector<Kelvin> readAll();
 
     int numSensors() const { return model_.numBlocks(); }
+
+    /** Serialize the noise RNG stream position. */
+    void saveState(StateWriter& w) const;
+
+    /** Restore the noise RNG stream position. */
+    void loadState(StateReader& r);
 
   private:
     const RcModel& model_;

@@ -1,6 +1,7 @@
 #include "uarch/alu.hh"
 
 #include "common/log.hh"
+#include "sim/checkpoint/stateio.hh"
 
 namespace tempest
 {
@@ -125,6 +126,30 @@ AluPool::reset()
         mask = 0;
     for (auto& mask : fpAdderOff_)
         mask = 0;
+}
+
+void
+AluPool::saveState(StateWriter& w) const
+{
+    w.u32(static_cast<std::uint32_t>(kMaxIntAlus));
+    for (const std::uint8_t mask : intAluOff_)
+        w.u8(mask);
+    w.u32(static_cast<std::uint32_t>(kMaxFpAdders));
+    for (const std::uint8_t mask : fpAdderOff_)
+        w.u8(mask);
+}
+
+void
+AluPool::loadState(StateReader& r)
+{
+    if (r.u32() != static_cast<std::uint32_t>(kMaxIntAlus))
+        fatal("checkpoint ALU pool mismatch: int ALU count");
+    for (auto& mask : intAluOff_)
+        mask = r.u8();
+    if (r.u32() != static_cast<std::uint32_t>(kMaxFpAdders))
+        fatal("checkpoint ALU pool mismatch: FP adder count");
+    for (auto& mask : fpAdderOff_)
+        mask = r.u8();
 }
 
 } // namespace tempest

@@ -22,6 +22,9 @@
 namespace tempest
 {
 
+class StateWriter;
+class StateReader;
+
 /** Why a functional unit is currently masked busy. */
 enum class TurnoffReason : std::uint8_t
 {
@@ -78,6 +81,12 @@ class AluPool
 
     /** Clear all turnoff state. */
     void reset();
+
+    /** Serialize the per-unit turnoff masks. */
+    void saveState(StateWriter& w) const;
+
+    /** Restore turnoff masks saved by saveState(). */
+    void loadState(StateReader& r);
 
   private:
     int numIntAlus_;

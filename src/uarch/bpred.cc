@@ -1,6 +1,7 @@
 #include "uarch/bpred.hh"
 
 #include "common/log.hh"
+#include "sim/checkpoint/stateio.hh"
 
 namespace tempest
 {
@@ -66,6 +67,34 @@ GsharePredictor::resetStats()
     lookups_ = 0;
     predLookups_ = 0;
     mispredicts_ = 0;
+}
+
+void
+GsharePredictor::saveState(StateWriter& w) const
+{
+    w.i32(tableBits_);
+    w.u64(history_);
+    w.u64(lookups_);
+    w.u64(predLookups_);
+    w.u64(mispredicts_);
+    for (const std::uint8_t c : counters_)
+        w.u8(c);
+}
+
+void
+GsharePredictor::loadState(StateReader& r)
+{
+    const int bits = r.i32();
+    if (bits != tableBits_) {
+        fatal("checkpoint branch predictor mismatch: saved ", bits,
+              " table bits, this predictor has ", tableBits_);
+    }
+    history_ = r.u64();
+    lookups_ = r.u64();
+    predLookups_ = r.u64();
+    mispredicts_ = r.u64();
+    for (std::uint8_t& c : counters_)
+        c = r.u8();
 }
 
 } // namespace tempest

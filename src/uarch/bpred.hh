@@ -19,6 +19,9 @@
 namespace tempest
 {
 
+class StateWriter;
+class StateReader;
+
 /** Gshare predictor with 2-bit saturating counters. */
 class GsharePredictor
 {
@@ -48,6 +51,12 @@ class GsharePredictor
     double mispredictRate() const;
 
     void resetStats();
+
+    /** Serialize counters, history, and statistics. */
+    void saveState(StateWriter& w) const;
+
+    /** Restore state; the table geometry must match. */
+    void loadState(StateReader& r);
 
   private:
     int index(std::uint64_t pc) const;

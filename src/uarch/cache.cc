@@ -2,6 +2,7 @@
 
 #include "common/log.hh"
 #include "common/types.hh"
+#include "sim/checkpoint/stateio.hh"
 #include "uarch/activity.hh"
 
 namespace tempest
@@ -135,6 +136,54 @@ DataHierarchy::latency(MemLevel level) const
       case MemLevel::Memory: return memCycles_;
     }
     panic("unreachable memory level");
+}
+
+void
+Cache::saveState(StateWriter& w) const
+{
+    w.i32(sets_);
+    w.i32(ways_);
+    w.u64(useClock_);
+    w.u64(accesses_);
+    w.u64(misses_);
+    for (const Way& way : lines_) {
+        w.u64(way.tag);
+        w.u64(way.lastUse);
+        w.boolean(way.valid);
+    }
+}
+
+void
+Cache::loadState(StateReader& r)
+{
+    const int sets = r.i32();
+    const int ways = r.i32();
+    if (sets != sets_ || ways != ways_) {
+        fatal("checkpoint cache mismatch: saved ", sets, "x", ways,
+              ", this cache is ", sets_, "x", ways_);
+    }
+    useClock_ = r.u64();
+    accesses_ = r.u64();
+    misses_ = r.u64();
+    for (Way& way : lines_) {
+        way.tag = r.u64();
+        way.lastUse = r.u64();
+        way.valid = r.boolean();
+    }
+}
+
+void
+DataHierarchy::saveState(StateWriter& w) const
+{
+    l1_.saveState(w);
+    l2_.saveState(w);
+}
+
+void
+DataHierarchy::loadState(StateReader& r)
+{
+    l1_.loadState(r);
+    l2_.loadState(r);
 }
 
 } // namespace tempest

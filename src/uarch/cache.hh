@@ -20,6 +20,8 @@ namespace tempest
 {
 
 struct ActivityRecord;
+class StateWriter;
+class StateReader;
 
 /**
  * One level of set-associative cache with LRU replacement.
@@ -60,6 +62,12 @@ class Cache
     double missRate() const;
 
     void resetStats();
+
+    /** Serialize tags, LRU clocks, and hit/miss statistics. */
+    void saveState(StateWriter& w) const;
+
+    /** Restore state; the cache geometry must match. */
+    void loadState(StateReader& r);
 
   private:
     struct Way
@@ -102,6 +110,12 @@ class DataHierarchy
     Cache& l2() { return l2_; }
     const Cache& l1() const { return l1_; }
     const Cache& l2() const { return l2_; }
+
+    /** Serialize both levels. */
+    void saveState(StateWriter& w) const;
+
+    /** Restore both levels. */
+    void loadState(StateReader& r);
 
   private:
     Cache l1_;

@@ -4,6 +4,7 @@
 
 #include "common/log.hh"
 #include "common/profiler.hh"
+#include "sim/checkpoint/stateio.hh"
 
 namespace tempest
 {
@@ -444,6 +445,141 @@ OooCore::stallCycles(std::uint64_t n, ActivityRecord& activity)
     cycle_ += n;
     activity.cycles += n;
     activity.stallCycles += n;
+}
+
+void
+OooCore::saveState(StateWriter& w) const
+{
+    w.u64(cycle_);
+    w.u64(committed_);
+
+    w.u32(static_cast<std::uint32_t>(rob_.size()));
+    w.i32(robHead_);
+    w.i32(robCount_);
+    w.i32(lsqCount_);
+    for (const RobEntry& e : rob_) {
+        w.u64(e.seq);
+        w.boolean(e.completed);
+        w.boolean(e.isMem);
+    }
+
+    w.u64(wheelMask_);
+    w.i32(wheelSlotCap_);
+    const std::size_t num_slots = wheelCount_.size();
+    for (std::size_t s = 0; s < num_slots; ++s) {
+        const int n = wheelCount_[s];
+        w.i32(n);
+        for (int i = 0; i < n; ++i) {
+            const Completion& c =
+                wheel_[s * static_cast<std::size_t>(wheelSlotCap_) +
+                       static_cast<std::size_t>(i)];
+            w.u64(c.seq);
+            w.i32(c.robIdx);
+            w.boolean(c.hasDest);
+            w.boolean(c.fpDest);
+            w.boolean(c.mispredictedBranch);
+        }
+    }
+
+    w.u32(static_cast<std::uint32_t>(done_.size()));
+    for (const std::uint64_t word : done_)
+        w.u64(word);
+
+    w.i32(fetchCap_);
+    w.i32(fetchHead_);
+    w.i32(fetchCount_);
+    for (const MicroOp& op : fetchRing_) {
+        w.u64(op.seq);
+        w.u8(static_cast<std::uint8_t>(op.cls));
+        w.i32(op.numSrcs);
+        w.u64(op.src[0]);
+        w.u64(op.src[1]);
+        w.boolean(op.hasDest);
+        w.u64(op.lineAddr);
+        w.boolean(op.mispredicted);
+    }
+    w.i32(fetchInterval_);
+    w.boolean(fetchBlocked_);
+    w.u64(blockingBranchSeq_);
+    w.u64(fetchResumeCycle_);
+}
+
+void
+OooCore::loadState(StateReader& r)
+{
+    cycle_ = r.u64();
+    committed_ = r.u64();
+
+    const auto rob_size = r.u32();
+    if (rob_size != rob_.size()) {
+        fatal("checkpoint core mismatch: saved active list has ",
+              rob_size, " entries, this core has ", rob_.size());
+    }
+    robHead_ = r.i32();
+    robCount_ = r.i32();
+    lsqCount_ = r.i32();
+    for (RobEntry& e : rob_) {
+        e.seq = r.u64();
+        e.completed = r.boolean();
+        e.isMem = r.boolean();
+    }
+
+    const auto wheel_mask = r.u64();
+    const int slot_cap = r.i32();
+    if (wheel_mask != wheelMask_ || slot_cap != wheelSlotCap_) {
+        fatal("checkpoint core mismatch: completion wheel "
+              "geometry differs (saved mask ", wheel_mask,
+              " cap ", slot_cap, ", this core mask ", wheelMask_,
+              " cap ", wheelSlotCap_, ")");
+    }
+    const std::size_t num_slots = wheelCount_.size();
+    for (std::size_t s = 0; s < num_slots; ++s) {
+        const int n = r.i32();
+        if (n < 0 || n > wheelSlotCap_)
+            fatal("checkpoint core: wheel slot count ", n,
+                  " out of range");
+        wheelCount_[s] = n;
+        for (int i = 0; i < n; ++i) {
+            Completion& c =
+                wheel_[s * static_cast<std::size_t>(wheelSlotCap_) +
+                       static_cast<std::size_t>(i)];
+            c.seq = r.u64();
+            c.robIdx = r.i32();
+            c.hasDest = r.boolean();
+            c.fpDest = r.boolean();
+            c.mispredictedBranch = r.boolean();
+        }
+    }
+
+    const auto done_words = r.u32();
+    if (done_words != done_.size()) {
+        fatal("checkpoint core mismatch: done-bit ring has ",
+              done_words, " words, this core has ", done_.size());
+    }
+    for (std::uint64_t& word : done_)
+        word = r.u64();
+
+    const int fetch_cap = r.i32();
+    if (fetch_cap != fetchCap_) {
+        fatal("checkpoint core mismatch: fetch ring capacity ",
+              fetch_cap, " differs from ", fetchCap_);
+    }
+    fetchHead_ = r.i32();
+    fetchCount_ = r.i32();
+    for (MicroOp& op : fetchRing_) {
+        op.seq = r.u64();
+        op.cls = static_cast<OpClass>(r.u8());
+        op.numSrcs = r.i32();
+        op.src[0] = r.u64();
+        op.src[1] = r.u64();
+        op.hasDest = r.boolean();
+        op.lineAddr = r.u64();
+        op.mispredicted = r.boolean();
+    }
+    fetchInterval_ = r.i32();
+    fetchBlocked_ = r.boolean();
+    blockingBranchSeq_ = r.u64();
+    fetchResumeCycle_ = r.u64();
 }
 
 } // namespace tempest

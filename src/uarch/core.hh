@@ -77,6 +77,9 @@ class OooCore
     RegisterFile& intRegfile() { return intRegfile_; }
     const RegisterFile& intRegfile() const { return intRegfile_; }
     DataHierarchy& caches() { return caches_; }
+    const DataHierarchy& caches() const { return caches_; }
+    InstructionStream& stream() { return stream_; }
+    const InstructionStream& stream() const { return stream_; }
 
     /** Ideal round-robin select on both FU classes (§4.2). */
     void setRoundRobin(bool enabled);
@@ -99,6 +102,20 @@ class OooCore
     /** Occupancy of the active list (for tests). */
     int robCount() const { return robCount_; }
     int lsqCount() const { return lsqCount_; }
+
+    /**
+     * Serialize the core-owned state: cycle/commit counters,
+     * active list, completion wheel, done-bit ring, fetch ring,
+     * and fetch-throttle controls. Sub-components (issue queues,
+     * ALU pool, register file, caches, instruction stream) have
+     * their own saveState and are checkpointed as separate chunks
+     * by the Simulator.
+     */
+    void saveState(StateWriter& w) const;
+
+    /** Restore state saved by saveState(); the pipeline geometry
+     * must match the saved one. */
+    void loadState(StateReader& r);
 
   private:
     friend struct CoreTestPeer; ///< white-box writeback tests

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "sim/checkpoint/stateio.hh"
 
 namespace tempest
 {
@@ -330,6 +331,77 @@ IssueQueue::clear()
     pendingInvalidCount_ = 0;
     std::fill(ready_.begin(), ready_.end(), 0);
     std::fill(waiting_.begin(), waiting_.end(), 0);
+}
+
+void
+IssueQueue::saveState(StateWriter& w) const
+{
+    w.u32(static_cast<std::uint32_t>(size_));
+    w.u8(static_cast<std::uint8_t>(kind_));
+    w.u8(mode_ == CompactionMode::Toggled ? 1 : 0);
+    w.i32(count_);
+    w.u64(toggleCount_);
+    w.i32(tailLogical_);
+    w.i32(halfCount_[0]);
+    w.i32(halfCount_[1]);
+    w.i32(pendingInvalidCount_);
+    for (const IqEntry& e : phys_) {
+        w.boolean(e.valid);
+        w.boolean(e.pendingInvalid);
+        w.u64(e.seq);
+        w.u8(static_cast<std::uint8_t>(e.cls));
+        w.i32(e.numSrcs);
+        w.u64(e.src[0]);
+        w.u64(e.src[1]);
+        w.boolean(e.srcReady[0]);
+        w.boolean(e.srcReady[1]);
+        w.boolean(e.hasDest);
+        w.u64(e.lineAddr);
+        w.boolean(e.mispredicted);
+    }
+    for (int i = 0; i < words_; ++i)
+        w.u64(ready_[static_cast<std::size_t>(i)]);
+    for (int i = 0; i < words_; ++i)
+        w.u64(waiting_[static_cast<std::size_t>(i)]);
+}
+
+void
+IssueQueue::loadState(StateReader& r)
+{
+    const auto size = r.u32();
+    const auto kind = r.u8();
+    if (static_cast<int>(size) != size_ ||
+        kind != static_cast<std::uint8_t>(kind_)) {
+        fatal("checkpoint issue queue mismatch: saved size ", size,
+              " kind ", static_cast<int>(kind), ", this queue size ",
+              size_, " kind ", queueIndex());
+    }
+    mode_ = r.u8() ? CompactionMode::Toggled
+                   : CompactionMode::Conventional;
+    count_ = r.i32();
+    toggleCount_ = r.u64();
+    tailLogical_ = r.i32();
+    halfCount_[0] = r.i32();
+    halfCount_[1] = r.i32();
+    pendingInvalidCount_ = r.i32();
+    for (IqEntry& e : phys_) {
+        e.valid = r.boolean();
+        e.pendingInvalid = r.boolean();
+        e.seq = r.u64();
+        e.cls = static_cast<OpClass>(r.u8());
+        e.numSrcs = r.i32();
+        e.src[0] = r.u64();
+        e.src[1] = r.u64();
+        e.srcReady[0] = r.boolean();
+        e.srcReady[1] = r.boolean();
+        e.hasDest = r.boolean();
+        e.lineAddr = r.u64();
+        e.mispredicted = r.boolean();
+    }
+    for (int i = 0; i < words_; ++i)
+        ready_[static_cast<std::size_t>(i)] = r.u64();
+    for (int i = 0; i < words_; ++i)
+        waiting_[static_cast<std::size_t>(i)] = r.u64();
 }
 
 } // namespace tempest

@@ -51,6 +51,9 @@
 namespace tempest
 {
 
+class StateWriter;
+class StateReader;
+
 /** Head/tail configuration (§2.1.1). */
 enum class CompactionMode
 {
@@ -266,6 +269,13 @@ class IssueQueue
 
     /** Remove everything (used by tests). */
     void clear();
+
+    /** Serialize entries, bitmaps, mode, and bookkeeping. */
+    void saveState(StateWriter& w) const;
+
+    /** Restore state saved by saveState(); the queue geometry
+     * (size, kind) must match the saved one. */
+    void loadState(StateReader& r);
 
   private:
     int queueIndex() const { return static_cast<int>(kind_); }

@@ -1,6 +1,7 @@
 #include "uarch/regfile.hh"
 
 #include "common/log.hh"
+#include "sim/checkpoint/stateio.hh"
 
 namespace tempest
 {
@@ -93,6 +94,27 @@ RegisterFile::chargeWrite(ActivityRecord& activity) const
 {
     for (int c = 0; c < numCopies_; ++c)
         ++activity.intRegWrites[c];
+}
+
+void
+RegisterFile::saveState(StateWriter& w) const
+{
+    w.i32(numCopies_);
+    w.i32(numAlus_);
+    w.u8(static_cast<std::uint8_t>(mapping_));
+}
+
+void
+RegisterFile::loadState(StateReader& r)
+{
+    const int copies = r.i32();
+    const int alus = r.i32();
+    if (copies != numCopies_ || alus != numAlus_) {
+        fatal("checkpoint register file mismatch: saved ", copies,
+              " copies / ", alus, " ALUs, this file has ",
+              numCopies_, " / ", numAlus_);
+    }
+    setMapping(static_cast<PortMapping>(r.u8()));
 }
 
 } // namespace tempest

@@ -27,6 +27,9 @@
 namespace tempest
 {
 
+class StateWriter;
+class StateReader;
+
 /** ALU-to-register-file-copy port mapping policies (Figure 4). */
 enum class PortMapping
 {
@@ -87,6 +90,12 @@ class RegisterFile
 
     /** Charge one result write (broadcast to all copies). */
     void chargeWrite(ActivityRecord& activity) const;
+
+    /** Serialize the active port mapping. */
+    void saveState(StateWriter& w) const;
+
+    /** Restore the mapping (rebuilds the copy tables). */
+    void loadState(StateReader& r);
 
   private:
     /** Recompute the copy→ALUs tables for the current mapping. */

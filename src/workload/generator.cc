@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/log.hh"
+#include "sim/checkpoint/stateio.hh"
 
 namespace tempest
 {
@@ -171,6 +172,77 @@ InstructionStream::refill()
         batch_[static_cast<std::size_t>(i)] = generate();
     batchNext_ = 0;
     batchCount_ = batchSize_;
+}
+
+void
+InstructionStream::saveState(StateWriter& w) const
+{
+    w.str(profile_.name);
+    for (const std::uint64_t s : rng_.state())
+        w.u64(s);
+    w.u64(seq_);
+    w.u64(consumed_);
+    w.i32(batchNext_);
+    w.i32(batchCount_);
+    for (int i = 0; i < batchSize_; ++i) {
+        const MicroOp& op = batch_[static_cast<std::size_t>(i)];
+        w.u64(op.seq);
+        w.u8(static_cast<std::uint8_t>(op.cls));
+        w.i32(op.numSrcs);
+        w.u64(op.src[0]);
+        w.u64(op.src[1]);
+        w.boolean(op.hasDest);
+        w.u64(op.lineAddr);
+        w.boolean(op.mispredicted);
+    }
+    w.boolean(inBurst_);
+    w.u64(phaseRemaining_);
+    w.u64(burstCount_);
+    w.f64(depScale_);
+    w.f64(missScale_);
+    w.u64(coldCursor_);
+    w.u64(destCount_);
+    for (const std::uint64_t s : destRing_)
+        w.u64(s);
+}
+
+void
+InstructionStream::loadState(StateReader& r)
+{
+    const std::string name = r.str();
+    if (name != profile_.name) {
+        fatal("checkpoint instruction stream mismatch: saved "
+              "profile '", name, "', this stream runs '",
+              profile_.name, "'");
+    }
+    std::array<std::uint64_t, 4> rng_state;
+    for (std::uint64_t& s : rng_state)
+        s = r.u64();
+    rng_.setState(rng_state);
+    seq_ = r.u64();
+    consumed_ = r.u64();
+    batchNext_ = r.i32();
+    batchCount_ = r.i32();
+    for (int i = 0; i < batchSize_; ++i) {
+        MicroOp& op = batch_[static_cast<std::size_t>(i)];
+        op.seq = r.u64();
+        op.cls = static_cast<OpClass>(r.u8());
+        op.numSrcs = r.i32();
+        op.src[0] = r.u64();
+        op.src[1] = r.u64();
+        op.hasDest = r.boolean();
+        op.lineAddr = r.u64();
+        op.mispredicted = r.boolean();
+    }
+    inBurst_ = r.boolean();
+    phaseRemaining_ = r.u64();
+    burstCount_ = r.u64();
+    depScale_ = r.f64();
+    missScale_ = r.f64();
+    coldCursor_ = r.u64();
+    destCount_ = r.u64();
+    for (std::uint64_t& s : destRing_)
+        s = r.u64();
 }
 
 } // namespace tempest

@@ -21,6 +21,9 @@
 namespace tempest
 {
 
+class StateWriter;
+class StateReader;
+
 /**
  * Generates the dynamic instruction stream for one benchmark run.
  *
@@ -75,6 +78,18 @@ class InstructionStream
 
     /** Warm pool: lines that fit in L2 but thrash L1 (512 KB span). */
     static constexpr std::uint64_t warmLines = 8192;
+
+    /**
+     * Serialize the dynamic stream state: RNG, sequence counters,
+     * batch ring, phase state, cold cursor, and producer ring. The
+     * alias table is not serialized — it is a pure function of the
+     * profile and is rebuilt by the constructor.
+     */
+    void saveState(StateWriter& w) const;
+
+    /** Restore state saved by saveState(); the stream must have
+     * been constructed with the same profile. */
+    void loadState(StateReader& r);
 
   private:
     /** Advance phase state and return current dep-distance scale. */

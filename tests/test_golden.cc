@@ -40,104 +40,7 @@ namespace tempest
 namespace
 {
 
-/** FNV-1a 64-bit, fed one 64-bit word at a time. */
-class Fnv1a
-{
-  public:
-    void
-    word(std::uint64_t w)
-    {
-        for (int b = 0; b < 8; ++b) {
-            hash_ ^= (w >> (8 * b)) & 0xff;
-            hash_ *= 0x100000001b3ULL;
-        }
-    }
-
-    void
-    real(double d)
-    {
-        std::uint64_t bits;
-        static_assert(sizeof(bits) == sizeof(d));
-        std::memcpy(&bits, &d, sizeof(bits));
-        word(bits);
-    }
-
-    void
-    text(const std::string& s)
-    {
-        for (const char c : s) {
-            hash_ ^= static_cast<unsigned char>(c);
-            hash_ *= 0x100000001b3ULL;
-        }
-    }
-
-    std::uint64_t value() const { return hash_; }
-
-  private:
-    std::uint64_t hash_ = 0xcbf29ce484222325ULL;
-};
-
-std::uint64_t
-hashResult(const SimResult& r)
-{
-    Fnv1a h;
-    h.text(r.benchmark);
-    h.real(r.ipc);
-    h.word(r.cycles);
-    h.word(r.instructions);
-    h.word(r.stallCycles);
-
-    const ActivityRecord& a = r.activity;
-    for (int q = 0; q < kNumIssueQueues; ++q) {
-        for (int half = 0; half < 2; ++half) {
-            h.word(a.iqEntryMoves[q][half]);
-            h.word(a.iqMuxSelects[q][half]);
-            h.word(a.iqLongCompactions[q][half]);
-            h.word(a.iqCounterOps[q][half]);
-            h.word(a.iqOccupiedCycles[q][half]);
-            h.word(a.iqDispatchWrites[q][half]);
-        }
-        h.word(a.iqTagBroadcasts[q]);
-        h.word(a.iqPayloadAccesses[q]);
-        h.word(a.iqSelectAccesses[q]);
-        h.word(a.iqClockGateCycles[q]);
-    }
-    for (int i = 0; i < kMaxIntAlus; ++i)
-        h.word(a.intAluOps[i]);
-    for (int i = 0; i < kMaxFpAdders; ++i)
-        h.word(a.fpAddOps[i]);
-    h.word(a.fpMulOps);
-    for (int i = 0; i < kMaxRegfileCopies; ++i) {
-        h.word(a.intRegReads[i]);
-        h.word(a.intRegWrites[i]);
-    }
-    h.word(a.fpRegReads);
-    h.word(a.fpRegWrites);
-    h.word(a.l1iAccesses);
-    h.word(a.l1dAccesses);
-    h.word(a.l2Accesses);
-    h.word(a.bpredAccesses);
-    h.word(a.renameOps);
-    h.word(a.lsqOps);
-    h.word(a.commits);
-    h.word(a.cycles);
-    h.word(a.stallCycles);
-    h.word(a.instructions);
-
-    h.word(r.dtm.iqToggles);
-    h.word(r.dtm.aluTurnoffEvents);
-    h.word(r.dtm.fpAdderTurnoffEvents);
-    h.word(r.dtm.regfileTurnoffEvents);
-    h.word(r.dtm.globalStalls);
-    h.word(r.dtm.fetchThrottleEvents);
-
-    for (const BlockTempStats& b : r.blocks) {
-        h.text(b.name);
-        h.real(b.avg);
-        h.real(b.max);
-    }
-    return h.value();
-}
+using experiments::hashSimResult;
 
 /** Short runs keep the 12-job matrix fast even in Debug builds. */
 constexpr std::uint64_t kGoldenCycles = 200'000;
@@ -195,7 +98,7 @@ TEST(Golden, SimResultBitIdentity)
     for (const GoldenCase& c : kGoldens) {
         const SimResult r = experiments::runBenchmark(
             configFor(c.config), c.benchmark, kGoldenCycles);
-        const std::uint64_t got = hashResult(r);
+        const std::uint64_t got = hashSimResult(r);
         if (print) {
             std::printf("    {\"%s\", \"%s\", 0x%016llxULL},\n",
                         c.config, c.benchmark,
@@ -222,7 +125,7 @@ TEST(Golden, RunsAreIndependent)
         configFor("iq_base"), "art", kGoldenCycles);
     const SimResult b = experiments::runBenchmark(
         configFor("iq_base"), "art", kGoldenCycles);
-    EXPECT_EQ(hashResult(a), hashResult(b));
+    EXPECT_EQ(hashSimResult(a), hashSimResult(b));
 }
 
 } // namespace

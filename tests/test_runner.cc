@@ -78,6 +78,38 @@ TEST(DeriveRunSeed, StableAndSensitiveToEveryComponent)
               deriveRunSeed(1, "a", "bc"));
 }
 
+/**
+ * Hard-coded goldens: deriveRunSeed is part of the experiment
+ * identity (a (baseSeed, benchmark, tag) triple names the same
+ * simulation forever), so its values must never drift across
+ * refactors, platforms, or library versions. Re-deriving these is
+ * a breaking change to every recorded result and checkpoint.
+ */
+TEST(DeriveRunSeed, GoldenValues)
+{
+    struct SeedGolden
+    {
+        std::uint64_t base;
+        const char* benchmark;
+        const char* tag;
+        std::uint64_t seed;
+    };
+    constexpr SeedGolden kSeedGoldens[] = {
+        {1ULL, "art", "iq_base", 0x6fc8a890a2e1b61aULL},
+        {1ULL, "mesa", "warmup", 0xec7fe97c80456028ULL},
+        {1ULL, "eon", "base", 0x386a22ba51a8050eULL},
+        {7ULL, "facerec", "toggling", 0x53e444de671b00aeULL},
+        {42ULL, "gzip", "alu_turnoff", 0xbdab593c41dff752ULL},
+        {3735928559ULL, "equake", "regfile_balanced",
+         0x9cb02942abe8f8b0ULL},
+    };
+    for (const SeedGolden& g : kSeedGoldens) {
+        EXPECT_EQ(deriveRunSeed(g.base, g.benchmark, g.tag),
+                  g.seed)
+            << g.base << "/" << g.benchmark << "/" << g.tag;
+    }
+}
+
 TEST(Runner, SerialAndParallelAreBitIdentical)
 {
     const std::vector<ExperimentJob> jobs = sweepJobs();

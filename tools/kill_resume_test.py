@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Kill-and-resume integration test for checkpointed runs.
+
+Exercises the property the checkpoint subsystem exists to provide:
+a run that is SIGKILLed mid-flight and resumed from its last
+on-disk snapshot finishes with exactly the same result_hash (full
+SimResult FNV-1a) as an uninterrupted run. Also checks that a
+truncated or bit-flipped checkpoint file is rejected with a clear
+error instead of undefined behaviour.
+
+Procedure:
+  1. Reference: tempest_run to completion, record result_hash.
+  2. Start the same run with --checkpoint-every/--checkpoint-dir,
+     wait for the first snapshot to land, SIGKILL the process.
+  3. Re-run with --resume; the hash must equal the reference.
+  4. Corrupt the snapshot (truncate; flip a byte); --resume must
+     exit non-zero with an error that names the checkpoint.
+
+Usage:
+    python3 tools/kill_resume_test.py [--build-dir build]
+        [--cycles 6000000] [--checkpoint-every 300000]
+
+Stdlib only; no third-party dependencies. Exits non-zero on any
+mismatch, so CI can gate on it.
+"""
+
+import argparse
+import os
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def repo_root():
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.dirname(here)
+
+
+def run_tool(binary, config, extra, check=True):
+    proc = subprocess.run([binary, config] + extra,
+                          capture_output=True, text=True)
+    if check and proc.returncode != 0:
+        sys.exit(f"kill-resume: {' '.join(extra)} failed "
+                 f"(rc={proc.returncode}):\n{proc.stderr}")
+    return proc
+
+
+def result_hash(stdout):
+    m = re.search(r"result_hash\s+(0x[0-9a-f]{16})", stdout)
+    if not m:
+        sys.exit("kill-resume: no result_hash in output:\n"
+                 + stdout)
+    return m.group(1)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--config", default=None,
+                        help="config .ini (default: "
+                             "configs/iq_toggling.ini)")
+    parser.add_argument("--cycles", type=int, default=6_000_000)
+    parser.add_argument("--checkpoint-every", type=int,
+                        default=300_000)
+    args = parser.parse_args()
+
+    root = repo_root()
+    binary = os.path.join(root, args.build_dir, "tools",
+                          "tempest_run")
+    if not os.path.exists(binary):
+        sys.exit(f"kill-resume: {binary} not found; build the "
+                 "project first")
+    config = args.config or os.path.join(root, "configs",
+                                         "iq_toggling.ini")
+    cycles = f"run.cycles={args.cycles}"
+
+    workdir = tempfile.mkdtemp(prefix="tempest_kill_resume_")
+    try:
+        # 1. Uninterrupted reference.
+        ref = result_hash(
+            run_tool(binary, config, [cycles]).stdout)
+        print(f"kill-resume: reference hash {ref}")
+
+        # 2. Start a checkpointed run and SIGKILL it once the
+        # first snapshot exists.
+        ckpt_args = [cycles, "--checkpoint-every",
+                     str(args.checkpoint_every),
+                     "--checkpoint-dir", workdir]
+        snapshot = None
+        with subprocess.Popen([binary, config] + ckpt_args,
+                              stdout=subprocess.PIPE,
+                              stderr=subprocess.PIPE,
+                              text=True) as proc:
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                ckpts = [f for f in os.listdir(workdir)
+                         if f.endswith(".ckpt")]
+                if ckpts:
+                    snapshot = os.path.join(workdir, ckpts[0])
+                    break
+                if proc.poll() is not None:
+                    break
+                time.sleep(0.02)
+            if snapshot is None:
+                proc.kill()
+                sys.exit("kill-resume: no checkpoint appeared "
+                         "before the run finished; lower "
+                         "--checkpoint-every or raise --cycles")
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGKILL)
+                print(f"kill-resume: SIGKILLed pid {proc.pid} "
+                      f"after {os.path.basename(snapshot)} "
+                      "appeared")
+            else:
+                print("kill-resume: warning: run finished before "
+                      "the kill; resume still exercised",
+                      file=sys.stderr)
+
+        # 3. Resume and compare.
+        out = run_tool(binary, config,
+                       ckpt_args + ["--resume"]).stdout
+        if "resumed" not in out:
+            sys.exit("kill-resume: --resume did not restore a "
+                     "checkpoint:\n" + out)
+        got = result_hash(out)
+        if got != ref:
+            sys.exit(f"kill-resume: FAIL: resumed hash {got} != "
+                     f"reference {ref}")
+        print(f"kill-resume: resumed hash matches ({got})")
+
+        # 4a. Truncated checkpoint must be rejected cleanly.
+        with open(snapshot, "rb") as f:
+            blob = f.read()
+        with open(snapshot, "wb") as f:
+            f.write(blob[:len(blob) // 2])
+        proc = run_tool(binary, config, ckpt_args + ["--resume"],
+                        check=False)
+        if proc.returncode == 0:
+            sys.exit("kill-resume: FAIL: truncated checkpoint "
+                     "was accepted")
+        if "checkpoint" not in (proc.stderr + proc.stdout).lower():
+            sys.exit("kill-resume: FAIL: truncated checkpoint "
+                     "error does not mention the checkpoint:\n"
+                     + proc.stderr)
+        print("kill-resume: truncated checkpoint rejected "
+              "with a clear error")
+
+        # 4b. A flipped payload byte must fail the checksum.
+        corrupt = bytearray(blob)
+        corrupt[len(corrupt) // 2] ^= 0x40
+        with open(snapshot, "wb") as f:
+            f.write(bytes(corrupt))
+        proc = run_tool(binary, config, ckpt_args + ["--resume"],
+                        check=False)
+        if proc.returncode == 0:
+            sys.exit("kill-resume: FAIL: corrupt checkpoint "
+                     "was accepted")
+        if "checksum" not in (proc.stderr + proc.stdout).lower():
+            sys.exit("kill-resume: FAIL: corrupt checkpoint "
+                     "error does not mention the checksum:\n"
+                     + proc.stderr)
+        print("kill-resume: flipped byte rejected by checksum")
+        print("kill-resume: PASS")
+        return 0
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,8 +34,10 @@ def repo_root():
 
 
 def serial_best(runs):
-    vals = [r["sim_cycles_per_second"] for r in runs
-            if r.get("threads") == 1]
+    vals = [r.get("sim_cycles_per_second") for r in runs
+            if isinstance(r, dict) and r.get("threads") == 1
+            and isinstance(r.get("sim_cycles_per_second"),
+                           (int, float))]
     return max(vals) if vals else None
 
 
@@ -57,10 +59,18 @@ def main():
         print(f"perf-smoke: no history at {history_path}; "
               "nothing to compare against")
         return 0
-    with open(history_path) as f:
-        history = json.load(f).get("history", [])
-    if not history:
-        print("perf-smoke: empty history; nothing to compare")
+    try:
+        with open(history_path) as f:
+            history = json.load(f).get("history", [])
+    except (OSError, json.JSONDecodeError, AttributeError) as e:
+        print(f"perf-smoke: cannot read {history_path} ({e}); "
+              "nothing to compare against")
+        return 0
+    if not isinstance(history, list) or len(history) < 2:
+        # A single entry is typically this commit's own recording;
+        # comparing a run against itself says nothing.
+        print(f"perf-smoke: {len(history) if isinstance(history, list) else 0} "
+              "history entries (need >= 2); nothing to compare")
         return 0
     baseline = serial_best(history[-1].get("runs", []))
     if baseline is None:

@@ -91,6 +91,8 @@ def main():
     }
     if payload.get("note") is not None:
         entry["note"] = payload["note"]
+    if payload.get("warm_fork") is not None:
+        entry["warm_fork"] = payload["warm_fork"]
 
     output = args.output or os.path.join(root,
                                          "BENCH_wallclock.json")
@@ -108,10 +110,14 @@ def main():
 
     best = max(entry["runs"],
                key=lambda r: r["sim_cycles_per_second"])
-    print(f"recorded {entry['git_rev']} -> {output} "
-          f"(best {best['sim_cycles_per_second'] / 1e6:.2f} "
-          f"Mcycles/s, solver={best['solver']} "
-          f"threads={best['threads']})")
+    msg = (f"recorded {entry['git_rev']} -> {output} "
+           f"(best {best['sim_cycles_per_second'] / 1e6:.2f} "
+           f"Mcycles/s, solver={best['solver']} "
+           f"threads={best['threads']}")
+    warm = entry.get("warm_fork")
+    if warm and warm.get("speedup"):
+        msg += f", warm-fork speedup {warm['speedup']:.2f}x"
+    print(msg + ")")
 
 
 if __name__ == "__main__":
