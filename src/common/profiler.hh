@@ -84,10 +84,12 @@ class Profiler
     now()
     {
 #if defined(__x86_64__)
+        // det:allow(profiling timestamp; compiled out unless TEMPEST_PROFILE)
         return __rdtsc();
 #else
         // Fallback timestamp for non-x86 profiling builds.
         return static_cast<std::uint64_t>(
+            // det:allow(profiling timestamp; compiled out unless TEMPEST_PROFILE)
             std::chrono::steady_clock::now()
                 .time_since_epoch()
                 .count());

@@ -163,16 +163,17 @@ class ResourceBalancingDtm
     void sampleQueue(IssueQueue& iq, const std::vector<Kelvin>& t,
                      const int half_blocks[2]);
 
-    DtmConfig config_;
-    OooCore& core_;
+    DtmConfig config_; // ckpt:skip(config, supplied by the restoring run)
+    OooCore& core_;    // ckpt:skip(wiring reference, serialized as its own chunks)
 
-    // Cached floorplan indices.
-    int intQHalf_[2];
-    int fpQHalf_[2];
-    int intExec_[kMaxIntAlus];
-    int fpAdd_[kMaxFpAdders];
-    int intReg_[kMaxRegfileCopies];
-    std::vector<int> otherMonitored_;
+    // Cached floorplan indices (rebuilt from the floorplan in the
+    // constructor, never mutated during a run).
+    int intQHalf_[2];  // ckpt:skip(rebuildable floorplan cache)
+    int fpQHalf_[2];   // ckpt:skip(rebuildable floorplan cache)
+    int intExec_[kMaxIntAlus];      // ckpt:skip(rebuildable floorplan cache)
+    int fpAdd_[kMaxFpAdders];       // ckpt:skip(rebuildable floorplan cache)
+    int intReg_[kMaxRegfileCopies]; // ckpt:skip(rebuildable floorplan cache)
+    std::vector<int> otherMonitored_; // ckpt:skip(rebuildable floorplan cache)
 
     int numIntAlus_;
     int numFpAdders_;

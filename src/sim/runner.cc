@@ -93,6 +93,7 @@ ExperimentRunner::runJob(const ExperimentJob& job,
                    ? deriveRunSeed(base_seed, job.benchmark,
                                    job.tag)
                    : job.config.runSeed;
+    // det:allow(wallSeconds metric only; never feeds simulation state)
     const auto start = std::chrono::steady_clock::now();
     try {
         SimConfig config = job.config;
@@ -107,6 +108,7 @@ ExperimentRunner::runJob(const ExperimentJob& job,
     }
     out.wallSeconds =
         std::chrono::duration<double>(
+            // det:allow(wallSeconds metric only; never feeds simulation state)
             std::chrono::steady_clock::now() - start)
             .count();
     return out;
@@ -257,6 +259,7 @@ runWarmForkSweep(
         out.tag = configs[c].first;
         out.benchmark = benchmarks[b];
         out.seed = warm_seeds[b];
+        // det:allow(wallSeconds metric only; never feeds simulation state)
         const auto start = std::chrono::steady_clock::now();
         if (!warm_errors[b].empty()) {
             out.error = "warm-up failed: " + warm_errors[b];
@@ -285,6 +288,7 @@ runWarmForkSweep(
         }
         out.wallSeconds =
             std::chrono::duration<double>(
+                // det:allow(wallSeconds metric only; never feeds simulation state)
                 std::chrono::steady_clock::now() - start)
                 .count();
         if (options.progress) {

@@ -184,30 +184,38 @@ class RcModel
     void addEdge(int a, int b, double conductance);
     void eulerStep(Seconds dt);
 
-    ThermalParams params_;
+    // Everything except temp_/power_ is assembled once in the
+    // constructor from (floorplan, params) and never mutated, so
+    // only the dynamic state travels in a checkpoint; the restoring
+    // run rebuilds the rest from its own config.
+    ThermalParams params_; // ckpt:skip(config, supplied by the restoring run)
     int numBlocks_;
-    int spreaderNode_;
-    int sinkNode_;
+    int spreaderNode_;     // ckpt:skip(derived from the floorplan)
+    int sinkNode_;         // ckpt:skip(derived from the floorplan)
     int numNodes_;
 
-    std::vector<Edge> edges_;
+    std::vector<Edge> edges_; // ckpt:skip(assembled once from the floorplan)
+    // ckpt:skip(assembled once from the floorplan)
     std::vector<double> capacitance_;  ///< J/K per node
+    // ckpt:skip(assembled once from the floorplan)
     std::vector<double> nodeGtotal_;   ///< sum of conductances
     std::vector<Kelvin> temp_;
     std::vector<Watt> power_;          ///< block nodes only
-    double gSinkAmbient_ = 0.0;
-    Seconds maxStableDt_ = 0.0;
+    double gSinkAmbient_ = 0.0; // ckpt:skip(derived from params)
+    Seconds maxStableDt_ = 0.0; // ckpt:skip(derived from edges/capacitance)
 
     // Per-block resistance lookups built in the constructor so
     // the DTM/floorplan setup paths avoid O(edges) scans.
+    // ckpt:skip(precomputed lookup table)
     std::vector<KelvinPerWatt> verticalRes_;   ///< per block
+    // ckpt:skip(precomputed lookup table)
     std::vector<KelvinPerWatt> lateralRes_;    ///< blocks x blocks
 
     /** Exponential-integrator backend (holds the LU of G). */
-    std::optional<ExpmSolver> expm_;
+    std::optional<ExpmSolver> expm_; // ckpt:skip(rebuilt from G/C matrices; per-dt cache is a pure accelerator)
 
     // Scratch for the Euler step.
-    std::vector<double> flux_;
+    std::vector<double> flux_; // ckpt:skip(per-step scratch, fully overwritten)
 };
 
 } // namespace tempest

@@ -59,9 +59,9 @@ class SensorBank
     void loadState(StateReader& r);
 
   private:
-    const RcModel& model_;
-    Kelvin quantum_;
-    Kelvin noiseSigma_;
+    const RcModel& model_; // ckpt:skip(wiring reference, serialized as its own chunk)
+    Kelvin quantum_;       // ckpt:skip(config, supplied by the restoring run)
+    Kelvin noiseSigma_;    // ckpt:skip(config, supplied by the restoring run)
     Rng rng_;
 };
 

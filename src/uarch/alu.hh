@@ -89,14 +89,14 @@ class AluPool
     void loadState(StateReader& r);
 
   private:
-    int numIntAlus_;
-    int numFpAdders_;
+    int numIntAlus_;  // ckpt:skip(config, validated against the pipeline config)
+    int numFpAdders_; // ckpt:skip(config, validated against the pipeline config)
     std::uint8_t intAluOff_[kMaxIntAlus] = {};
     std::uint8_t fpAdderOff_[kMaxFpAdders] = {};
-    int intAluLatency_;
-    int intMulLatency_;
-    int fpAddLatency_;
-    int fpMulLatency_;
+    int intAluLatency_; // ckpt:skip(config, supplied by the restoring run)
+    int intMulLatency_; // ckpt:skip(config, supplied by the restoring run)
+    int fpAddLatency_;  // ckpt:skip(config, supplied by the restoring run)
+    int fpMulLatency_;  // ckpt:skip(config, supplied by the restoring run)
 };
 
 } // namespace tempest

@@ -62,7 +62,7 @@ class GsharePredictor
     int index(std::uint64_t pc) const;
 
     int tableBits_;
-    std::uint64_t mask_;
+    std::uint64_t mask_; // ckpt:skip(derived: (1 << tableBits_) - 1)
     std::vector<std::uint8_t> counters_; ///< 2-bit, init weakly taken
     std::uint64_t history_ = 0;
     std::uint64_t lookups_ = 0;

@@ -120,9 +120,9 @@ class DataHierarchy
   private:
     Cache l1_;
     Cache l2_;
-    int l1HitCycles_;
-    int l2HitCycles_;
-    int memCycles_;
+    int l1HitCycles_; // ckpt:skip(config, supplied by the restoring run)
+    int l2HitCycles_; // ckpt:skip(config, supplied by the restoring run)
+    int memCycles_;   // ckpt:skip(config, supplied by the restoring run)
 };
 
 } // namespace tempest

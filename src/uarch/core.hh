@@ -152,16 +152,21 @@ class OooCore
     /** Oldest in-flight sequence number (nextSeq if ROB empty). */
     std::uint64_t robHeadSeq() const;
 
-    PipelineConfig config_;
-    InstructionStream stream_;
+    // The core's saveState covers only the state it owns directly
+    // (ROB, completion wheel, done-bit ring, fetch ring); the
+    // components below are serialized as their own checkpoint
+    // chunks by Simulator::saveCheckpoint.
+    PipelineConfig config_;    // ckpt:skip(config, supplied by the restoring run)
+    InstructionStream stream_; // ckpt:skip(own chunk: kChunkWorkload)
 
-    IssueQueue intIq_;
-    IssueQueue fpIq_;
-    SelectNetwork intSelect_;
+    IssueQueue intIq_;         // ckpt:skip(own chunk: kChunkIqInt)
+    IssueQueue fpIq_;          // ckpt:skip(own chunk: kChunkIqFp)
+    SelectNetwork intSelect_;  // ckpt:skip(stateless select trees)
+    // ckpt:skip(stateless select trees)
     SelectNetwork fpSelect_; ///< trees for FP adders + multiplier
-    AluPool alus_;
-    RegisterFile intRegfile_;
-    DataHierarchy caches_;
+    AluPool alus_;             // ckpt:skip(own chunk: kChunkAlus)
+    RegisterFile intRegfile_;  // ckpt:skip(own chunk: kChunkRegfile)
+    DataHierarchy caches_;     // ckpt:skip(own chunk: kChunkCaches)
 
     // Reorder buffer (active list) as a ring.
     std::vector<RobEntry> rob_;
@@ -218,6 +223,7 @@ class OooCore
     Cycle cycle_ = 0;
     std::uint64_t committed_ = 0;
 
+    // ckpt:skip(per-cycle scratch, fully overwritten before use)
     std::vector<Grant> grantScratch_;
 };
 

@@ -325,9 +325,10 @@ class IssueQueue
     }
 
     int size_;
+    // ckpt:skip(derived: size_ / 2)
     int half_; ///< size_ / 2, the toggled-mode rotation
     int words_; ///< bitmap words, (size_ + 63) / 64
-    int issueWidth_;
+    int issueWidth_; // ckpt:skip(config, supplied by the restoring run)
     QueueKind kind_;
     CompactionMode mode_ = CompactionMode::Conventional;
     std::vector<IqEntry> phys_;

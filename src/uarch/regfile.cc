@@ -114,7 +114,8 @@ RegisterFile::loadState(StateReader& r)
               " copies / ", alus, " ALUs, this file has ",
               numCopies_, " / ", numAlus_);
     }
-    setMapping(static_cast<PortMapping>(r.u8()));
+    mapping_ = static_cast<PortMapping>(r.u8());
+    setMapping(mapping_); // re-derives the copy->ALUs tables
 }
 
 } // namespace tempest

@@ -104,6 +104,7 @@ class RegisterFile
     int numCopies_;
     int numAlus_;
     PortMapping mapping_;
+    // ckpt:skip(rebuilt by setMapping() from the restored mapping_)
     std::vector<std::vector<int>> alusOfCopy_;
 };
 

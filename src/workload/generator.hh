@@ -114,7 +114,7 @@ class InstructionStream
     std::uint64_t consumed_ = 0; ///< returned via next()
 
     // One-uniform categorical sampler for the op-class mix.
-    AliasTable mixTable_;
+    AliasTable mixTable_; // ckpt:skip(rebuilt from profile_ in the constructor)
 
     // Batch ring: generation is feedback-free (nothing the core
     // does influences the stream), so instructions are produced a

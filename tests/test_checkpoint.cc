@@ -12,6 +12,21 @@
  * unknown chunks must be skipped (forward compatibility), and the
  * warm-fork sweep must be bit-identical at 1/2/8 threads and
  * between the in-memory and spill-to-disk snapshot paths.
+ *
+ * Coverage of the visitors themselves is enforced statically by
+ * tools/lint/tempest_lint.py (ctest: lint_tree; DESIGN.md §12):
+ * each class implementing saveState/loadState must reference every
+ * non-static member in both bodies, in the same order, with a
+ * mirrored serializer-call sequence — so deleting any single field
+ * write fails the lint before it can fail (or worse, silently
+ * pass) the round-trip tests here. Members that are intentionally
+ * not serialized carry `// ckpt:skip(<reason>)` on their
+ * declaration; the reason is mandatory and must be one of:
+ * derived/rebuildable cache, config-owned reference, sub-component
+ * serialized in its own chunk (Simulator::saveCheckpoint), or
+ * per-cycle scratch. When adding a member to a checkpointable
+ * class, either wire it through both visitors (and extend the
+ * round-trip coverage here) or annotate it — never leave it bare.
  */
 
 #include <gtest/gtest.h>

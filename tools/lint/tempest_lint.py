@@ -1,0 +1,1027 @@
+#!/usr/bin/env python3
+"""tempest_lint: domain-aware static analysis for Tempest.
+
+Three checkers guard the invariants the bit-identity test gates
+(goldens, warm-fork, kill/resume) rely on:
+
+  checkpoint   Every class implementing saveState(StateWriter&) /
+               loadState(StateReader&) must reference each non-static
+               data member in *both* methods, in the same relative
+               order, and the static sequence of serializer calls
+               (w.u32/r.u32, ...) must match call-for-call between
+               the two methods.  Members that are config-derived or
+               rebuildable are exempted with an annotation on (or on
+               the line above) their declaration:
+
+                   int half_;  // ckpt:skip(derived: size_ / 2)
+
+  determinism  Bans wall-clock and entropy sources and
+               iteration-order hazards anywhere under src/:
+               std::random_device, rand()/srand()/time()/clock()
+               and friends, system/steady/high_resolution_clock,
+               __rdtsc, iteration over std::unordered_map/set, and
+               pointer-keyed std::map/std::set.  Measurement-only
+               sites are exempted line-by-line:
+
+                   t = std::chrono::steady_clock::now();  // det:allow(wall-clock metric only)
+
+  hygiene      Headers must carry an include guard (or #pragma
+               once), must not contain `using namespace`, and
+               std::endl is banned under src/ (hot-path flush).
+
+Backends: the driver prefers libclang (clang.cindex) when importable
+for accurate class/member/method extraction, and falls back to a
+robust tokenizer-based C++ parser otherwise (the default in
+environments without libclang).  Both feed the same analysis core;
+determinism and hygiene are token-based in either backend.
+
+Usage:
+  tempest_lint.py --all                      # lint the whole tree
+  tempest_lint.py --checkpoint src/uarch/..  # one checker, some files
+  tempest_lint.py --backend text fixture.cc  # force the text backend
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# --------------------------------------------------------------------------
+# Source scrubbing: blank out comments and literals (preserving line
+# structure) and harvest lint annotations from the comment text.
+# --------------------------------------------------------------------------
+
+ANNOT_RE = re.compile(r"(ckpt:skip|det:allow|lint:allow)\(([^)]*)\)")
+
+
+def scrub(text):
+    """Return (scrubbed_text, annotations).
+
+    Comments, string literals, and char literals are replaced with
+    spaces so offsets and line numbers survive.  annotations maps a
+    1-based line number to a list of (kind, reason) pairs found in
+    comments on that line.
+    """
+    out = []
+    annotations = {}
+    i, n, line = 0, len(text), 1
+
+    def note_annotations(comment, start_line):
+        cline = start_line
+        for chunk in comment.split("\n"):
+            for m in ANNOT_RE.finditer(chunk):
+                annotations.setdefault(cline, []).append(
+                    (m.group(1), m.group(2).strip()))
+            cline += 1
+
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            note_annotations(text[i:j], line)
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            note_annotations(text[i:j], line)
+            seg = text[i:j]
+            out.append("".join("\n" if ch == "\n" else " " for ch in seg))
+            line += seg.count("\n")
+            i = j
+        elif c == '"':
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append('""' + " " * (j - i - 2))
+            i = j
+        elif c == "'":
+            # Digit separator (1'000) is not a literal.
+            prev = text[i - 1] if i else ""
+            nxt = text[i + 1] if i + 1 < n else ""
+            if prev.isdigit() and (nxt.isdigit() or nxt.isalpha()):
+                out.append(c)
+                i += 1
+                continue
+            j = i + 1
+            while j < n and text[j] != "'":
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append("''" + " " * (j - i - 2))
+            i = j
+        else:
+            out.append(c)
+            if c == "\n":
+                line += 1
+            i += 1
+    return "".join(out), annotations
+
+
+TOKEN_RE = re.compile(r"[A-Za-z_]\w*|\d[\w.]*|::|->|.", re.S)
+
+
+def tokenize(scrubbed):
+    """Tokenize scrubbed C++ into (text, line) pairs, skipping
+    whitespace and preprocessor directives."""
+    toks = []
+    for lineno, raw in enumerate(scrubbed.split("\n"), start=1):
+        stripped = raw.lstrip()
+        if stripped.startswith("#"):
+            continue
+        for m in TOKEN_RE.finditer(raw):
+            t = m.group(0)
+            if not t.strip():
+                continue
+            toks.append((t, lineno))
+    return toks
+
+
+def is_ident(t):
+    return bool(re.match(r"[A-Za-z_]\w*$", t))
+
+
+def has_annotation(annotations, kind, first_line, last_line=None):
+    """An annotation exempts its own line(s) and the line below it."""
+    last_line = last_line if last_line is not None else first_line
+    for ln in range(first_line - 1, last_line + 1):
+        for k, _reason in annotations.get(ln, []):
+            if k == kind:
+                return True
+    return False
+
+
+# --------------------------------------------------------------------------
+# Intermediate representation shared by both backends.
+# --------------------------------------------------------------------------
+
+
+class MethodBody:
+    def __init__(self, path, param, toks, line):
+        self.path = path
+        self.param = param  # StateWriter/StateReader parameter name
+        self.toks = toks    # [(text, line)] of the body, braces included
+        self.line = line
+
+
+class ClassInfo:
+    def __init__(self, name, path, line):
+        self.name = name
+        self.path = path
+        self.line = line
+        self.members = []  # [(name, line, skipped)]
+        self.save = None   # MethodBody
+        self.load = None   # MethodBody
+
+
+# --------------------------------------------------------------------------
+# Text backend: class/member/method extraction with a brace-matching
+# statement parser.  Robust to nested types, inline method bodies,
+# brace initializers, templates, and multi-line declarations.
+# --------------------------------------------------------------------------
+
+ACCESS = {"public", "private", "protected"}
+CLASS_KEYS = {"class", "struct", "union"}
+NON_MEMBER_KEYS = {"using", "typedef", "friend", "template", "operator",
+                   "static_assert"}
+
+
+def match_brace(toks, i):
+    """toks[i] is '{'; return index just past its matching '}'."""
+    depth = 0
+    while i < len(toks):
+        t = toks[i][0]
+        if t == "{":
+            depth += 1
+        elif t == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return len(toks)
+
+
+def member_names_from_stmt(stmt):
+    """Classify one class-scope statement; return [(name, line)] of the
+    data members it declares (usually 0 or 1)."""
+    toks = [t for t in stmt if t[0] not in ("mutable", "inline")]
+    if not toks:
+        return []
+    words = {t[0] for t in toks}
+    if words & NON_MEMBER_KEYS or "static" in words:
+        return []
+    if words & CLASS_KEYS or "enum" in words:
+        return []
+    if toks[0][0] in ACCESS:
+        return []
+    # Function declarations have a top-level paren.
+    depth_a = 0
+    for t, _ in toks:
+        if t == "<":
+            depth_a += 1
+        elif t == ">":
+            depth_a = max(0, depth_a - 1)
+        elif t == "(" and depth_a == 0:
+            return []
+    # Split on top-level commas (multi-declarator support).
+    segments, seg = [], []
+    da = db = dc = 0
+    for tok in toks:
+        t = tok[0]
+        if t == "<":
+            da += 1
+        elif t == ">":
+            da = max(0, da - 1)
+        elif t == "[":
+            db += 1
+        elif t == "]":
+            db -= 1
+        elif t == "{":
+            dc += 1
+        elif t == "}":
+            dc -= 1
+        elif t == "," and da == db == dc == 0:
+            segments.append(seg)
+            seg = []
+            continue
+        seg.append(tok)
+    segments.append(seg)
+
+    out = []
+    for k, seg in enumerate(segments):
+        # Cut the declarator at '=' / '{' / ':' (bitfield) at top level.
+        da = db = 0
+        decl = []
+        for tok in seg:
+            t = tok[0]
+            if t == "<":
+                da += 1
+            elif t == ">":
+                da = max(0, da - 1)
+            elif t == "[":
+                db += 1
+            elif t == "]":
+                db -= 1
+            if da == 0 and db == 0 and t in ("=", "{", ":"):
+                break
+            decl.append(tok)
+        # Only identifiers at template/array depth 0 can be the
+        # declared name (`MicroOp batch_[batchSize_]` declares batch_,
+        # not batchSize_; `std::vector<IqEntry> phys_` declares phys_).
+        ids = []
+        da = db = 0
+        for tok in decl:
+            t = tok[0]
+            if t == "<":
+                da += 1
+            elif t == ">":
+                da = max(0, da - 1)
+            elif t == "[":
+                db += 1
+            elif t == "]":
+                db = max(0, db - 1)
+            elif (da == 0 and db == 0 and is_ident(t) and
+                  t not in ("const", "volatile")):
+                ids.append(tok)
+        if not ids:
+            continue
+        # First segment: the last top-level identifier is the name
+        # (everything before it is the type).  Later segments are
+        # bare declarators: the first identifier is the name.
+        name_tok = ids[-1] if k == 0 else ids[0]
+        if len(ids) < 2 and k == 0:
+            continue  # a lone type name is not a declaration
+        out.append((name_tok[0], name_tok[1]))
+    return out
+
+
+def param_name_from_sig(sig_toks):
+    """Last identifier inside the () of a one-parameter signature."""
+    ids = [t for t, _ in sig_toks if is_ident(t)]
+    return ids[-1] if ids else None
+
+
+def parse_class_body(toks, i, cls, classes, annotations, path):
+    """toks[i] is the '{' opening the class body.  Returns the index
+    just past the matching '}'."""
+    end = match_brace(toks, i)
+    j = i + 1
+    stmt = []
+    while j < end - 1:
+        t, ln = toks[j]
+        if t in CLASS_KEYS and not stmt or (
+                t in CLASS_KEYS and stmt and stmt[-1][0] != "enum"):
+            # Possible nested type definition.
+            consumed = try_parse_class(toks, j, classes, annotations, path)
+            if consumed:
+                j = consumed
+                stmt = []
+                if j < end - 1 and toks[j][0] == ";":
+                    j += 1
+                continue
+        if t == ":" and len(stmt) == 1 and stmt[0][0] in ACCESS:
+            stmt = []
+            j += 1
+            continue
+        if t == "{":
+            top = [x[0] for x in stmt]
+            eq_at = top.index("=") if "=" in top else None
+            paren_at = top.index("(") if "(" in top else None
+            if eq_at is not None and (paren_at is None or
+                                      eq_at < paren_at):
+                # Brace initializer inside `= { ... }`.
+                j = match_brace(toks, j)
+                continue
+            if paren_at is not None:
+                # Inline method definition: capture save/load bodies.
+                name = None
+                sig = []
+                depth_a = 0
+                for k2, (tt, _) in enumerate(stmt):
+                    if tt == "<":
+                        depth_a += 1
+                    elif tt == ">":
+                        depth_a = max(0, depth_a - 1)
+                    elif tt == "(" and depth_a == 0:
+                        name = stmt[k2 - 1][0] if k2 else None
+                        depth_p = 0
+                        for k3 in range(k2, len(stmt)):
+                            if stmt[k3][0] == "(":
+                                depth_p += 1
+                            elif stmt[k3][0] == ")":
+                                depth_p -= 1
+                                if depth_p == 0:
+                                    break
+                        sig = stmt[k2 + 1:k3]
+                        break
+                body_end = match_brace(toks, j)
+                if name in ("saveState", "loadState"):
+                    body = MethodBody(path, param_name_from_sig(sig),
+                                      toks[j:body_end], ln)
+                    if name == "saveState":
+                        cls.save = body
+                    else:
+                        cls.load = body
+                j = body_end
+                stmt = []
+                if j < end - 1 and toks[j][0] == ";":
+                    j += 1
+                continue
+            if "enum" in top:
+                j = match_brace(toks, j)
+                continue
+            # Brace-init member (`std::vector<int> v{...};`): skip the
+            # braces, keep accumulating until the ';'.
+            j = match_brace(toks, j)
+            continue
+        if t == ";":
+            for name, mline in member_names_from_stmt(stmt):
+                first = stmt[0][1]
+                skipped = has_annotation(annotations, "ckpt:skip",
+                                         first, mline)
+                cls.members.append((name, mline, skipped, path))
+            stmt = []
+            j += 1
+            continue
+        stmt.append((t, ln))
+        j += 1
+    return end
+
+
+def try_parse_class(toks, i, classes, annotations, path):
+    """If toks[i] starts a class/struct *definition*, parse it and
+    return the index past it; otherwise return None."""
+    if toks[i][0] not in ("class", "struct"):
+        return None
+    if i > 0 and toks[i - 1][0] == "enum":
+        return None
+    j = i + 1
+    name = None
+    while j < len(toks):
+        t = toks[j][0]
+        if is_ident(t) and t not in ("final", "alignas"):
+            name = t
+            j += 1
+            break
+        if t in (";", "{", "(", ")"):
+            break
+        j += 1
+    if name is None:
+        return None
+    # Scan past a possible base-clause for '{'; a ';', '(' or ')'
+    # first means forward declaration / parameter / variable.
+    depth_a = 0
+    while j < len(toks):
+        t = toks[j][0]
+        if t == "<":
+            depth_a += 1
+        elif t == ">":
+            depth_a = max(0, depth_a - 1)
+        elif depth_a == 0:
+            if t == "{":
+                tmp = ClassInfo(name, path, toks[i][1])
+                end = parse_class_body(toks, j, tmp, classes,
+                                       annotations, path)
+                cls = classes.setdefault(name, tmp)
+                if cls is not tmp:
+                    # Class seen before (e.g. its methods were defined
+                    # in an earlier-scanned .cc): merge, never clobber.
+                    if not cls.members:
+                        cls.members = tmp.members
+                    cls.save = cls.save or tmp.save
+                    cls.load = cls.load or tmp.load
+                return end
+            if t in (";", "(", ")", "=") or t in CLASS_KEYS:
+                return None
+        j += 1
+    return None
+
+
+def parse_file_text_backend(path, toks, annotations, classes):
+    """Collect class definitions and out-of-line saveState/loadState
+    definitions from one file."""
+    i = 0
+    n = len(toks)
+    while i < n:
+        consumed = try_parse_class(toks, i, classes, annotations, path)
+        if consumed:
+            i = consumed
+            continue
+        t, ln = toks[i]
+        # Out-of-line definition: Class::saveState(...) ... {
+        if (t == "::" and i + 1 < n and
+                toks[i + 1][0] in ("saveState", "loadState") and
+                i >= 1 and is_ident(toks[i - 1][0]) and
+                i + 2 < n and toks[i + 2][0] == "("):
+            cname = toks[i - 1][0]
+            kind = toks[i + 1][0]
+            j = i + 2
+            depth = 0
+            sig = []
+            while j < n:
+                tt = toks[j][0]
+                if tt == "(":
+                    depth += 1
+                elif tt == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                elif depth >= 1:
+                    sig.append(toks[j])
+                j += 1
+            # Skip qualifiers (const, noexcept...) up to '{' or ';'.
+            while j < n and toks[j][0] not in ("{", ";"):
+                j += 1
+            if j < n and toks[j][0] == "{":
+                body_end = match_brace(toks, j)
+                cls = classes.setdefault(cname,
+                                         ClassInfo(cname, path, ln))
+                body = MethodBody(path, param_name_from_sig(sig),
+                                  toks[j:body_end], ln)
+                if kind == "saveState":
+                    cls.save = body
+                else:
+                    cls.load = body
+                i = body_end
+                continue
+        i += 1
+
+
+# --------------------------------------------------------------------------
+# libclang backend: same IR, built from the AST.  Any failure is
+# reported and the caller falls back to the text backend.
+# --------------------------------------------------------------------------
+
+
+def build_ir_libclang(files, root, compile_commands, file_cache):
+    from clang import cindex  # noqa: imported lazily on purpose
+
+    index = cindex.Index.create()
+    args = ["-xc++", "-std=c++20", "-I", os.path.join(root, "src")]
+    db = None
+    if compile_commands:
+        db = cindex.CompilationDatabase.fromDirectory(
+            os.path.dirname(os.path.abspath(compile_commands)))
+
+    classes = {}
+    wanted = {os.path.abspath(f) for f in files}
+
+    def body_from_cursor(cur, param):
+        path = os.path.abspath(cur.extent.start.file.name)
+        text, annotations = file_cache.get_scrubbed(path)
+        lines = text.split("\n")
+        s, e = cur.extent.start, cur.extent.end
+        snippet = "\n" * (s.line - 1) + "\n".join(lines[s.line - 1:e.line])
+        toks = tokenize(snippet)
+        # Trim to the compound body (from the first '{').
+        for k, (t, _) in enumerate(toks):
+            if t == "{":
+                toks = toks[k:]
+                break
+        return MethodBody(path, param, toks, s.line)
+
+    def visit(cur):
+        for c in cur.get_children():
+            loc_file = c.location.file
+            if loc_file is None:
+                visit(c)
+                continue
+            path = os.path.abspath(loc_file.name)
+            if path not in wanted:
+                continue
+            if c.kind in (cindex.CursorKind.CLASS_DECL,
+                          cindex.CursorKind.STRUCT_DECL) and \
+                    c.is_definition():
+                cls = classes.setdefault(
+                    c.spelling, ClassInfo(c.spelling, path,
+                                          c.location.line))
+                if not cls.members:
+                    _t, annotations = file_cache.get_scrubbed(path)
+                    for f in c.get_children():
+                        if f.kind == cindex.CursorKind.FIELD_DECL:
+                            ml = f.location.line
+                            skipped = has_annotation(
+                                annotations, "ckpt:skip", ml)
+                            cls.members.append(
+                                (f.spelling, ml, skipped, path))
+            if c.kind == cindex.CursorKind.CXX_METHOD and \
+                    c.spelling in ("saveState", "loadState") and \
+                    c.is_definition():
+                parent = c.semantic_parent
+                cls = classes.setdefault(
+                    parent.spelling,
+                    ClassInfo(parent.spelling, path, parent.location.line))
+                params = list(c.get_arguments())
+                pname = params[0].spelling if params else None
+                body = body_from_cursor(c, pname)
+                if c.spelling == "saveState":
+                    cls.save = body
+                else:
+                    cls.load = body
+            visit(c)
+
+    tus = [f for f in files if f.endswith(".cc")] or list(files)
+    for f in tus:
+        t_args = list(args)
+        if db:
+            cmds = db.getCompileCommands(os.path.abspath(f))
+            if cmds:
+                t_args = [a for a in list(cmds[0].arguments)[1:-1]
+                          if a != "-c" and not a.endswith(f)]
+        tu = index.parse(f, args=t_args)
+        fatal_diags = [d for d in tu.diagnostics if d.severity >= 4]
+        if fatal_diags:
+            raise RuntimeError(
+                "libclang failed on %s: %s" % (f, fatal_diags[0].spelling))
+        visit(tu.cursor)
+    # Headers not reached through any TU still contribute members.
+    for f in files:
+        if f.endswith(".hh") or f.endswith(".h"):
+            path = os.path.abspath(f)
+            known = {c.path for c in classes.values()}
+            if path not in known:
+                toks, annotations = file_cache.get_tokens(path)
+                parse_file_text_backend(path, toks, annotations, classes)
+    return classes
+
+
+# --------------------------------------------------------------------------
+# Checkpoint-coverage analysis (backend-independent).
+# --------------------------------------------------------------------------
+
+SERIALIZER_METHODS = {"u8", "u32", "u64", "i32", "i64", "boolean", "f64",
+                      "str"}
+
+
+def serializer_sequence(body):
+    """Ordered list of (method, line, attributed_member_candidates) for
+    every `<param>.<method>(...)` call in a save/load body."""
+    toks = body.toks
+    out = []
+    i = 0
+    while i + 3 < len(toks):
+        if (toks[i][0] == body.param and toks[i + 1][0] == "." and
+                toks[i + 2][0] in SERIALIZER_METHODS and
+                toks[i + 3][0] == "("):
+            # Collect identifiers in the surrounding statement for
+            # attribution in diagnostics.
+            s = i
+            while s > 0 and toks[s][0] not in (";", "{", "}"):
+                s -= 1
+            e = i
+            while e < len(toks) and toks[e][0] not in (";", "{", "}"):
+                e += 1
+            idents = [t for t, _ in toks[s:e] if is_ident(t)]
+            out.append((toks[i + 2][0], toks[i][1], idents))
+        i += 1
+    return out
+
+
+def body_refs(body):
+    """Map identifier -> (first_index, count) over a method body."""
+    refs = {}
+    for idx, (t, _ln) in enumerate(body.toks):
+        if is_ident(t):
+            if t not in refs:
+                refs[t] = [idx, 0]
+            refs[t][1] += 1
+    return refs
+
+
+def check_checkpoint(classes, findings):
+    for name in sorted(classes):
+        cls = classes[name]
+        if cls.save is None and cls.load is None:
+            continue
+        if cls.save is None or cls.load is None:
+            missing = "saveState" if cls.save is None else "loadState"
+            present = cls.load or cls.save
+            findings.append((present.path, present.line, "checkpoint",
+                             "class %s implements %s but no matching %s "
+                             "was found" % (name,
+                                            "loadState" if cls.save is None
+                                            else "saveState", missing)))
+            continue
+        save_refs = body_refs(cls.save)
+        load_refs = body_refs(cls.load)
+
+        ordered = []
+        for mname, mline, skipped, mpath in cls.members:
+            if skipped:
+                continue
+            in_save = mname in save_refs
+            in_load = mname in load_refs
+            if in_save and in_load:
+                ordered.append((mname, save_refs[mname][0],
+                                load_refs[mname][0]))
+                continue
+            if not in_save and not in_load:
+                side = "saveState or loadState"
+            elif not in_save:
+                side = "saveState"
+            else:
+                side = "loadState"
+            findings.append(
+                (mpath, mline, "checkpoint",
+                 "class %s: member '%s' is not referenced in %s and has "
+                 "no ckpt:skip(<reason>) annotation" % (name, mname, side)))
+
+        # Relative order of first references must match.
+        by_save = [m for m, _s, _l in
+                   sorted(ordered, key=lambda x: x[1])]
+        by_load = [m for m, _s, _l in
+                   sorted(ordered, key=lambda x: x[2])]
+        for a, b in zip(by_save, by_load):
+            if a != b:
+                findings.append(
+                    (cls.save.path, cls.save.line, "checkpoint",
+                     "class %s: member order differs between saveState "
+                     "and loadState (saveState touches '%s' where "
+                     "loadState touches '%s' first)" % (name, a, b)))
+                break
+
+        # Static serializer-call sequences must match call-for-call.
+        sseq = serializer_sequence(cls.save)
+        lseq = serializer_sequence(cls.load)
+        member_set = {m[0] for m in cls.members}
+        if [m for m, _l, _i in sseq] != [m for m, _l, _i in lseq]:
+            k = 0
+            while (k < len(sseq) and k < len(lseq) and
+                   sseq[k][0] == lseq[k][0]):
+                k += 1
+
+            def describe(seq, k):
+                if k >= len(seq):
+                    return "nothing (sequence ends after %d calls)" % len(seq)
+                method, line, idents = seq[k]
+                members = [i for i in idents if i in member_set]
+                attr = (" near member '%s'" % members[0]) if members else ""
+                return "%s at line %d%s" % (method, line, attr)
+
+            findings.append(
+                (cls.save.path, cls.save.line, "checkpoint",
+                 "class %s: serializer call sequences diverge at call "
+                 "#%d: saveState has %s, loadState has %s"
+                 % (name, k + 1, describe(sseq, k), describe(lseq, k))))
+
+
+# --------------------------------------------------------------------------
+# Determinism checker (token-based).
+# --------------------------------------------------------------------------
+
+BANNED_IDENTS = {
+    "random_device": "std::random_device is non-deterministic entropy",
+    "system_clock": "wall-clock read",
+    "steady_clock": "wall-clock read",
+    "high_resolution_clock": "wall-clock read",
+    "__rdtsc": "timestamp-counter read",
+}
+
+BANNED_CALLS = {
+    "rand": "C PRNG with global hidden state",
+    "srand": "C PRNG with global hidden state",
+    "rand_r": "C PRNG",
+    "random": "C PRNG with global hidden state",
+    "srandom": "C PRNG with global hidden state",
+    "drand48": "C PRNG with global hidden state",
+    "lrand48": "C PRNG with global hidden state",
+    "mrand48": "C PRNG with global hidden state",
+    "time": "wall-clock read",
+    "clock": "CPU-clock read",
+    "gettimeofday": "wall-clock read",
+    "clock_gettime": "wall-clock read",
+    "timespec_get": "wall-clock read",
+}
+
+UNORDERED_TYPES = {"unordered_map", "unordered_set", "unordered_multimap",
+                   "unordered_multiset"}
+ORDERED_ASSOC = {"map", "set", "multimap", "multiset"}
+ITER_METHODS = {"begin", "end", "cbegin", "cend", "rbegin", "rend"}
+
+
+def skip_template_args(toks, i):
+    """toks[i] is '<'; return index past the matching '>'."""
+    depth = 0
+    while i < len(toks):
+        t = toks[i][0]
+        if t == "<":
+            depth += 1
+        elif t == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif t in (";", "{"):
+            return i  # not actually template args
+        i += 1
+    return len(toks)
+
+
+def check_determinism(path, toks, annotations, findings):
+    def allowed(line):
+        return has_annotation(annotations, "det:allow", line)
+
+    def add(line, msg):
+        if not allowed(line):
+            findings.append((path, line, "determinism", msg))
+
+    # Pass 1: collect names declared with unordered container types.
+    unordered_vars = set()
+    for i, (t, ln) in enumerate(toks):
+        if t in UNORDERED_TYPES:
+            j = i + 1
+            if j < len(toks) and toks[j][0] == "<":
+                j = skip_template_args(toks, j)
+            while j < len(toks) and toks[j][0] in ("&", "*", "const"):
+                j += 1
+            if j < len(toks) and is_ident(toks[j][0]):
+                unordered_vars.add(toks[j][0])
+
+    # Pass 2: banned tokens and calls, unordered iteration,
+    # pointer-keyed ordered containers.
+    n = len(toks)
+    for i, (t, ln) in enumerate(toks):
+        prev = toks[i - 1][0] if i else ""
+        nxt = toks[i + 1][0] if i + 1 < n else ""
+
+        if t in BANNED_IDENTS and prev != ".":
+            add(ln, "banned identifier '%s': %s (annotate the line with "
+                "det:allow(<reason>) if measurement-only)"
+                % (t, BANNED_IDENTS[t]))
+            continue
+
+        if t in BANNED_CALLS and nxt == "(":
+            if prev == ".":
+                continue  # member call on some object, not the libc one
+            if prev == "::" and (i < 2 or toks[i - 2][0] != "std"):
+                continue  # qualified call into a project namespace
+            add(ln, "banned call '%s()': %s undermines bit-identical "
+                "replay" % (t, BANNED_CALLS[t]))
+            continue
+
+        # Range-for over an unordered container.
+        if t == "for" and nxt == "(":
+            end = i + 1
+            depth = 0
+            colon = None
+            while end < n:
+                tt = toks[end][0]
+                if tt == "(":
+                    depth += 1
+                elif tt == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                elif tt == ":" and depth == 1 and colon is None:
+                    colon = end
+                end += 1
+            if colon is not None:
+                range_ids = [x for x, _ in toks[colon + 1:end]
+                             if is_ident(x)]
+                bad = [x for x in range_ids
+                       if x in unordered_vars or x in UNORDERED_TYPES]
+                if bad:
+                    add(ln, "iteration over unordered container '%s': "
+                        "traversal order is implementation-defined and "
+                        "breaks bit-identical replay" % bad[0])
+
+        # something.begin() on a known unordered container.
+        if (t in unordered_vars and nxt == "." and i + 3 < n and
+                toks[i + 2][0] in ITER_METHODS and toks[i + 3][0] == "("):
+            add(ln, "iterator over unordered container '%s': traversal "
+                "order is implementation-defined" % t)
+
+        # Pointer-keyed ordered containers: std::map<T*, ...> etc.
+        if (t in ORDERED_ASSOC and prev == "::" and i >= 2 and
+                toks[i - 2][0] == "std" and nxt == "<"):
+            j = i + 1
+            depth = 0
+            first_arg = []
+            while j < n:
+                tt = toks[j][0]
+                if tt == "<":
+                    depth += 1
+                elif tt == ">":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                elif tt == "," and depth == 1:
+                    break
+                elif depth >= 1:
+                    first_arg.append(tt)
+                j += 1
+            if "*" in first_arg:
+                add(ln, "pointer-keyed std::%s: key order depends on "
+                    "allocation addresses, which vary run to run" % t)
+
+
+# --------------------------------------------------------------------------
+# Generic hygiene checker.
+# --------------------------------------------------------------------------
+
+
+def check_hygiene(path, raw_text, toks, findings):
+    is_header = path.endswith((".hh", ".h", ".hpp"))
+    if is_header:
+        has_guard = "#pragma once" in raw_text
+        m = re.search(r"^\s*#\s*ifndef\s+(\w+)", raw_text, re.M)
+        if m:
+            if re.search(r"^\s*#\s*define\s+%s\b" % re.escape(m.group(1)),
+                         raw_text, re.M):
+                has_guard = True
+        if not has_guard:
+            findings.append((path, 1, "hygiene",
+                             "header has no include guard "
+                             "(#ifndef/#define pair or #pragma once)"))
+    for i, (t, ln) in enumerate(toks):
+        if (is_header and t == "using" and i + 1 < len(toks) and
+                toks[i + 1][0] == "namespace"):
+            findings.append((path, ln, "hygiene",
+                             "'using namespace' in a header leaks into "
+                             "every includer"))
+        if t == "endl" and i >= 2 and toks[i - 1][0] == "::" and \
+                toks[i - 2][0] == "std":
+            findings.append((path, ln, "hygiene",
+                             "std::endl flushes the stream; use '\\n'"))
+
+
+# --------------------------------------------------------------------------
+# Driver.
+# --------------------------------------------------------------------------
+
+
+class FileCache:
+    def __init__(self):
+        self._raw = {}
+        self._scrubbed = {}
+        self._tokens = {}
+
+    def get_raw(self, path):
+        path = os.path.abspath(path)
+        if path not in self._raw:
+            with open(path, "r", encoding="utf-8", errors="replace") as f:
+                self._raw[path] = f.read()
+        return self._raw[path]
+
+    def get_scrubbed(self, path):
+        path = os.path.abspath(path)
+        if path not in self._scrubbed:
+            self._scrubbed[path] = scrub(self.get_raw(path))
+        return self._scrubbed[path]
+
+    def get_tokens(self, path):
+        path = os.path.abspath(path)
+        if path not in self._tokens:
+            scrubbed, annotations = self.get_scrubbed(path)
+            self._tokens[path] = (tokenize(scrubbed), annotations)
+        return self._tokens[path]
+
+
+def collect_files(root, explicit):
+    if explicit:
+        return [os.path.abspath(p) for p in explicit]
+    out = []
+    src = os.path.join(root, "src")
+    for dirpath, _dirs, names in os.walk(src):
+        for nm in sorted(names):
+            if nm.endswith((".cc", ".hh", ".h", ".hpp", ".cpp")):
+                out.append(os.path.join(dirpath, nm))
+    return sorted(out)
+
+
+def build_ir_text(files, file_cache):
+    classes = {}
+    for path in files:
+        toks, annotations = file_cache.get_tokens(path)
+        parse_file_text_backend(os.path.abspath(path), toks, annotations,
+                                classes)
+    return classes
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description="Tempest domain-aware static analysis")
+    ap.add_argument("--root", default=None,
+                    help="repository root (default: two levels above "
+                         "this script)")
+    ap.add_argument("--all", action="store_true",
+                    help="run every checker (default when no checker "
+                         "flag is given)")
+    ap.add_argument("--checkpoint", action="store_true",
+                    help="run the checkpoint-coverage checker")
+    ap.add_argument("--determinism", action="store_true",
+                    help="run the determinism checker")
+    ap.add_argument("--hygiene", action="store_true",
+                    help="run the generic hygiene checker")
+    ap.add_argument("--backend", choices=["auto", "libclang", "text"],
+                    default="auto")
+    ap.add_argument("--compile-commands", default=None,
+                    help="compile_commands.json for the libclang backend")
+    ap.add_argument("files", nargs="*",
+                    help="explicit files to lint (default: src/ tree)")
+    opts = ap.parse_args(argv)
+
+    root = opts.root or os.path.abspath(
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "..",
+                     ".."))
+    files = collect_files(root, opts.files)
+    if not files:
+        print("tempest_lint: no input files", file=sys.stderr)
+        return 2
+
+    run_ckpt = opts.checkpoint or opts.all or not (
+        opts.checkpoint or opts.determinism or opts.hygiene)
+    run_det = opts.determinism or opts.all or not (
+        opts.checkpoint or opts.determinism or opts.hygiene)
+    run_hyg = opts.hygiene or opts.all or not (
+        opts.checkpoint or opts.determinism or opts.hygiene)
+
+    cache = FileCache()
+    findings = []
+
+    if run_ckpt:
+        classes = None
+        if opts.backend in ("auto", "libclang"):
+            try:
+                classes = build_ir_libclang(files, root,
+                                            opts.compile_commands, cache)
+                implementers = [c for c in classes.values()
+                                if c.save or c.load]
+                if not implementers and opts.backend == "auto":
+                    # Sanity cross-check: libclang saw no checkpoint
+                    # classes at all; trust the text parser instead.
+                    classes = None
+            except Exception as e:  # noqa: libclang is best-effort
+                if opts.backend == "libclang":
+                    print("tempest_lint: libclang backend failed: %s"
+                          % e, file=sys.stderr)
+                    return 2
+                classes = None
+        if classes is None:
+            classes = build_ir_text(files, cache)
+        check_checkpoint(classes, findings)
+
+    for path in files:
+        toks, annotations = cache.get_tokens(path)
+        if run_det:
+            check_determinism(os.path.abspath(path), toks, annotations,
+                              findings)
+        if run_hyg:
+            check_hygiene(os.path.abspath(path), cache.get_raw(path),
+                          toks, findings)
+
+    findings.sort(key=lambda f: (f[0], f[1]))
+    for path, line, checker, msg in findings:
+        rel = os.path.relpath(path, root)
+        print("%s:%d: [%s] %s" % (rel, line, checker, msg))
+    if findings:
+        print("tempest_lint: %d finding(s)" % len(findings),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

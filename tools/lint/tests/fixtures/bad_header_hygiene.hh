@@ -1,0 +1,17 @@
+// Fixture: a header with no include guard and a file-scope
+// `using namespace` — both hygiene findings.
+
+#include <vector>
+
+using namespace std;
+
+namespace tempest
+{
+
+inline vector<int>
+makeVector()
+{
+    return {};
+}
+
+} // namespace tempest

@@ -1,0 +1,30 @@
+// Fixture: 'lost_' is written by saveState but never read back by
+// loadState.  The checkpoint-coverage checker must flag the missing
+// side (this is the drift mode that silently corrupts resumed runs).
+#include "stubs.hh"
+
+namespace tempest
+{
+
+class MissingLoadMember
+{
+  public:
+    void
+    saveState(StateWriter& w) const
+    {
+        w.u64(kept_);
+        w.u64(lost_);
+    }
+
+    void
+    loadState(StateReader& r)
+    {
+        kept_ = r.u64();
+    }
+
+  private:
+    std::uint64_t kept_ = 0;
+    std::uint64_t lost_ = 0;
+};
+
+} // namespace tempest

@@ -1,0 +1,30 @@
+// Fixture: 'orphan_' is read by loadState but saveState never wrote
+// it — the restored value comes from bytes belonging to some other
+// field.  Must be flagged.
+#include "stubs.hh"
+
+namespace tempest
+{
+
+class MissingSaveMember
+{
+  public:
+    void
+    saveState(StateWriter& w) const
+    {
+        w.u32(kept_);
+    }
+
+    void
+    loadState(StateReader& r)
+    {
+        kept_ = r.u32();
+        orphan_ = r.u32();
+    }
+
+  private:
+    std::uint32_t kept_ = 0;
+    std::uint32_t orphan_ = 0;
+};
+
+} // namespace tempest

@@ -1,0 +1,31 @@
+// Fixture: both members travel in both directions, but loadState
+// reads them in the opposite order — a byte-stream aliasing bug the
+// order checker must flag.
+#include "stubs.hh"
+
+namespace tempest
+{
+
+class OrderMismatch
+{
+  public:
+    void
+    saveState(StateWriter& w) const
+    {
+        w.u64(first_);
+        w.u64(second_);
+    }
+
+    void
+    loadState(StateReader& r)
+    {
+        second_ = r.u64();
+        first_ = r.u64();
+    }
+
+  private:
+    std::uint64_t first_ = 0;
+    std::uint64_t second_ = 0;
+};
+
+} // namespace tempest

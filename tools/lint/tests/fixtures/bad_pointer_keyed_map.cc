@@ -1,0 +1,13 @@
+// Fixture: a std::map keyed on pointers orders its elements by
+// allocation address, which varies run to run (ASLR, allocator
+// state).  Must be flagged.
+#include <map>
+
+namespace tempest
+{
+
+struct Block;
+
+std::map<Block*, double> powerOfBlock;
+
+} // namespace tempest

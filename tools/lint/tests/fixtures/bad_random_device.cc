@@ -1,0 +1,15 @@
+// Fixture: std::random_device is hardware entropy — two runs with
+// the same seed diverge.  The determinism checker must flag it.
+#include <random>
+
+namespace tempest
+{
+
+unsigned
+nondeterministicSeed()
+{
+    std::random_device rd;
+    return rd();
+}
+
+} // namespace tempest

@@ -1,0 +1,32 @@
+// Fixture: saveState writes 'wide_' as u64 but loadState reads it as
+// u32 — the static serializer-call sequences diverge, which the
+// checker must flag even though every member is referenced on both
+// sides in the same order.
+#include "stubs.hh"
+
+namespace tempest
+{
+
+class SerializerTypeMismatch
+{
+  public:
+    void
+    saveState(StateWriter& w) const
+    {
+        w.u64(wide_);
+        w.boolean(flag_);
+    }
+
+    void
+    loadState(StateReader& r)
+    {
+        wide_ = r.u32();
+        flag_ = r.boolean();
+    }
+
+  private:
+    std::uint64_t wide_ = 0;
+    bool flag_ = false;
+};
+
+} // namespace tempest

@@ -1,0 +1,16 @@
+// Fixture: wall-clock seeds (time(nullptr)) and C PRNGs (rand)
+// break bit-identical replay.  Both calls must be flagged.
+#include <cstdlib>
+#include <ctime>
+
+namespace tempest
+{
+
+int
+wallClockDraw()
+{
+    std::srand(static_cast<unsigned>(time(nullptr)));
+    return std::rand();
+}
+
+} // namespace tempest

@@ -1,0 +1,20 @@
+// Fixture: iterating a std::unordered_map visits elements in an
+// implementation-defined (and libstdc++-version-dependent) order.
+// Any simulation statistic accumulated in FP across that iteration
+// loses bit-identity.  Must be flagged.
+#include <cstdint>
+#include <unordered_map>
+
+namespace tempest
+{
+
+double
+sumAll(const std::unordered_map<std::uint64_t, double>& watts)
+{
+    double total = 0.0;
+    for (const auto& kv : watts)
+        total += kv.second;
+    return total;
+}
+
+} // namespace tempest

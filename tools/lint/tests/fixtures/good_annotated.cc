@@ -1,0 +1,51 @@
+// Fixture: the annotation grammar in action — must lint clean.
+//
+//   - derived_ and scratch_ are exempt from checkpoint coverage via
+//     ckpt:skip(<reason>) (trailing or preceding-line form),
+//   - the steady_clock read is exempt via det:allow(<reason>).
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "stubs.hh"
+
+namespace tempest
+{
+
+class AnnotatedComponent
+{
+  public:
+    void
+    saveState(StateWriter& w) const
+    {
+        w.u32(size_);
+        w.u64(ticks_);
+    }
+
+    void
+    loadState(StateReader& r)
+    {
+        size_ = r.u32();
+        ticks_ = r.u64();
+    }
+
+    double
+    wallSeconds() const
+    {
+        return std::chrono::duration<double>(
+                   // det:allow(measurement only, fixture)
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+  private:
+    std::uint32_t size_ = 0;
+    std::uint64_t ticks_ = 0;
+    std::uint32_t derived_ = 0; // ckpt:skip(derived: size_ squared)
+    // ckpt:skip(per-cycle scratch, fixture)
+    std::vector<double> scratch_;
+    // ckpt:skip(measurement baseline, fixture) det:allow(measurement only)
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace tempest

@@ -1,0 +1,37 @@
+// Fixture: a fully covered component — every member serialized in
+// both directions, same order, matching serializer types.  Must
+// lint clean.
+#include "stubs.hh"
+
+namespace tempest
+{
+
+class CleanComponent
+{
+  public:
+    void
+    saveState(StateWriter& w) const
+    {
+        w.u32(count_);
+        w.f64(value_);
+        w.boolean(armed_);
+        w.str(name_);
+    }
+
+    void
+    loadState(StateReader& r)
+    {
+        count_ = r.u32();
+        value_ = r.f64();
+        armed_ = r.boolean();
+        name_ = r.str();
+    }
+
+  private:
+    std::uint32_t count_ = 0;
+    double value_ = 0.0;
+    bool armed_ = false;
+    std::string name_;
+};
+
+} // namespace tempest

@@ -1,0 +1,40 @@
+// Minimal serializer stubs so fixtures parse standalone under the
+// libclang backend (the text backend does not need them).
+#ifndef TEMPEST_LINT_FIXTURE_STUBS_HH
+#define TEMPEST_LINT_FIXTURE_STUBS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace tempest
+{
+
+class StateWriter
+{
+  public:
+    void u8(std::uint8_t);
+    void u32(std::uint32_t);
+    void u64(std::uint64_t);
+    void i32(std::int32_t);
+    void i64(std::int64_t);
+    void boolean(bool);
+    void f64(double);
+    void str(const std::string&);
+};
+
+class StateReader
+{
+  public:
+    std::uint8_t u8();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    std::int32_t i32();
+    std::int64_t i64();
+    bool boolean();
+    double f64();
+    std::string str();
+};
+
+} // namespace tempest
+
+#endif // TEMPEST_LINT_FIXTURE_STUBS_HH
