@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Serving-layer overhead benchmarks for tempest_serve.
+ *
+ * The daemon's value proposition is that a cache hit costs
+ * microseconds while a cold simulation costs seconds, so the
+ * serving layer itself (JSON codec, canonical identity, LRU
+ * cache, token bucket, socket round-trip) must stay far below
+ * the simulation in the profile. These benchmarks pin down each
+ * per-request cost in isolation, plus the full daemon round-trip
+ * for the two cheap ops (ping, cached run) over a real socket.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/json.hh"
+#include "serve/protocol.hh"
+#include "serve/result_cache.hh"
+#include "serve/server.hh"
+#include "serve/throttler.hh"
+
+namespace tempest
+{
+namespace serve
+{
+namespace
+{
+
+const char* const kRunLine =
+    R"({"op":"run","benchmark":"eon","cycles":2000000,)"
+    R"("seed":7,"client":"bench",)"
+    R"("config":{"dtm.toggling":"true",)"
+    R"("dtm.mapping":"balanced",)"
+    R"("thermal.ambient":"318.15"}})";
+
+void
+BM_JsonParseRequestLine(benchmark::State& state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(Json::parse(kRunLine));
+    }
+}
+BENCHMARK(BM_JsonParseRequestLine);
+
+void
+BM_JsonDumpReply(benchmark::State& state)
+{
+    Json reply;
+    reply["ok"] = Json(true);
+    reply["op"] = Json("run");
+    reply["benchmark"] = Json("eon");
+    reply["result_hash"] = Json(hexU64(0x123456789abcdef0ull));
+    reply["ipc"] = Json(1.234567);
+    reply["cycles"] = Json(std::uint64_t{2'000'000});
+    reply["cached"] = Json(true);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(reply.dump());
+    }
+}
+BENCHMARK(BM_JsonDumpReply);
+
+void
+BM_ParseAndCanonicalIdentity(benchmark::State& state)
+{
+    for (auto _ : state) {
+        const Request req = parseRequest(kRunLine);
+        benchmark::DoNotOptimize(canonicalRunIdentity(req));
+    }
+}
+BENCHMARK(BM_ParseAndCanonicalIdentity);
+
+void
+BM_ResultCacheHit(benchmark::State& state)
+{
+    ResultCache cache(512);
+    const Request req = parseRequest(kRunLine);
+    const std::string key = canonicalRunIdentity(req);
+    CachedResult r;
+    r.resultHash = 42;
+    cache.put(key, r);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.get(key));
+    }
+}
+BENCHMARK(BM_ResultCacheHit);
+
+void
+BM_ResultCacheChurn(benchmark::State& state)
+{
+    // Steady-state eviction: every put displaces the LRU entry.
+    ResultCache cache(64);
+    CachedResult r;
+    r.resultHash = 42;
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        cache.put("key" + std::to_string(i++ % 128), r);
+    }
+}
+BENCHMARK(BM_ResultCacheChurn);
+
+void
+BM_ThrottlerAdmit(benchmark::State& state)
+{
+    ClientThrottler throttler(/*rate=*/1e9, /*burst=*/1e9);
+    double now = 0;
+    for (auto _ : state) {
+        now += 1e-6;
+        benchmark::DoNotOptimize(
+            throttler.acquire("bench-client", now));
+    }
+}
+BENCHMARK(BM_ThrottlerAdmit);
+
+/** Blocking round trip of one line over a connected socket. */
+std::string
+roundTrip(int fd, const std::string& line)
+{
+    std::string framed = line;
+    framed += '\n';
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+        const ssize_t n = ::send(fd, framed.data() + sent,
+                                 framed.size() - sent, 0);
+        if (n <= 0)
+            return {};
+        sent += static_cast<std::size_t>(n);
+    }
+    std::string reply;
+    char c = 0;
+    while (::recv(fd, &c, 1, 0) == 1 && c != '\n')
+        reply.push_back(c);
+    return reply;
+}
+
+/** Daemon + connected client shared across iterations. */
+class DaemonFixture : public benchmark::Fixture
+{
+  public:
+    void
+    SetUp(benchmark::State&) override
+    {
+        if (daemon_)
+            return;
+        socketPath_ = "/tmp/tempest_bench_" +
+                      std::to_string(::getpid()) + ".sock";
+        ServeOptions options;
+        options.socketPath = socketPath_;
+        options.threads = 1;
+        daemon_ = new ServeDaemon(options);
+        daemon_->start();
+
+        fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::snprintf(addr.sun_path, sizeof(addr.sun_path),
+                      "%s", socketPath_.c_str());
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr));
+        // Prime the cache so the run benchmark measures the hit
+        // path, not a simulation.
+        warmLine_ =
+            R"({"op":"run","benchmark":"eon",)"
+            R"("cycles":50000,"seed":7})";
+        roundTrip(fd_, warmLine_);
+    }
+
+    void
+    TearDown(benchmark::State&) override
+    {
+        // Torn down once at process exit; google-benchmark calls
+        // SetUp/TearDown per run, so keep the daemon alive.
+    }
+
+  protected:
+    static ServeDaemon* daemon_;
+    static int fd_;
+    static std::string socketPath_;
+    static std::string warmLine_;
+};
+
+ServeDaemon* DaemonFixture::daemon_ = nullptr;
+int DaemonFixture::fd_ = -1;
+std::string DaemonFixture::socketPath_;
+std::string DaemonFixture::warmLine_;
+
+BENCHMARK_F(DaemonFixture, PingRoundTrip)
+(benchmark::State& state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            roundTrip(fd_, R"({"op":"ping"})"));
+    }
+}
+
+BENCHMARK_F(DaemonFixture, CachedRunRoundTrip)
+(benchmark::State& state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(roundTrip(fd_, warmLine_));
+    }
+}
+
+BENCHMARK_F(DaemonFixture, StatsRoundTrip)
+(benchmark::State& state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            roundTrip(fd_, R"({"op":"stats"})"));
+    }
+}
+
+} // namespace
+} // namespace serve
+} // namespace tempest
+
+BENCHMARK_MAIN();

@@ -1,0 +1,420 @@
+#include "serve/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace tempest
+{
+namespace serve
+{
+
+bool
+Json::asBool() const
+{
+    if (type_ != Type::Bool)
+        fatal("json: expected bool");
+    return bool_;
+}
+
+double
+Json::asDouble() const
+{
+    if (type_ != Type::Number)
+        fatal("json: expected number");
+    return num_;
+}
+
+std::int64_t
+Json::asInt() const
+{
+    if (type_ != Type::Number)
+        fatal("json: expected number");
+    if (isInt_)
+        return int_;
+    const double r = std::floor(num_);
+    if (r != num_)
+        fatal("json: expected integer, got ", num_);
+    return static_cast<std::int64_t>(r);
+}
+
+std::uint64_t
+Json::asUnsigned() const
+{
+    const std::int64_t v = asInt();
+    if (v < 0)
+        fatal("json: expected non-negative integer, got ", v);
+    return static_cast<std::uint64_t>(v);
+}
+
+const std::string&
+Json::asString() const
+{
+    if (type_ != Type::String)
+        fatal("json: expected string");
+    return str_;
+}
+
+const Json::Array&
+Json::asArray() const
+{
+    if (type_ != Type::Array)
+        fatal("json: expected array");
+    return arr_;
+}
+
+const Json::Object&
+Json::asObject() const
+{
+    if (type_ != Type::Object)
+        fatal("json: expected object");
+    return obj_;
+}
+
+const Json*
+Json::find(const std::string& key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    const auto it = obj_.find(key);
+    return it == obj_.end() ? nullptr : &it->second;
+}
+
+Json&
+Json::operator[](const std::string& key)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Object;
+    if (type_ != Type::Object)
+        fatal("json: operator[] on non-object");
+    return obj_[key];
+}
+
+namespace
+{
+
+void
+dumpString(const std::string& s, std::string& out)
+{
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+/** Streaming parser over a string_view; fatal() with position on
+ * malformed input. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Json document()
+    {
+        Json v = value();
+        skipSpace();
+        if (pos_ != text_.size())
+            fail("trailing garbage after JSON document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const char* what)
+    {
+        fatal("json parse error at byte ", pos_, ": ", what);
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail("unexpected character");
+        ++pos_;
+    }
+
+    bool
+    consumeWord(std::string_view w)
+    {
+        if (text_.substr(pos_, w.size()) != w)
+            return false;
+        pos_ += w.size();
+        return true;
+    }
+
+    Json
+    value()
+    {
+        switch (peek()) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return Json(string());
+          case 't':
+            if (!consumeWord("true"))
+                fail("bad literal");
+            return Json(true);
+          case 'f':
+            if (!consumeWord("false"))
+                fail("bad literal");
+            return Json(false);
+          case 'n':
+            if (!consumeWord("null"))
+                fail("bad literal");
+            return Json();
+          default: return number();
+        }
+    }
+
+    Json
+    object()
+    {
+        expect('{');
+        Json::Object out;
+        if (peek() == '}') {
+            ++pos_;
+            return Json(std::move(out));
+        }
+        for (;;) {
+            std::string key = string();
+            expect(':');
+            out[std::move(key)] = value();
+            const char c = peek();
+            ++pos_;
+            if (c == '}')
+                return Json(std::move(out));
+            if (c != ',')
+                fail("expected ',' or '}' in object");
+        }
+    }
+
+    Json
+    array()
+    {
+        expect('[');
+        Json::Array out;
+        if (peek() == ']') {
+            ++pos_;
+            return Json(std::move(out));
+        }
+        for (;;) {
+            out.push_back(value());
+            const char c = peek();
+            ++pos_;
+            if (c == ']')
+                return Json(std::move(out));
+            if (c != ',')
+                fail("expected ',' or ']' in array");
+        }
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |=
+                            static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |=
+                            static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad hex digit in \\u escape");
+                }
+                // UTF-8 encode (basic multilingual plane only;
+                // surrogate pairs are rejected as out of scope
+                // for a local control protocol).
+                if (code >= 0xd800 && code <= 0xdfff)
+                    fail("surrogate pairs unsupported");
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out +=
+                        static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(
+                        0x80 | ((code >> 6) & 0x3f));
+                    out +=
+                        static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default: fail("unknown escape");
+            }
+        }
+        fail("unterminated string");
+    }
+
+    Json
+    number()
+    {
+        const std::size_t start = pos_;
+        bool integral = true;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c >= '0' && c <= '9') {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' ||
+                       c == '+' || c == '-') {
+                integral = false;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (pos_ == start)
+            fail("expected a value");
+        const std::string text(text_.substr(start, pos_ - start));
+        char* end = nullptr;
+        if (integral) {
+            const std::int64_t v =
+                std::strtoll(text.c_str(), &end, 10);
+            if (end == text.c_str() + text.size())
+                return Json(v);
+        }
+        const double d = std::strtod(text.c_str(), &end);
+        if (end != text.c_str() + text.size())
+            fail("malformed number");
+        return Json(d);
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+void
+Json::dumpTo(std::string& out) const
+{
+    switch (type_) {
+      case Type::Null: out += "null"; break;
+      case Type::Bool: out += bool_ ? "true" : "false"; break;
+      case Type::Number: {
+        char buf[32];
+        if (isInt_) {
+            std::snprintf(buf, sizeof(buf), "%lld",
+                          static_cast<long long>(int_));
+        } else {
+            std::snprintf(buf, sizeof(buf), "%.17g", num_);
+        }
+        out += buf;
+        break;
+      }
+      case Type::String: dumpString(str_, out); break;
+      case Type::Array: {
+        out += '[';
+        bool first = true;
+        for (const Json& v : arr_) {
+            if (!first)
+                out += ',';
+            first = false;
+            v.dumpTo(out);
+        }
+        out += ']';
+        break;
+      }
+      case Type::Object: {
+        out += '{';
+        bool first = true;
+        for (const auto& [k, v] : obj_) {
+            if (!first)
+                out += ',';
+            first = false;
+            dumpString(k, out);
+            out += ':';
+            v.dumpTo(out);
+        }
+        out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+Json::dump() const
+{
+    std::string out;
+    dumpTo(out);
+    return out;
+}
+
+Json
+Json::parse(std::string_view text)
+{
+    return Parser(text).document();
+}
+
+} // namespace serve
+} // namespace tempest

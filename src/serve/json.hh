@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Minimal JSON value, parser, and serializer for the serve
+ * protocol (line-delimited JSON over a local socket).
+ *
+ * Deliberately small: null, bool, number (double, with an exact
+ * integer fast path so 64-bit cycle counts round-trip), string
+ * (with the standard escapes), array, and object. Objects are
+ * std::map-backed, so iteration — and therefore dump() — is
+ * deterministic key order, which keeps protocol golden tests and
+ * cache-key canonicalization stable.
+ *
+ * Parse errors are fatal() (FatalError), which the server catches
+ * per request and turns into an error reply instead of dying.
+ */
+
+#ifndef TEMPEST_SERVE_JSON_HH
+#define TEMPEST_SERVE_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tempest
+{
+namespace serve
+{
+
+/** One JSON value (recursive). */
+class Json
+{
+  public:
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    using Array = std::vector<Json>;
+    using Object = std::map<std::string, Json>;
+
+    Json() = default;
+    Json(bool b) : type_(Type::Bool), bool_(b) {}
+    Json(double d) : type_(Type::Number), num_(d) {}
+    Json(std::int64_t i)
+        : type_(Type::Number), num_(static_cast<double>(i)),
+          int_(i), isInt_(true)
+    {}
+    Json(std::uint64_t u)
+        : type_(Type::Number), num_(static_cast<double>(u)),
+          int_(static_cast<std::int64_t>(u)), isInt_(true)
+    {}
+    Json(int i) : Json(static_cast<std::int64_t>(i)) {}
+    Json(const char* s) : type_(Type::String), str_(s) {}
+    Json(std::string s)
+        : type_(Type::String), str_(std::move(s))
+    {}
+    Json(Array a) : type_(Type::Array), arr_(std::move(a)) {}
+    Json(Object o) : type_(Type::Object), obj_(std::move(o)) {}
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /** Typed accessors; fatal() on type mismatch. */
+    bool asBool() const;
+    double asDouble() const;
+    /** Number as an integer; fatal() if not integral. */
+    std::int64_t asInt() const;
+    /** Integer reinterpreted as unsigned (seeds, cycle counts);
+     * fatal() on negative values. */
+    std::uint64_t asUnsigned() const;
+    const std::string& asString() const;
+    const Array& asArray() const;
+    const Object& asObject() const;
+
+    /** Object member lookup; nullptr when absent (or not an
+     * object). */
+    const Json* find(const std::string& key) const;
+
+    /** Mutable object member (creates; fatal if not an object). */
+    Json& operator[](const std::string& key);
+
+    /** Serialize compactly (no whitespace, sorted object keys). */
+    std::string dump() const;
+
+    /** Parse one JSON document; fatal() on malformed input or
+     * trailing garbage. */
+    static Json parse(std::string_view text);
+
+  private:
+    void dumpTo(std::string& out) const;
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::int64_t int_ = 0;
+    bool isInt_ = false;
+    std::string str_;
+    Array arr_;
+    Object obj_;
+};
+
+} // namespace serve
+} // namespace tempest
+
+#endif // TEMPEST_SERVE_JSON_HH

@@ -1,0 +1,148 @@
+#include "serve/protocol.hh"
+
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace tempest
+{
+namespace serve
+{
+
+std::string
+hexU64(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+Request
+parseRequest(const std::string& line)
+{
+    const Json doc = Json::parse(line);
+    if (!doc.isObject())
+        fatal("request must be a JSON object");
+
+    Request req;
+    const Json* op = doc.find("op");
+    if (!op)
+        fatal("request has no \"op\" field");
+    const std::string& name = op->asString();
+    if (name == "run")
+        req.op = RequestOp::Run;
+    else if (name == "stats")
+        req.op = RequestOp::Stats;
+    else if (name == "ping")
+        req.op = RequestOp::Ping;
+    else if (name == "shutdown")
+        req.op = RequestOp::Shutdown;
+    else
+        fatal("unknown op '", name,
+              "' (run|stats|ping|shutdown)");
+
+    if (const Json* client = doc.find("client"))
+        req.client = client->asString();
+
+    if (req.op != RequestOp::Run)
+        return req;
+
+    const Json* benchmark = doc.find("benchmark");
+    if (!benchmark)
+        fatal("run request has no \"benchmark\" field");
+    req.benchmark = benchmark->asString();
+    if (req.benchmark.empty())
+        fatal("run request has an empty benchmark name");
+
+    const Json* cycles = doc.find("cycles");
+    if (!cycles)
+        fatal("run request has no \"cycles\" field");
+    req.cycles = cycles->asUnsigned();
+    if (req.cycles == 0)
+        fatal("run request cycles must be > 0");
+
+    if (const Json* seed = doc.find("seed"))
+        req.seed = seed->asUnsigned();
+    if (const Json* warm = doc.find("warm"))
+        req.warm = warm->asBool();
+
+    if (const Json* config = doc.find("config")) {
+        for (const auto& [key, value] : config->asObject()) {
+            switch (value.type()) {
+              case Json::Type::String:
+                req.config.set(key, value.asString());
+                break;
+              case Json::Type::Bool:
+                req.config.setBool(key, value.asBool());
+                break;
+              case Json::Type::Number:
+                // Preserve integer-ness so "run.seed": 7 works
+                // with the strict integer parser downstream.
+                if (value.asDouble() ==
+                    static_cast<double>(value.asInt())) {
+                    req.config.setInt(key, value.asInt());
+                } else {
+                    req.config.setDouble(key,
+                                         value.asDouble());
+                }
+                break;
+              default:
+                fatal("config value for '", key,
+                      "' must be a scalar");
+            }
+        }
+    }
+
+    // "seed" is shorthand for run.seed; an explicit config entry
+    // wins so a pasted tempest_run config behaves identically.
+    if (req.config.has("run.seed")) {
+        const std::int64_t seed = req.config.getInt("run.seed");
+        if (seed < 0)
+            fatal("run.seed must be >= 0 (got ", seed, ")");
+        req.seed = static_cast<std::uint64_t>(seed);
+    } else {
+        req.config.setInt("run.seed",
+                          static_cast<std::int64_t>(req.seed));
+    }
+    return req;
+}
+
+std::string
+canonicalRunIdentity(const Request& req)
+{
+    // Config::render() yields sorted "key = value" lines, so the
+    // identity is independent of the order request fields arrived
+    // in. benchmark/seed/cycles are part of the render via
+    // run.seed plus the explicit fields below.
+    std::string id;
+    id += "benchmark=" + req.benchmark + "\n";
+    id += "seed=" + hexU64(req.seed) + "\n";
+    id += "cycles=" + std::to_string(req.cycles) + "\n";
+    id += req.config.render();
+    return id;
+}
+
+std::string
+encodeError(const std::string& message,
+            double retry_after_seconds)
+{
+    Json reply;
+    reply["ok"] = Json(false);
+    reply["error"] = Json(message);
+    if (retry_after_seconds >= 0.0)
+        reply["retry_after"] = Json(retry_after_seconds);
+    return reply.dump();
+}
+
+std::string
+encodeOk(const std::string& op)
+{
+    Json reply;
+    reply["ok"] = Json(true);
+    reply["op"] = Json(op);
+    return reply.dump();
+}
+
+} // namespace serve
+} // namespace tempest

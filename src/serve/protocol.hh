@@ -1,0 +1,105 @@
+/**
+ * @file
+ * tempest_serve wire protocol (DESIGN.md §13).
+ *
+ * Transport: line-delimited JSON over a local stream socket. One
+ * request per line, one response line per request, in order per
+ * connection.
+ *
+ * Requests:
+ *
+ *   {"op":"run","benchmark":"eon","cycles":2000000,
+ *    "seed":1,"config":{"dtm.toggling":"true", ...},
+ *    "warm":true,"client":"sweeper-3"}
+ *   {"op":"stats"}
+ *   {"op":"ping"}
+ *   {"op":"shutdown"}
+ *
+ * "config" holds the same dotted keys tempest_run accepts
+ * (sim_config_io.hh); "seed" is shorthand for config run.seed;
+ * "warm" opts out of the warm-snapshot pool when false. "client"
+ * names the rate-limiting principal (defaults to the connection).
+ *
+ * Responses always carry "ok". Successful run replies include the
+ * deterministic identity ("benchmark", "seed") and the result
+ * ("result_hash" as a hex string, "ipc", "cycles",
+ * "instructions", "stall_cycles"), plus serving metadata that is
+ * NOT part of the result identity: "cached", "wall_seconds".
+ * Load-shedding errors carry "retry_after" (seconds), the
+ * explicit backpressure signal: clients must back off instead of
+ * retrying immediately.
+ */
+
+#ifndef TEMPEST_SERVE_PROTOCOL_HH
+#define TEMPEST_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/config.hh"
+#include "serve/json.hh"
+
+namespace tempest
+{
+namespace serve
+{
+
+/** Request kinds the daemon understands. */
+enum class RequestOp
+{
+    Run,
+    Stats,
+    Ping,
+    Shutdown
+};
+
+/** One parsed request line. */
+struct Request
+{
+    RequestOp op = RequestOp::Ping;
+    /** Rate-limiting principal ("" = per-connection default). */
+    std::string client;
+
+    // ---- op == Run ----
+    std::string benchmark;
+    std::uint64_t cycles = 0;
+    /** Effective run seed (the "seed" field, overridable by an
+     * explicit config run.seed entry). */
+    std::uint64_t seed = 1;
+    /** Use the warm-snapshot pool (default true). */
+    bool warm = true;
+    /** Dotted-key overrides, already merged with the seed. */
+    Config config;
+};
+
+/**
+ * Parse one request line; fatal() (FatalError) on malformed JSON,
+ * unknown ops, or invalid fields — the server turns that into an
+ * error reply.
+ */
+Request parseRequest(const std::string& line);
+
+/**
+ * Canonical text identity of a run request: benchmark, effective
+ * seed, cycles, and the full sorted render of the config
+ * overlays. Two requests with equal canonical identity name the
+ * same deterministic simulation, which is exactly the result
+ * cache's key (and subsumes the benchmark/seed/geometry identity
+ * restoreCheckpoint validates).
+ */
+std::string canonicalRunIdentity(const Request& req);
+
+/** Error reply; retry_after_seconds < 0 omits the field. */
+std::string encodeError(const std::string& message,
+                        double retry_after_seconds = -1.0);
+
+/** Trivial ok reply ({"ok":true,"op":...}). */
+std::string encodeOk(const std::string& op);
+
+/** Hex "0x..." rendering used for hashes and seeds on the wire. */
+std::string hexU64(std::uint64_t v);
+
+} // namespace serve
+} // namespace tempest
+
+#endif // TEMPEST_SERVE_PROTOCOL_HH

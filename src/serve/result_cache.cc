@@ -1,0 +1,56 @@
+#include "serve/result_cache.hh"
+
+namespace tempest
+{
+namespace serve
+{
+
+std::optional<CachedResult>
+ResultCache::get(const std::string& key)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+        ++misses_;
+        return std::nullopt;
+    }
+    ++hits_;
+    // Refresh recency: splice the entry to the front.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->value;
+}
+
+void
+ResultCache::put(const std::string& key, CachedResult value)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+        it->second->value = std::move(value);
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    lru_.push_front(Entry{key, std::move(value)});
+    index_[key] = lru_.begin();
+    while (lru_.size() > capacity_) {
+        index_.erase(lru_.back().key);
+        lru_.pop_back();
+        ++evictions_;
+    }
+}
+
+CacheStats
+ResultCache::stats() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    CacheStats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.evictions = evictions_;
+    s.entries = lru_.size();
+    s.capacity = capacity_;
+    return s;
+}
+
+} // namespace serve
+} // namespace tempest

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Content-addressed result cache for the serve daemon.
+ *
+ * Keyed by the canonical run identity (benchmark, seed, cycles,
+ * full config render — see protocol.hh), i.e. the deterministic
+ * inputs that fully name a simulation. Because every execution
+ * path in the daemon is bit-deterministic for a given identity, a
+ * cached entry is indistinguishable from a recomputation — the
+ * property the hammer test asserts via result_hash equality.
+ *
+ * Bounded LRU with thread-safe get/put and hit/miss/eviction
+ * counters. Entries store the already-encoded reply body fields
+ * (SimResult summary + result_hash), not the full SimResult, so
+ * the cache footprint is a few hundred bytes per entry.
+ */
+
+#ifndef TEMPEST_SERVE_RESULT_CACHE_HH
+#define TEMPEST_SERVE_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "serve/json.hh"
+
+namespace tempest
+{
+namespace serve
+{
+
+/** Cached outcome of one deterministic run identity. */
+struct CachedResult
+{
+    std::uint64_t resultHash = 0;
+    /** Reply payload fields (benchmark, ipc, cycles, ...) ready
+     * to be merged into a response object. */
+    Json payload;
+    /** Wall seconds the original computation took (serving
+     * metadata, reported so clients can see what a hit saved). */
+    double computeSeconds = 0;
+};
+
+/** Counters exported through the stats op. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t capacity = 0;
+
+    double
+    hitRate() const
+    {
+        const std::uint64_t total = hits + misses;
+        return total ? static_cast<double>(hits) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+/** Thread-safe bounded LRU over canonical run identities. */
+class ResultCache
+{
+  public:
+    explicit ResultCache(std::size_t capacity)
+        : capacity_(capacity == 0 ? 1 : capacity)
+    {}
+
+    /** Look up an identity; counts a hit or miss and refreshes
+     * recency on hit. */
+    std::optional<CachedResult> get(const std::string& key);
+
+    /**
+     * Insert (or refresh) an identity. Duplicate puts from racing
+     * workers are benign: determinism guarantees the values are
+     * identical, so last-write-wins changes nothing observable.
+     */
+    void put(const std::string& key, CachedResult value);
+
+    CacheStats stats() const;
+
+  private:
+    struct Entry
+    {
+        std::string key;
+        CachedResult value;
+    };
+
+    mutable std::mutex mutex_;
+    std::size_t capacity_;
+    /** Most-recently-used at the front. */
+    std::list<Entry> lru_;
+    std::map<std::string, std::list<Entry>::iterator> index_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace serve
+} // namespace tempest
+
+#endif // TEMPEST_SERVE_RESULT_CACHE_HH

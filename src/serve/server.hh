@@ -1,0 +1,197 @@
+/**
+ * @file
+ * tempest_serve daemon core (DESIGN.md §13): a long-running
+ * experiment service over a local Unix-domain stream socket.
+ *
+ * Architecture (one process, YTsaurus's service-program shape
+ * scaled down):
+ *
+ *   poll thread    accepts connections, frames request lines,
+ *                  answers cache hits / stats / ping inline,
+ *                  applies admission control, enqueues misses
+ *   bounded queue  at most `queueDepth` pending computations;
+ *                  overflow is shed with retry_after, never
+ *                  queued unboundedly
+ *   worker pool    `threads` simulation workers; each job warms
+ *                  (through the shared WarmSnapshotPool) or runs
+ *                  cold, hashes the result, fills the
+ *                  ResultCache, and replies
+ *
+ * Identical in-flight requests are coalesced (single-flight): the
+ * first request computes, later ones attach as waiters and are
+ * answered from the same result, so a burst of duplicate cold
+ * queries costs one simulation.
+ *
+ * Replies are written by whichever thread finishes the work, so
+ * cross-request ordering on one connection is not guaranteed;
+ * requests may carry an "id" that is echoed in the reply for
+ * correlation. Per-request determinism is absolute: a given run
+ * identity always yields the same result_hash, served from cache
+ * or computed.
+ */
+
+#ifndef TEMPEST_SERVE_SERVER_HH
+#define TEMPEST_SERVE_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hh"
+#include "serve/result_cache.hh"
+#include "serve/throttler.hh"
+#include "serve/warm_pool.hh"
+
+namespace tempest
+{
+namespace serve
+{
+
+/** Daemon tuning knobs (tools/tempest_serve.cc flags). */
+struct ServeOptions
+{
+    /** Unix-domain socket path (required). */
+    std::string socketPath;
+    /** Simulation worker threads. */
+    int threads = 2;
+    /** Maximum queued (not yet running) computations. */
+    std::size_t queueDepth = 16;
+    /** Per-client admitted requests per second; 0 = unlimited. */
+    double ratePerSecond = 0;
+    /** Per-client burst allowance (bucket capacity). */
+    double rateBurst = 4;
+    /** Result-cache entries. */
+    std::size_t cacheCapacity = 512;
+    /** Warm-up cycles baked into pool snapshots; 0 disables the
+     * warm pool (every miss runs cold from cycle 0). */
+    std::uint64_t warmupCycles = 0;
+    /** Reject run requests beyond this many cycles. */
+    std::uint64_t maxRequestCycles = 1'000'000'000;
+};
+
+/** Counters for the stats op (beyond CacheStats). */
+struct ServeStats
+{
+    CacheStats cache;
+    std::size_t queueDepth = 0;
+    std::size_t queueCapacity = 0;
+    std::uint64_t shedQueueFull = 0;
+    std::uint64_t rateLimited = 0;
+    std::uint64_t jobsDone = 0;
+    std::uint64_t jobsFailed = 0;
+    double computeSecondsTotal = 0;
+    std::size_t warmPoolSize = 0;
+    std::uint64_t warmBuilds = 0;
+};
+
+/** The daemon: start(), then waitStopped() or stop(). */
+class ServeDaemon
+{
+  public:
+    explicit ServeDaemon(ServeOptions options);
+    ~ServeDaemon();
+
+    ServeDaemon(const ServeDaemon&) = delete;
+    ServeDaemon& operator=(const ServeDaemon&) = delete;
+
+    /** Bind the socket and spawn the poll + worker threads;
+     * fatal() if the socket cannot be bound. */
+    void start();
+
+    /** Ask the daemon to stop (signal-handler safe via
+     * wakeFd()). Returns immediately. */
+    void requestStop();
+
+    /** Block until a stop was requested (shutdown op, signal, or
+     * stop()). */
+    void waitStopped();
+
+    /** Stop and join everything; idempotent. */
+    void stop();
+
+    /** Write end of the self-pipe: writing one byte from a signal
+     * handler wakes the poll loop and stops the daemon. */
+    int wakeFd() const { return wakePipe_[1]; }
+
+    ServeStats stats() const;
+
+  private:
+    struct Connection
+    {
+        int fd = -1;
+        std::string name; ///< default rate-limit principal
+        std::string rx;   ///< partial-line receive buffer
+        std::mutex writeMutex;
+        bool broken = false; ///< write failed; drop silently
+    };
+    using ConnPtr = std::shared_ptr<Connection>;
+
+    struct Job
+    {
+        ConnPtr conn;
+        Request req;
+        std::string key;
+        Json id; ///< echoed correlation id (null if absent)
+    };
+
+    // ---- poll-thread side ----
+    void pollLoop();
+    void acceptOne();
+    void readFrom(const ConnPtr& conn);
+    void handleLine(const ConnPtr& conn, const std::string& line);
+    void handleRun(const ConnPtr& conn, Request req,
+                   const Json& id);
+    std::string statsReply() const;
+
+    // ---- worker side ----
+    void workerLoop();
+    void computeJob(const Job& job);
+
+    void sendLine(const ConnPtr& conn, const std::string& line);
+    double nowSeconds() const;
+
+    ServeOptions options_;
+    ResultCache cache_;
+    ClientThrottler throttler_;
+    WarmSnapshotPool warmPool_;
+
+    int listenFd_ = -1;
+    int wakePipe_[2] = {-1, -1};
+    std::atomic<bool> stopping_{false};
+    bool started_ = false;
+    std::uint64_t connCounter_ = 0;
+
+    std::thread pollThread_;
+    std::vector<std::thread> workers_;
+    std::map<int, ConnPtr> conns_; ///< poll thread only
+
+    // Queue + single-flight registry (one mutex guards both).
+    mutable std::mutex queueMutex_;
+    std::condition_variable queueCv_;
+    std::deque<Job> queue_;
+    std::map<std::string, std::vector<Job>> inflight_;
+
+    // Stop notification for waitStopped().
+    mutable std::mutex stopMutex_;
+    std::condition_variable stopCv_;
+
+    // Counters (queueMutex_).
+    std::uint64_t shedQueueFull_ = 0;
+    std::uint64_t jobsDone_ = 0;
+    std::uint64_t jobsFailed_ = 0;
+    double computeSecondsTotal_ = 0;
+
+    std::int64_t startTick_ = 0; ///< monotonic epoch for now()
+};
+
+} // namespace serve
+} // namespace tempest
+
+#endif // TEMPEST_SERVE_SERVER_HH

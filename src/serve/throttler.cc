@@ -1,0 +1,54 @@
+#include "serve/throttler.hh"
+
+namespace tempest
+{
+namespace serve
+{
+
+AdmitDecision
+TokenBucket::acquire(double now)
+{
+    if (now > lastRefill_) {
+        tokens_ = std::min(burst_,
+                           tokens_ + rate_ * (now - lastRefill_));
+        lastRefill_ = now;
+    }
+    if (tokens_ >= 1.0) {
+        tokens_ -= 1.0;
+        return AdmitDecision{true, 0.0};
+    }
+    AdmitDecision d;
+    d.admitted = false;
+    // Time until the deficit refills; rate_ == 0 with an empty
+    // bucket can only happen via a burst < 1 clamp, so guard it.
+    d.retryAfter = rate_ > 0 ? (1.0 - tokens_) / rate_ : 1.0;
+    return d;
+}
+
+AdmitDecision
+ClientThrottler::acquire(const std::string& client, double now)
+{
+    if (rate_ <= 0)
+        return AdmitDecision{true, 0.0};
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = buckets_.find(client);
+    if (it == buckets_.end()) {
+        it = buckets_
+                 .emplace(client, TokenBucket(rate_, burst_))
+                 .first;
+    }
+    const AdmitDecision d = it->second.acquire(now);
+    if (!d.admitted)
+        ++rejected_;
+    return d;
+}
+
+std::uint64_t
+ClientThrottler::rejected() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return rejected_;
+}
+
+} // namespace serve
+} // namespace tempest

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Per-client token-bucket admission control for the serve daemon
+ * (the single-process scale-down of YTsaurus's
+ * distributed_throttler: each client principal owns a bucket;
+ * over-limit requests are shed with an explicit retry_after
+ * instead of queueing unboundedly).
+ *
+ * Time is injected as a seconds timestamp rather than read from a
+ * clock so the policy is unit-testable on a virtual timeline; the
+ * daemon feeds it a monotonic clock. A request that finds the
+ * bucket empty is REJECTED (never blocked) and told how long
+ * until the next token matures — load shedding, not queueing,
+ * which keeps worst-case memory and latency bounded under burst.
+ */
+
+#ifndef TEMPEST_SERVE_THROTTLER_HH
+#define TEMPEST_SERVE_THROTTLER_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace tempest
+{
+namespace serve
+{
+
+/** Outcome of one admission attempt. */
+struct AdmitDecision
+{
+    bool admitted = true;
+    /** Seconds until a token matures (0 when admitted). */
+    double retryAfter = 0;
+};
+
+/** One client's token bucket: capacity `burst`, refill `rate`/s. */
+class TokenBucket
+{
+  public:
+    TokenBucket(double rate_per_second, double burst)
+        : rate_(rate_per_second),
+          burst_(std::max(burst, 1.0)),
+          tokens_(std::max(burst, 1.0))
+    {}
+
+    /** Try to take one token at time `now` (seconds, monotonic,
+     * per-bucket timeline). */
+    AdmitDecision acquire(double now);
+
+    double tokens() const { return tokens_; }
+
+  private:
+    double rate_;
+    double burst_;
+    double tokens_;
+    double lastRefill_ = 0;
+};
+
+/**
+ * Thread-safe map of client principal -> bucket. A rate of 0
+ * disables throttling (every request admitted). Counts rejected
+ * requests for the stats op.
+ */
+class ClientThrottler
+{
+  public:
+    ClientThrottler(double rate_per_second, double burst)
+        : rate_(rate_per_second), burst_(burst)
+    {}
+
+    AdmitDecision acquire(const std::string& client, double now);
+
+    std::uint64_t rejected() const;
+
+  private:
+    double rate_;
+    double burst_;
+    mutable std::mutex mutex_;
+    std::map<std::string, TokenBucket> buckets_;
+    std::uint64_t rejected_ = 0;
+};
+
+} // namespace serve
+} // namespace tempest
+
+#endif // TEMPEST_SERVE_THROTTLER_HH

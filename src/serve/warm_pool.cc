@@ -1,0 +1,58 @@
+#include "serve/warm_pool.hh"
+
+namespace tempest
+{
+namespace serve
+{
+
+std::shared_ptr<const std::string>
+WarmSnapshotPool::get(const std::string& key,
+                      const Builder& build)
+{
+    std::promise<std::shared_ptr<const std::string>> promise;
+    Future future;
+    bool builder = false;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = pool_.find(key);
+        if (it != pool_.end()) {
+            future = it->second;
+        } else {
+            future = promise.get_future().share();
+            pool_[key] = future;
+            ++builds_;
+            builder = true;
+        }
+    }
+    if (builder) {
+        try {
+            promise.set_value(std::make_shared<std::string>(
+                build()));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+            // Drop the failed entry so a later request retries
+            // instead of replaying a stale error forever.
+            const std::lock_guard<std::mutex> lock(mutex_);
+            pool_.erase(key);
+            future.get(); // rethrows to this builder too
+        }
+    }
+    return future.get();
+}
+
+std::size_t
+WarmSnapshotPool::size() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return pool_.size();
+}
+
+std::uint64_t
+WarmSnapshotPool::builds() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return builds_;
+}
+
+} // namespace serve
+} // namespace tempest

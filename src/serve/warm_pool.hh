@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Warm-snapshot pool: per-identity cached warm-up checkpoints so
+ * cache-miss requests skip the warm-up prefix (PR 4's warm-fork
+ * machinery, kept alive across requests).
+ *
+ * Keyed by the warm identity — benchmark, seed, warm-up cycle
+ * count, and the render of the neutralized config (every DTM
+ * technique forced off) — because restoreCheckpoint validates
+ * exactly benchmark/seed/geometry and the warm-up trajectory
+ * additionally depends on the thermal/pipeline parameters.
+ *
+ * Build-once semantics under concurrency: the first requester of
+ * a key builds the snapshot while later requesters block on a
+ * shared_future for the same key, so a burst of cold requests for
+ * one benchmark warms it exactly once. A failed build is removed
+ * so a later request can retry, and the error is rethrown to
+ * every waiter.
+ */
+
+#ifndef TEMPEST_SERVE_WARM_POOL_HH
+#define TEMPEST_SERVE_WARM_POOL_HH
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace tempest
+{
+namespace serve
+{
+
+/** Thread-safe build-once pool of warm checkpoint bytes. */
+class WarmSnapshotPool
+{
+  public:
+    using Builder = std::function<std::string()>;
+
+    /**
+     * Snapshot bytes for `key`, building via `build` on first
+     * use. Throws what the builder threw (for every concurrent
+     * waiter of that build attempt).
+     */
+    std::shared_ptr<const std::string>
+    get(const std::string& key, const Builder& build);
+
+    std::size_t size() const;
+
+    /** Total builds that ran (cold warms; stats op). */
+    std::uint64_t builds() const;
+
+  private:
+    using Future =
+        std::shared_future<std::shared_ptr<const std::string>>;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Future> pool_;
+    std::uint64_t builds_ = 0;
+};
+
+} // namespace serve
+} // namespace tempest
+
+#endif // TEMPEST_SERVE_WARM_POOL_HH

@@ -1,7 +1,11 @@
 #include "sim/checkpoint/checkpoint.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "common/log.hh"
 
@@ -151,15 +155,32 @@ void
 writeCheckpointFile(const std::string& path,
                     const std::string& bytes)
 {
-    const std::string tmp = path + ".tmp";
+    // The staging name must be unique per writer: a fixed
+    // `path + ".tmp"` lets two concurrent writers targeting the
+    // same path (the serve daemon's snapshot pool, parallel
+    // warm-fork spills) interleave writes into one staging file
+    // and publish a corrupt checkpoint. pid + a process-wide
+    // counter disambiguates both across processes and across
+    // threads within one process.
+    static std::atomic<std::uint64_t> counter{0};
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid()) + "." +
+        std::to_string(
+            counter.fetch_add(1, std::memory_order_relaxed));
     std::FILE* f = std::fopen(tmp.c_str(), "wb");
     if (!f)
         fatal("cannot open '", tmp, "' for checkpoint write");
     const std::size_t written =
         std::fwrite(bytes.data(), 1, bytes.size(), f);
+    // fflush moves the bytes to the kernel; fsync makes them
+    // durable before the rename publishes the file. Without the
+    // fsync, a crash right after rename can leave a zero-length
+    // "valid" checkpoint on journaled filesystems that commit the
+    // rename before the data.
     const bool flushed = std::fflush(f) == 0;
+    const bool synced = flushed && ::fsync(::fileno(f)) == 0;
     std::fclose(f);
-    if (written != bytes.size() || !flushed) {
+    if (written != bytes.size() || !flushed || !synced) {
         std::remove(tmp.c_str());
         fatal("short write to checkpoint '", tmp, "'");
     }
@@ -167,6 +188,15 @@ writeCheckpointFile(const std::string& path,
         std::remove(tmp.c_str());
         fatal("cannot rename checkpoint '", tmp, "' to '", path,
               "'");
+    }
+    // Best-effort directory sync so the rename itself is durable.
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash);
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+        (void)::fsync(dfd);
+        ::close(dfd);
     }
 }
 

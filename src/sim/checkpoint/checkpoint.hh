@@ -24,9 +24,12 @@
  * change bumps the format version.
  *
  * File I/O is atomic: writeCheckpointFile() writes to a temporary
- * sibling and rename()s it into place, so a crash mid-write can
- * never leave a half-written checkpoint where a resumable sweep
- * expects a valid one.
+ * sibling unique to the writer (pid + counter suffix), fsyncs it,
+ * and rename()s it into place, so a crash mid-write can never
+ * leave a half-written checkpoint where a resumable sweep expects
+ * a valid one, and concurrent writers targeting the same path
+ * (the serve daemon's snapshot pool) never corrupt each other's
+ * staging file — last rename wins with a complete file.
  */
 
 #ifndef TEMPEST_SIM_CHECKPOINT_CHECKPOINT_HH
@@ -119,7 +122,8 @@ class CheckpointReader
 
 /**
  * Atomically write checkpoint bytes to `path`: write to a
- * temporary sibling file, flush, then rename() over the target.
+ * per-writer temporary sibling, flush + fsync, then rename() over
+ * the target. Safe against concurrent writers on the same path.
  */
 void writeCheckpointFile(const std::string& path,
                          const std::string& bytes);

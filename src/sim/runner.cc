@@ -203,6 +203,34 @@ parallelFor(std::size_t total, int threads, Fn&& fn)
 
 } // namespace
 
+std::string
+warmSnapshot(const SimConfig& warm_config,
+             const std::string& benchmark, std::uint64_t seed,
+             std::uint64_t warmup_cycles)
+{
+    SimConfig config = warm_config;
+    config.runSeed = seed;
+    Simulator sim(config, spec2000(benchmark));
+    sim.runTo(warmup_cycles);
+    return sim.saveCheckpoint();
+}
+
+SimResult
+runFromSnapshot(const SimConfig& config,
+                const std::string& benchmark, std::uint64_t seed,
+                const std::string& snapshot,
+                std::uint64_t measure_cycles,
+                bool reset_measurement)
+{
+    SimConfig forked = config;
+    forked.runSeed = seed;
+    Simulator sim(forked, spec2000(benchmark));
+    sim.restoreCheckpoint(snapshot);
+    if (reset_measurement)
+        sim.resetMeasurement();
+    return sim.run(measure_cycles);
+}
+
 std::vector<ExperimentOutcome>
 runWarmForkSweep(
     const std::vector<std::pair<std::string, SimConfig>>& configs,
@@ -227,11 +255,9 @@ runWarmForkSweep(
         warm_seeds[b] = deriveRunSeed(options.baseSeed, benchmark,
                                       warm.warmTag);
         try {
-            SimConfig config = warm.warmConfig;
-            config.runSeed = warm_seeds[b];
-            Simulator sim(config, spec2000(benchmark));
-            sim.runTo(warm.warmupCycles);
-            std::string bytes = sim.saveCheckpoint();
+            std::string bytes =
+                warmSnapshot(warm.warmConfig, benchmark,
+                             warm_seeds[b], warm.warmupCycles);
             if (!warm.spillDir.empty()) {
                 writeCheckpointFile(warm.spillDir + "/warm_" +
                                         benchmark + ".ckpt",
@@ -265,20 +291,18 @@ runWarmForkSweep(
             out.error = "warm-up failed: " + warm_errors[b];
         } else {
             try {
-                SimConfig config = configs[c].second;
-                config.runSeed = warm_seeds[b];
-                Simulator sim(config,
-                              spec2000(benchmarks[b]));
-                if (!warm.spillDir.empty()) {
-                    sim.restoreCheckpoint(readCheckpointFile(
-                        warm.spillDir + "/warm_" + benchmarks[b] +
-                        ".ckpt"));
-                } else {
-                    sim.restoreCheckpoint(snapshots[b]);
-                }
-                if (warm.resetMeasurement)
-                    sim.resetMeasurement();
-                out.result = sim.run(measure_cycles);
+                const std::string spilled =
+                    warm.spillDir.empty()
+                        ? std::string()
+                        : readCheckpointFile(
+                              warm.spillDir + "/warm_" +
+                              benchmarks[b] + ".ckpt");
+                out.result = runFromSnapshot(
+                    configs[c].second, benchmarks[b],
+                    warm_seeds[b],
+                    warm.spillDir.empty() ? snapshots[b]
+                                          : spilled,
+                    measure_cycles, warm.resetMeasurement);
                 out.ok = true;
             } catch (const std::exception& e) {
                 out.error = e.what();

@@ -199,6 +199,38 @@ std::vector<ExperimentOutcome> runWarmForkSweep(
     std::uint64_t measure_cycles, const WarmForkOptions& warm,
     const ExperimentRunner::Options& options = {});
 
+/**
+ * Warm one benchmark under `warm_config` for `warmup_cycles` and
+ * return the snapshot bytes — the single-benchmark half of
+ * runWarmForkSweep's phase 1, exposed so long-lived services
+ * (tempest_serve's warm-snapshot pool) can build and keep
+ * snapshots across requests. `seed` is the exact runSeed the
+ * snapshot bakes in; every fork must use the same one
+ * (restoreCheckpoint enforces it).
+ */
+std::string warmSnapshot(const SimConfig& warm_config,
+                         const std::string& benchmark,
+                         std::uint64_t seed,
+                         std::uint64_t warmup_cycles);
+
+/**
+ * Fork a simulation from `snapshot` under `config` and run
+ * `measure_cycles` more cycles — runWarmForkSweep's phase 2 for
+ * one job. `config` may differ from the snapshot's warm-up config
+ * in DTM technique settings (restoreCheckpoint re-asserts
+ * config-derived controls) but must share benchmark, seed, and
+ * geometry. With `reset_measurement`, the result covers only the
+ * post-fork region. Deterministic: the same
+ * (snapshot, config, measure_cycles) always returns a
+ * bit-identical SimResult.
+ */
+SimResult runFromSnapshot(const SimConfig& config,
+                          const std::string& benchmark,
+                          std::uint64_t seed,
+                          const std::string& snapshot,
+                          std::uint64_t measure_cycles,
+                          bool reset_measurement = true);
+
 } // namespace experiments
 
 } // namespace tempest

@@ -1,0 +1,92 @@
+#include "sim/sim_config_io.hh"
+
+#include "common/log.hh"
+
+namespace tempest
+{
+
+FloorplanVariant
+parseFloorplanVariant(const std::string& name)
+{
+    if (name == "baseline")
+        return FloorplanVariant::Baseline;
+    if (name == "iq")
+        return FloorplanVariant::IqConstrained;
+    if (name == "alu")
+        return FloorplanVariant::AluConstrained;
+    if (name == "regfile")
+        return FloorplanVariant::RegfileConstrained;
+    fatal("unknown floorplan variant '", name,
+          "' (baseline|iq|alu|regfile)");
+}
+
+ThermalSolver
+parseThermalSolver(const std::string& name)
+{
+    if (name == "expm")
+        return ThermalSolver::Expm;
+    if (name == "euler")
+        return ThermalSolver::Euler;
+    fatal("unknown thermal solver '", name, "' (expm|euler)");
+}
+
+PortMapping
+parsePortMapping(const std::string& name)
+{
+    if (name == "priority")
+        return PortMapping::Priority;
+    if (name == "balanced")
+        return PortMapping::Balanced;
+    if (name == "completely-balanced")
+        return PortMapping::CompletelyBalanced;
+    fatal("unknown mapping '", name, "'");
+}
+
+SimConfig
+simConfigFromConfig(const Config& cfg)
+{
+    SimConfig sim;
+    sim.variant = parseFloorplanVariant(
+        cfg.getString("floorplan.variant", "iq"));
+    sim.thermal.timeScale =
+        cfg.getDouble("thermal.time_scale", 0.04);
+    sim.thermal.ambient =
+        cfg.getDouble("thermal.ambient", sim.thermal.ambient);
+    sim.thermal.rConvection = cfg.getDouble(
+        "thermal.convection", sim.thermal.rConvection);
+    sim.thermal.solver = parseThermalSolver(
+        cfg.getString("thermal.solver", "expm"));
+    const std::int64_t sample_interval =
+        cfg.getInt("sim.sample_interval", 50000);
+    if (sample_interval <= 0) {
+        fatal("sim.sample_interval must be > 0 (got ",
+              sample_interval, ")");
+    }
+    sim.sampleIntervalCycles =
+        static_cast<std::uint64_t>(sample_interval);
+    sim.warmStart = cfg.getBool("sim.warm_start", true);
+    const std::int64_t seed = cfg.getInt("run.seed", 1);
+    if (seed < 0)
+        fatal("run.seed must be >= 0 (got ", seed, ")");
+    sim.runSeed = static_cast<std::uint64_t>(seed);
+
+    DtmConfig& dtm = sim.dtm;
+    dtm.maxTemperature = cfg.getDouble("dtm.max_temperature",
+                                       sim.thermal.maxTemperature);
+    dtm.iqToggling = cfg.getBool("dtm.toggling", false);
+    dtm.toggleDeltaK =
+        cfg.getDouble("dtm.toggle_delta", dtm.toggleDeltaK);
+    dtm.aluTurnoff = cfg.getBool("dtm.alu_turnoff", false);
+    dtm.regfileTurnoff =
+        cfg.getBool("dtm.regfile_turnoff", false);
+    dtm.roundRobin = cfg.getBool("dtm.round_robin", false);
+    dtm.fetchThrottling =
+        cfg.getBool("dtm.fetch_throttling", false);
+    dtm.coolingTime =
+        cfg.getDouble("dtm.cooling_time", dtm.coolingTime);
+    dtm.mapping = parsePortMapping(
+        cfg.getString("dtm.mapping", "priority"));
+    return sim;
+}
+
+} // namespace tempest

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Config-file <-> SimConfig translation shared by the CLI driver
+ * (tools/tempest_run.cc) and the serve daemon (src/serve/). Both
+ * accept the same dotted keys, so a request sent to tempest_serve
+ * names exactly the simulation the one-shot driver would run:
+ *
+ *   [run]      seed
+ *   [floorplan] variant = baseline|iq|alu|regfile
+ *   [dtm]      toggling, alu_turnoff, regfile_turnoff,
+ *              round_robin, fetch_throttling,
+ *              mapping = priority|balanced|completely-balanced,
+ *              max_temperature, toggle_delta, cooling_time
+ *   [thermal]  time_scale, ambient, convection,
+ *              solver = expm|euler
+ *   [sim]      sample_interval, warm_start
+ *
+ * Invalid values are fatal() (user error), including the
+ * non-positive sample_interval that would otherwise wrap through
+ * uint64_t and hang the interval loop.
+ */
+
+#ifndef TEMPEST_SIM_SIM_CONFIG_IO_HH
+#define TEMPEST_SIM_SIM_CONFIG_IO_HH
+
+#include <string>
+
+#include "common/config.hh"
+#include "sim/simulator.hh"
+
+namespace tempest
+{
+
+/** Parse a floorplan variant name; fatal on unknown names. */
+FloorplanVariant parseFloorplanVariant(const std::string& name);
+
+/** Parse a thermal solver name; fatal on unknown names. */
+ThermalSolver parseThermalSolver(const std::string& name);
+
+/** Parse a register-port mapping name; fatal on unknown names. */
+PortMapping parsePortMapping(const std::string& name);
+
+/**
+ * Build a SimConfig from dotted config keys (missing keys take the
+ * documented defaults). Validates ranges that would otherwise wrap
+ * through unsigned conversions: sample_interval and seed must be
+ * non-negative, sample_interval must be positive.
+ */
+SimConfig simConfigFromConfig(const Config& cfg);
+
+} // namespace tempest
+
+#endif // TEMPEST_SIM_SIM_CONFIG_IO_HH

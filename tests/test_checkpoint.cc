@@ -31,9 +31,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/log.hh"
@@ -148,6 +150,70 @@ TEST(Checkpoint, SaveRestoreBitIdentityAllConfigs)
             << c.config << "/" << c.benchmark
             << ": saveCheckpoint() perturbed the simulation";
     }
+}
+
+TEST(Checkpoint, ConcurrentWritersToOnePathNeverTearTheFile)
+{
+    // Regression: the staging file used to be the fixed
+    // `path + ".tmp"`, so two concurrent writers (the serve
+    // daemon's warm pool, parallel sweeps sharing a checkpoint
+    // dir) interleaved writes into the same temporary and could
+    // rename a torn file into place. With per-writer unique
+    // staging, the final file must always parse and equal one
+    // writer's payload exactly.
+    const std::string path =
+        tempPath("tempest_ckpt_concurrent.ckpt");
+    std::filesystem::remove(path);
+
+    constexpr int kWriters = 8;
+    constexpr int kRounds = 25;
+    std::vector<std::string> payloads;
+    payloads.reserve(kWriters);
+    for (int w = 0; w < kWriters; ++w) {
+        CheckpointWriter writer;
+        StateWriter& chunk = writer.chunk(chunkId("TEST"));
+        // Distinct sizes so a torn mix of two payloads can't
+        // accidentally reproduce a valid container.
+        for (int i = 0; i <= w * 64; ++i)
+            chunk.u64(static_cast<std::uint64_t>(w) * 1000 +
+                      static_cast<std::uint64_t>(i));
+        payloads.push_back(writer.serialize());
+    }
+
+    std::vector<std::thread> threads;
+    threads.reserve(kWriters);
+    for (int w = 0; w < kWriters; ++w) {
+        threads.emplace_back([&, w] {
+            for (int r = 0; r < kRounds; ++r)
+                writeCheckpointFile(path, payloads[
+                    static_cast<std::size_t>(w)]);
+        });
+    }
+    for (std::thread& t : threads)
+        t.join();
+
+    const std::string final_bytes = readCheckpointFile(path);
+    EXPECT_NE(std::find(payloads.begin(), payloads.end(),
+                        final_bytes),
+              payloads.end())
+        << "surviving file matches no single writer's payload";
+    // Every chunk checksum must validate (no torn container).
+    EXPECT_NO_THROW(CheckpointReader reader(final_bytes));
+
+    // No abandoned staging files: every writer renamed or
+    // failed loudly, nothing leaked `<path>.tmp.*` siblings.
+    const std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    const std::string stem =
+        std::filesystem::path(path).filename().string() +
+        ".tmp.";
+    for (const auto& entry :
+         std::filesystem::directory_iterator(parent)) {
+        EXPECT_NE(
+            entry.path().filename().string().find(stem), 0u)
+            << "leaked staging file: " << entry.path();
+    }
+    std::filesystem::remove(path);
 }
 
 TEST(Checkpoint, TruncatedFileIsAClearError)

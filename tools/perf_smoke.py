@@ -41,6 +41,23 @@ def serial_best(runs):
     return max(vals) if vals else None
 
 
+def latest_serial_baseline(history):
+    """Most recent history entry that actually has serial runs.
+
+    A recording made on a machine that only ran multi-thread rows
+    must not mask older serial baselines: walk backwards until an
+    entry yields a serial throughput. Returns (baseline, entry) or
+    (None, None).
+    """
+    for entry in reversed(history):
+        if not isinstance(entry, dict):
+            continue
+        baseline = serial_best(entry.get("runs", []))
+        if baseline is not None:
+            return baseline, entry
+    return None, None
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build")
@@ -72,9 +89,9 @@ def main():
         print(f"perf-smoke: {len(history) if isinstance(history, list) else 0} "
               "history entries (need >= 2); nothing to compare")
         return 0
-    baseline = serial_best(history[-1].get("runs", []))
+    baseline, baseline_entry = latest_serial_baseline(history)
     if baseline is None:
-        print("perf-smoke: last history entry has no serial runs")
+        print("perf-smoke: no history entry has serial runs")
         return 0
 
     binary = os.path.join(root, args.build_dir, "bench",
@@ -108,7 +125,7 @@ def main():
         drop = (1.0 - ratio) * 100.0
         print("::warning title=perf-smoke::wall-clock throughput "
               f"is {drop:.0f}% below the last recorded bench "
-              f"entry ({history[-1].get('git_rev', '?')}); "
+              f"entry ({baseline_entry.get('git_rev', '?')}); "
               "advisory only, but worth a look", file=sys.stderr)
     return 0
 

@@ -1,0 +1,254 @@
+#!/usr/bin/env python3
+"""Load-test and acceptance-check client for tempest_serve.
+
+Drives the daemon through the full serving contract and fails
+loudly when any part of it regresses:
+
+  1. cold phase     unique run requests in parallel -> all misses;
+                    records the result_hash of every identity
+  2. mixed phase    the same identities re-requested repeatedly ->
+                    cache hits; every hash must be bit-identical
+                    to its cold run, and the aggregate throughput
+                    must be >= 2x the all-cold projection
+  3. rate phase     one greedy client fires uncached requests
+                    back-to-back and must be shed with an explicit
+                    retry_after (never an unbounded queue)
+  4. stats phase    the stats op must report a cache hit rate
+                    consistent with the mix, and a drained queue
+  5. shutdown       the shutdown op must stop the daemon cleanly
+                    (exit 0, socket file removed)
+
+Run against an already-listening daemon:
+
+    tools/serve_hammer.py --socket /tmp/tempest.sock
+
+or let the hammer own the daemon lifecycle (CI does this):
+
+    tools/serve_hammer.py --daemon build/tools/tempest_serve --ci
+
+Stdlib only; exit code 0 iff every assertion held.
+"""
+
+import argparse
+import json
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+
+def request(sock_path, obj, timeout=300.0):
+    """One request on a fresh connection; returns the reply dict."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as s:
+        s.settimeout(timeout)
+        s.connect(sock_path)
+        s.sendall((json.dumps(obj) + "\n").encode())
+        buf = b""
+        while not buf.endswith(b"\n"):
+            chunk = s.recv(65536)
+            if not chunk:
+                raise RuntimeError("daemon closed the connection")
+            buf += chunk
+        return json.loads(buf.decode())
+
+
+class Hammer:
+    def __init__(self, sock_path):
+        self.sock_path = sock_path
+        self.failures = []
+
+    def check(self, ok, message):
+        tag = "ok  " if ok else "FAIL"
+        print(f"  [{tag}] {message}")
+        if not ok:
+            self.failures.append(message)
+
+    def run_parallel(self, jobs):
+        """Issue run requests concurrently; returns replies in
+        job order plus the aggregate wall time."""
+        replies = [None] * len(jobs)
+
+        def worker(i, job):
+            replies[i] = request(self.sock_path, job)
+
+        threads = [
+            threading.Thread(target=worker, args=(i, j))
+            for i, j in enumerate(jobs)
+        ]
+        t0 = time.monotonic()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return replies, time.monotonic() - t0
+
+
+def build_jobs(benchmarks, cycles):
+    """Unique run identities: benchmark x DTM config variants."""
+    variants = [
+        {},
+        {"dtm.toggling": "true"},
+        {"dtm.toggling": "true", "dtm.round_robin": "true"},
+    ]
+    jobs = []
+    for b, bench in enumerate(benchmarks):
+        for v, cfg in enumerate(variants):
+            jobs.append({
+                "op": "run",
+                "benchmark": bench,
+                "cycles": cycles,
+                "seed": 7,
+                "config": cfg,
+                "client": f"hammer-{b}-{v}",
+            })
+    return jobs
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--socket", default=None,
+                    help="socket path (default: a per-process "
+                         "path under /tmp)")
+    ap.add_argument("--daemon", default=None,
+                    help="tempest_serve binary: the hammer spawns "
+                         "and owns the daemon itself")
+    ap.add_argument("--benchmarks", default="eon,gcc",
+                    help="comma-separated benchmark list")
+    ap.add_argument("--cycles", type=int, default=400_000)
+    ap.add_argument("--warmup-cycles", type=int, default=200_000)
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="hot re-requests per identity in the "
+                         "mixed phase")
+    ap.add_argument("--min-speedup", type=float, default=2.0)
+    ap.add_argument("--ci", action="store_true",
+                    help="small fixed workload for CI")
+    ap.add_argument("--keep", action="store_true",
+                    help="leave the daemon running (skip the "
+                         "shutdown phase)")
+    args = ap.parse_args()
+
+    if args.ci:
+        args.benchmarks = "eon"
+        args.cycles = 300_000
+        args.warmup_cycles = 150_000
+
+    if args.socket is None:
+        args.socket = f"/tmp/tempest_serve_{os.getpid()}.sock"
+    benchmarks = [b for b in args.benchmarks.split(",") if b]
+    daemon = None
+    if args.daemon:
+        try:
+            os.unlink(args.socket)
+        except FileNotFoundError:
+            pass
+        daemon = subprocess.Popen([
+            args.daemon,
+            "--socket", args.socket,
+            "--threads", "2",
+            "--queue-depth", "8",
+            "--rate", "2",
+            "--burst", "3",
+            "--warmup-cycles", str(args.warmup_cycles),
+        ])
+        deadline = time.monotonic() + 15
+        while not os.path.exists(args.socket):
+            if time.monotonic() > deadline:
+                daemon.kill()
+                sys.exit("daemon never bound its socket")
+            time.sleep(0.05)
+
+    h = Hammer(args.socket)
+    jobs = build_jobs(benchmarks, args.cycles)
+
+    print(f"== cold phase: {len(jobs)} unique identities ==")
+    cold, cold_wall = h.run_parallel(jobs)
+    h.check(all(r and r.get("ok") for r in cold),
+            "every cold request succeeded")
+    h.check(all(r.get("cached") is False for r in cold),
+            "no cold request was served from cache")
+    hashes = [r["result_hash"] for r in cold]
+    compute_seconds = sum(r["wall_seconds"] for r in cold)
+    print(f"  cold aggregate: {cold_wall:.2f}s wall, "
+          f"{compute_seconds:.2f}s compute")
+
+    print(f"== mixed phase: {args.repeats}x re-request ==")
+    mixed_jobs = jobs * args.repeats
+    mixed, mixed_wall = h.run_parallel(mixed_jobs)
+    h.check(all(r and r.get("ok") for r in mixed),
+            "every mixed request succeeded")
+    identical = all(
+        r["result_hash"] == hashes[i % len(jobs)]
+        for i, r in enumerate(mixed)
+    )
+    h.check(identical,
+            "cached result_hash bit-identical to the cold run")
+    hits = sum(1 for r in mixed if r.get("cached"))
+    h.check(hits == len(mixed_jobs),
+            f"all {len(mixed_jobs)} mixed requests were hits "
+            f"(got {hits})")
+    # All-cold projection for the same request count, from the
+    # measured per-request cold wall time.
+    projected = cold_wall / len(jobs) * len(mixed_jobs)
+    speedup = projected / max(mixed_wall, 1e-9)
+    h.check(speedup >= args.min_speedup,
+            f"mixed vs all-cold speedup {speedup:.1f}x >= "
+            f"{args.min_speedup:.1f}x")
+
+    print("== rate phase: one greedy client ==")
+    greedy_probes = 8
+    shed = []
+    for i in range(greedy_probes):
+        r = request(args.socket, {
+            "op": "run",
+            "benchmark": benchmarks[0],
+            # tiny and unique: never cached, nearly free
+            "cycles": 1000,
+            "seed": 1000 + i,
+            "client": "greedy",
+        })
+        if not r.get("ok"):
+            shed.append(r)
+    h.check(len(shed) > 0,
+            f"greedy client was shed "
+            f"({len(shed)}/{greedy_probes} rejected)")
+    h.check(all(r.get("retry_after", 0) > 0 for r in shed),
+            "every rejection carried retry_after > 0")
+
+    print("== stats phase ==")
+    stats = request(args.socket, {"op": "stats"})
+    h.check(stats.get("ok") is True, "stats op answered")
+    # Every count is deterministic from the request ledger: each
+    # cold identity and each greedy probe (shed or not — the
+    # lookup precedes admission) is one miss; every mixed
+    # re-request is one hit.
+    expected = len(mixed_jobs) / (
+        len(mixed_jobs) + len(jobs) + greedy_probes)
+    hit_rate = stats["cache"]["hit_rate"]
+    h.check(abs(hit_rate - expected) < 1e-9,
+            f"cache hit rate {hit_rate:.3f} matches the "
+            f"ledger-predicted {expected:.3f}")
+    h.check(stats["rate_limited"] == len(shed),
+            "rate_limited counter matches observed rejections")
+    print(f"  stats: {json.dumps(stats)}")
+
+    if not args.keep:
+        print("== shutdown phase ==")
+        r = request(args.socket, {"op": "shutdown"})
+        h.check(r.get("ok") is True, "shutdown acknowledged")
+        if daemon is not None:
+            code = daemon.wait(timeout=30)
+            h.check(code == 0, f"daemon exited cleanly ({code})")
+            h.check(not os.path.exists(args.socket),
+                    "socket file removed on shutdown")
+
+    if h.failures:
+        print(f"\n{len(h.failures)} check(s) FAILED")
+        return 1
+    print("\nall checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

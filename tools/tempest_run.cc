@@ -33,6 +33,7 @@
  */
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -44,90 +45,10 @@
 #include "common/log.hh"
 #include "sim/checkpoint/checkpoint.hh"
 #include "sim/experiment.hh"
+#include "sim/sim_config_io.hh"
 #include "sim/simulator.hh"
 
-namespace
-{
-
 using namespace tempest;
-
-FloorplanVariant
-parseVariant(const std::string& name)
-{
-    if (name == "baseline")
-        return FloorplanVariant::Baseline;
-    if (name == "iq")
-        return FloorplanVariant::IqConstrained;
-    if (name == "alu")
-        return FloorplanVariant::AluConstrained;
-    if (name == "regfile")
-        return FloorplanVariant::RegfileConstrained;
-    fatal("unknown floorplan variant '", name,
-          "' (baseline|iq|alu|regfile)");
-}
-
-ThermalSolver
-parseSolver(const std::string& name)
-{
-    if (name == "expm")
-        return ThermalSolver::Expm;
-    if (name == "euler")
-        return ThermalSolver::Euler;
-    fatal("unknown thermal solver '", name, "' (expm|euler)");
-}
-
-PortMapping
-parseMapping(const std::string& name)
-{
-    if (name == "priority")
-        return PortMapping::Priority;
-    if (name == "balanced")
-        return PortMapping::Balanced;
-    if (name == "completely-balanced")
-        return PortMapping::CompletelyBalanced;
-    fatal("unknown mapping '", name, "'");
-}
-
-SimConfig
-buildSimConfig(const Config& cfg)
-{
-    SimConfig sim;
-    sim.variant = parseVariant(
-        cfg.getString("floorplan.variant", "iq"));
-    sim.thermal.timeScale =
-        cfg.getDouble("thermal.time_scale", 0.04);
-    sim.thermal.ambient =
-        cfg.getDouble("thermal.ambient", sim.thermal.ambient);
-    sim.thermal.rConvection = cfg.getDouble(
-        "thermal.convection", sim.thermal.rConvection);
-    sim.thermal.solver = parseSolver(
-        cfg.getString("thermal.solver", "expm"));
-    sim.sampleIntervalCycles = static_cast<std::uint64_t>(
-        cfg.getInt("sim.sample_interval", 50000));
-    sim.warmStart = cfg.getBool("sim.warm_start", true);
-    sim.runSeed =
-        static_cast<std::uint64_t>(cfg.getInt("run.seed", 1));
-
-    DtmConfig& dtm = sim.dtm;
-    dtm.maxTemperature = cfg.getDouble("dtm.max_temperature",
-                                       sim.thermal.maxTemperature);
-    dtm.iqToggling = cfg.getBool("dtm.toggling", false);
-    dtm.toggleDeltaK =
-        cfg.getDouble("dtm.toggle_delta", dtm.toggleDeltaK);
-    dtm.aluTurnoff = cfg.getBool("dtm.alu_turnoff", false);
-    dtm.regfileTurnoff =
-        cfg.getBool("dtm.regfile_turnoff", false);
-    dtm.roundRobin = cfg.getBool("dtm.round_robin", false);
-    dtm.fetchThrottling =
-        cfg.getBool("dtm.fetch_throttling", false);
-    dtm.coolingTime =
-        cfg.getDouble("dtm.cooling_time", dtm.coolingTime);
-    dtm.mapping = parseMapping(
-        cfg.getString("dtm.mapping", "priority"));
-    return sim;
-}
-
-} // namespace
 
 int
 main(int argc, char** argv)
@@ -158,8 +79,14 @@ main(int argc, char** argv)
             if (arg == "--checkpoint-every") {
                 if (++i >= argc)
                     fatal("--checkpoint-every needs a cycle count");
-                checkpoint_every = std::strtoull(argv[i], nullptr,
-                                                 10);
+                char* end = nullptr;
+                errno = 0;
+                checkpoint_every = std::strtoull(argv[i], &end, 10);
+                if (end == argv[i] || *end != '\0' ||
+                    errno == ERANGE || argv[i][0] == '-') {
+                    fatal("--checkpoint-every: '", argv[i],
+                          "' is not a valid cycle count");
+                }
                 if (checkpoint_every == 0)
                     fatal("--checkpoint-every must be > 0");
             } else if (arg == "--checkpoint-dir") {
@@ -175,12 +102,20 @@ main(int argc, char** argv)
 
         const std::string bench =
             cfg.getString("run.benchmark", "eon");
-        const std::uint64_t cycles = static_cast<std::uint64_t>(
-            cfg.getInt("run.cycles", 12'000'000));
+        // getInt is signed: a negative run.cycles cast straight to
+        // uint64_t would wrap to ~1.8e19 and run "forever".
+        const std::int64_t cycles_signed =
+            cfg.getInt("run.cycles", 12'000'000);
+        if (cycles_signed <= 0) {
+            fatal("run.cycles must be > 0 (got ", cycles_signed,
+                  ")");
+        }
+        const auto cycles =
+            static_cast<std::uint64_t>(cycles_signed);
         const std::string ckpt_path =
             checkpoint_dir + "/" + bench + ".ckpt";
 
-        Simulator sim(buildSimConfig(cfg), spec2000(bench));
+        Simulator sim(simConfigFromConfig(cfg), spec2000(bench));
 
         ThermalTrace trace(
             sim.floorplan(),

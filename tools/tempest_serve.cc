@@ -1,0 +1,153 @@
+/**
+ * @file
+ * tempest_serve: cached, rate-limited experiment daemon
+ * (DESIGN.md §13).
+ *
+ * Usage:
+ *   tempest_serve --socket /tmp/tempest.sock [options]
+ *
+ * Options:
+ *   --socket PATH          Unix-domain socket to listen on
+ *                          (required)
+ *   --threads N            simulation worker threads (default 2)
+ *   --queue-depth N        max queued computations before load is
+ *                          shed with retry_after (default 16)
+ *   --rate R               per-client admitted requests/second;
+ *                          0 = unlimited (default 0)
+ *   --burst B              per-client burst allowance (default 4)
+ *   --cache-entries N      result-cache capacity (default 512)
+ *   --warmup-cycles N      warm-snapshot pool warm-up length;
+ *                          0 disables the pool (default 0)
+ *   --max-cycles N         reject run requests beyond N cycles
+ *                          (default 1e9)
+ *
+ * Protocol: line-delimited JSON (serve/protocol.hh). SIGINT and
+ * SIGTERM stop the daemon cleanly (finish nothing new, close the
+ * socket, remove the socket file).
+ */
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <csignal>
+#include <unistd.h>
+
+#include "common/log.hh"
+#include "serve/server.hh"
+
+using namespace tempest;
+
+namespace
+{
+
+/** Self-pipe write end for the signal handler. */
+volatile int g_wake_fd = -1;
+
+extern "C" void
+onSignal(int)
+{
+    // async-signal-safe: one byte into the daemon's wake pipe
+    const int fd = g_wake_fd;
+    if (fd >= 0) {
+        const char byte = 'q';
+        [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+    }
+}
+
+std::uint64_t
+parseU64(const char* flag, const char* text)
+{
+    char* end = nullptr;
+    errno = 0;
+    const std::uint64_t v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE ||
+        text[0] == '-') {
+        fatal(flag, ": '", text, "' is not a valid count");
+    }
+    return v;
+}
+
+double
+parseF64(const char* flag, const char* text)
+{
+    char* end = nullptr;
+    errno = 0;
+    const double v = std::strtod(text, &end);
+    if (end == text || *end != '\0' || errno == ERANGE ||
+        v < 0) {
+        fatal(flag, ": '", text,
+              "' is not a valid non-negative number");
+    }
+    return v;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    try {
+        serve::ServeOptions options;
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            const auto next = [&]() -> const char* {
+                if (++i >= argc)
+                    fatal(arg, " needs a value");
+                return argv[i];
+            };
+            if (arg == "--socket") {
+                options.socketPath = next();
+            } else if (arg == "--threads") {
+                options.threads = static_cast<int>(
+                    parseU64("--threads", next()));
+            } else if (arg == "--queue-depth") {
+                options.queueDepth = static_cast<std::size_t>(
+                    parseU64("--queue-depth", next()));
+            } else if (arg == "--rate") {
+                options.ratePerSecond =
+                    parseF64("--rate", next());
+            } else if (arg == "--burst") {
+                options.rateBurst = parseF64("--burst", next());
+            } else if (arg == "--cache-entries") {
+                options.cacheCapacity =
+                    static_cast<std::size_t>(
+                        parseU64("--cache-entries", next()));
+            } else if (arg == "--warmup-cycles") {
+                options.warmupCycles =
+                    parseU64("--warmup-cycles", next());
+            } else if (arg == "--max-cycles") {
+                options.maxRequestCycles =
+                    parseU64("--max-cycles", next());
+            } else {
+                fatal("unknown flag '", arg,
+                      "' (see tempest_serve.cc header)");
+            }
+        }
+        if (options.socketPath.empty())
+            fatal("--socket is required");
+
+        serve::ServeDaemon daemon(options);
+        daemon.start();
+        g_wake_fd = daemon.wakeFd();
+        std::signal(SIGINT, onSignal);
+        std::signal(SIGTERM, onSignal);
+
+        inform("tempest_serve listening on ",
+               options.socketPath, " (", options.threads,
+               " workers, queue ", options.queueDepth,
+               ", cache ", options.cacheCapacity,
+               options.warmupCycles > 0 ? ", warm pool on"
+                                        : ", warm pool off",
+               ")");
+        daemon.waitStopped();
+        g_wake_fd = -1;
+        daemon.stop();
+        inform("tempest_serve stopped cleanly");
+        return 0;
+    } catch (const FatalError&) {
+        return 1;
+    }
+}

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Regression test for perf_smoke.py's baseline selection.
+
+The old serial_best(history[-1]) lookup returned nothing when the
+most recent benchmark recording came from a machine that only ran
+multi-thread rows, silently disabling the perf regression gate.
+latest_serial_baseline() must walk backwards to the most recent
+entry that actually has serial runs.
+"""
+
+import importlib.util
+import os
+import sys
+
+failures = []
+
+
+def check(ok, message):
+    tag = "ok  " if ok else "FAIL"
+    print(f"[{tag}] {message}")
+    if not ok:
+        failures.append(message)
+
+
+def load_perf_smoke():
+    path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        os.pardir, "perf_smoke.py")
+    spec = importlib.util.spec_from_file_location(
+        "perf_smoke", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def main():
+    ps = load_perf_smoke()
+
+    serial_old = {
+        "git_rev": "old1234",
+        "runs": [
+            {"threads": 1, "sim_cycles_per_second": 2.0e6},
+            {"threads": 1, "sim_cycles_per_second": 2.5e6},
+            {"threads": 8, "sim_cycles_per_second": 9.0e6},
+        ],
+    }
+    serial_new = {
+        "git_rev": "new5678",
+        "runs": [
+            {"threads": 1, "sim_cycles_per_second": 3.0e6},
+        ],
+    }
+    mt_only = {
+        "git_rev": "mt9999",
+        "runs": [
+            {"threads": 8, "sim_cycles_per_second": 9.5e6},
+        ],
+    }
+    junk = {"git_rev": "junk", "runs": [
+        {"threads": 1}, {"threads": 1,
+                         "sim_cycles_per_second": "fast"}]}
+
+    base, entry = ps.latest_serial_baseline(
+        [serial_old, serial_new])
+    check(base == 3.0e6 and entry is serial_new,
+          "most recent serial entry wins")
+
+    # The regression: a trailing multi-thread-only recording must
+    # not mask the older serial baseline.
+    base, entry = ps.latest_serial_baseline(
+        [serial_old, serial_new, mt_only])
+    check(base == 3.0e6 and entry is serial_new,
+          "multi-thread-only tail entry is skipped")
+
+    base, entry = ps.latest_serial_baseline(
+        [serial_old, mt_only, junk])
+    check(base == 2.5e6 and entry is serial_old,
+          "junk rows and mt-only entries are both skipped")
+
+    base, entry = ps.latest_serial_baseline([mt_only, junk])
+    check(base is None and entry is None,
+          "no serial data anywhere -> (None, None)")
+
+    base, entry = ps.latest_serial_baseline([])
+    check(base is None and entry is None,
+          "empty history -> (None, None)")
+
+    check(ps.serial_best(serial_old["runs"]) == 2.5e6,
+          "serial_best picks the best serial row")
+    check(ps.serial_best(mt_only["runs"]) is None,
+          "serial_best ignores multi-thread rows")
+
+    if failures:
+        print(f"\n{len(failures)} check(s) FAILED")
+        return 1
+    print("\nall checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
