@@ -1,5 +1,6 @@
 #include "serve/json.hh"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -37,6 +38,12 @@ Json::asInt() const
     const double r = std::floor(num_);
     if (r != num_)
         fatal("json: expected integer, got ", num_);
+    // 2^63 is exactly representable; anything at or beyond it
+    // (or below -2^63) would be UB to cast.
+    if (!(r >= -9223372036854775808.0 &&
+          r < 9223372036854775808.0)) {
+        fatal("json: integer out of int64 range: ", num_);
+    }
     return static_cast<std::int64_t>(r);
 }
 
@@ -126,6 +133,11 @@ dumpString(const std::string& s, std::string& out)
 class Parser
 {
   public:
+    /** Containers nested deeper than this fail the parse instead
+     * of recursing: a request line of kMaxLineBytes '['s must
+     * produce an error reply, not a poll-thread stack overflow. */
+    static constexpr int kMaxDepth = 64;
+
     explicit Parser(std::string_view text) : text_(text) {}
 
     Json document()
@@ -182,6 +194,17 @@ class Parser
 
     Json
     value()
+    {
+        if (depth_ >= kMaxDepth)
+            fail("nesting too deep");
+        ++depth_;
+        Json v = valueInner();
+        --depth_;
+        return v;
+    }
+
+    Json
+    valueInner()
     {
         switch (peek()) {
           case '{': return object();
@@ -338,19 +361,29 @@ class Parser
         const std::string text(text_.substr(start, pos_ - start));
         char* end = nullptr;
         if (integral) {
+            errno = 0;
             const std::int64_t v =
                 std::strtoll(text.c_str(), &end, 10);
-            if (end == text.c_str() + text.size())
+            // Over-range literals saturate with ERANGE; fall
+            // through to the double path instead of silently
+            // clamping to +/-INT64_MAX.
+            if (errno != ERANGE &&
+                end == text.c_str() + text.size()) {
                 return Json(v);
+            }
         }
+        errno = 0;
         const double d = std::strtod(text.c_str(), &end);
         if (end != text.c_str() + text.size())
             fail("malformed number");
+        if (!std::isfinite(d))
+            fail("number out of range");
         return Json(d);
     }
 
     std::string_view text_;
     std::size_t pos_ = 0;
+    int depth_ = 0;
 };
 
 } // namespace

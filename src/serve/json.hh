@@ -18,6 +18,7 @@
 #define TEMPEST_SERVE_JSON_HH
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <string>
 #include <string_view>
@@ -53,9 +54,17 @@ class Json
           int_(i), isInt_(true)
     {}
     Json(std::uint64_t u)
-        : type_(Type::Number), num_(static_cast<double>(u)),
-          int_(static_cast<std::int64_t>(u)), isInt_(true)
-    {}
+        : type_(Type::Number), num_(static_cast<double>(u))
+    {
+        // Values beyond int64 stay double-represented: a wrapped
+        // negative int64 would mis-serialize them. Exact 64-bit
+        // values (seeds, hashes) travel as hex strings instead.
+        if (u <= static_cast<std::uint64_t>(
+                     std::numeric_limits<std::int64_t>::max())) {
+            int_ = static_cast<std::int64_t>(u);
+            isInt_ = true;
+        }
+    }
     Json(int i) : Json(static_cast<std::int64_t>(i)) {}
     Json(const char* s) : type_(Type::String), str_(s) {}
     Json(std::string s)

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstring>
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -25,6 +26,19 @@ namespace
 /** Max buffered bytes without a newline before a connection is
  * considered hostile and dropped. */
 constexpr std::size_t kMaxLineBytes = 1 << 20;
+
+/** Max unsent reply bytes per connection. A peer that issues
+ * requests but never reads its socket hits this cap and is
+ * dropped — the mirror image of the kMaxLineBytes defense. */
+constexpr std::size_t kMaxOutboxBytes = 1 << 20;
+
+void
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
 
 /**
  * Warm identity: the request's config with every DTM technique
@@ -118,6 +132,11 @@ ServeDaemon::start()
     if (::pipe(wakePipe_) != 0)
         fatal("cannot create wake pipe: ",
               std::strerror(errno));
+    // The poll thread must never block on I/O: the listener, the
+    // wake pipe, and every accepted fd are non-blocking.
+    setNonBlocking(listenFd_);
+    setNonBlocking(wakePipe_[0]);
+    setNonBlocking(wakePipe_[1]);
 
     started_ = true;
     stopping_.store(false, std::memory_order_release);
@@ -206,11 +225,39 @@ ServeDaemon::pollLoop()
 {
     while (!stopping_.load(std::memory_order_acquire)) {
         std::vector<pollfd> fds;
+        std::vector<int> doomed;
         fds.reserve(conns_.size() + 2);
         fds.push_back(pollfd{listenFd_, POLLIN, 0});
         fds.push_back(pollfd{wakePipe_[0], POLLIN, 0});
-        for (const auto& [fd, conn] : conns_)
-            fds.push_back(pollfd{fd, POLLIN, 0});
+        for (const auto& [fd, conn] : conns_) {
+            short events = POLLIN;
+            {
+                const std::lock_guard<std::mutex> lock(
+                    conn->writeMutex);
+                if (conn->broken) {
+                    // Write side gave up on this peer (outbox
+                    // overflow or send error); reap it here.
+                    doomed.push_back(fd);
+                    continue;
+                }
+                if (!conn->tx.empty())
+                    events |= POLLOUT;
+                conn->wakeQueued = false;
+            }
+            fds.push_back(pollfd{fd, events, 0});
+        }
+        for (const int fd : doomed) {
+            const auto it = conns_.find(fd);
+            if (it == conns_.end())
+                continue;
+            {
+                const std::lock_guard<std::mutex> lock(
+                    it->second->writeMutex);
+                ::close(it->second->fd);
+                it->second->fd = -1;
+            }
+            conns_.erase(it);
+        }
 
         const int ready =
             ::poll(fds.data(),
@@ -221,18 +268,44 @@ ServeDaemon::pollLoop()
             warn("serve poll failed: ", std::strerror(errno));
             break;
         }
+        // Wake pipe: a 'q' byte (requestStop(), or the signal
+        // handler via wakeFd()) is a stop request; 'w' bytes just
+        // force a fresh round so new outbox data gets POLLOUT.
+        bool stopByte = false;
+        if (fds[1].revents & POLLIN) {
+            char buf[64];
+            for (;;) {
+                const ssize_t n =
+                    ::read(wakePipe_[0], buf, sizeof(buf));
+                if (n <= 0)
+                    break;
+                for (ssize_t i = 0; i < n; ++i) {
+                    if (buf[i] == 'q')
+                        stopByte = true;
+                }
+                if (n < static_cast<ssize_t>(sizeof(buf)))
+                    break;
+            }
+        }
+        if (stopByte) {
+            // Idempotent if requestStop() already ran; this is
+            // the path that turns a signal into a stop.
+            requestStop();
+            break;
+        }
         if (stopping_.load(std::memory_order_acquire))
             break;
         if (fds[0].revents & POLLIN)
             acceptOne();
-        // Wake pipe: drained here; any byte means "re-check
-        // stopping_", which the loop condition does.
-        if (fds[1].revents & POLLIN) {
-            char buf[16];
-            [[maybe_unused]] const ssize_t n =
-                ::read(wakePipe_[0], buf, sizeof(buf));
-        }
         for (std::size_t i = 2; i < fds.size(); ++i) {
+            if (fds[i].revents & POLLOUT) {
+                const auto it = conns_.find(fds[i].fd);
+                if (it != conns_.end()) {
+                    const std::lock_guard<std::mutex> lock(
+                        it->second->writeMutex);
+                    flushLocked(*it->second);
+                }
+            }
             if (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
                 const auto it = conns_.find(fds[i].fd);
                 if (it != conns_.end())
@@ -256,6 +329,7 @@ ServeDaemon::acceptOne()
     if (fd < 0)
         return;
     auto conn = std::make_shared<Connection>();
+    setNonBlocking(fd);
     conn->fd = fd;
     conn->name = "conn" + std::to_string(connCounter_++);
     conns_[fd] = std::move(conn);
@@ -266,6 +340,10 @@ ServeDaemon::readFrom(const ConnPtr& conn)
 {
     char buf[65536];
     const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK ||
+                  errno == EINTR)) {
+        return; // spurious wakeup on a non-blocking fd
+    }
     if (n <= 0) {
         // EOF or error: forget the connection. Workers holding
         // the ConnPtr will notice `broken`/closed fd on write.
@@ -562,6 +640,19 @@ ServeDaemon::computeJob(const Job& job)
     }
     const double seconds = nowSeconds() - t0;
 
+    // Publish to the cache BEFORE dropping the single-flight
+    // entry: once inflight_ no longer holds this key, an
+    // identical request must find the cache populated, or a
+    // duplicate arriving in the gap would recompute the whole
+    // simulation.
+    if (error.empty()) {
+        CachedResult cached;
+        cached.resultHash = hash;
+        cached.payload = payload;
+        cached.computeSeconds = seconds;
+        cache_.put(job.key, std::move(cached));
+    }
+
     std::vector<Job> waiters;
     {
         const std::lock_guard<std::mutex> lock(queueMutex_);
@@ -576,14 +667,6 @@ ServeDaemon::computeJob(const Job& job)
             waiters = std::move(it->second);
             inflight_.erase(it);
         }
-    }
-
-    if (error.empty()) {
-        CachedResult cached;
-        cached.resultHash = hash;
-        cached.payload = payload;
-        cached.computeSeconds = seconds;
-        cache_.put(job.key, std::move(cached));
     }
 
     auto replyTo = [&](const Job& target, bool coalesced) {
@@ -611,23 +694,64 @@ void
 ServeDaemon::sendLine(const ConnPtr& conn,
                       const std::string& line)
 {
-    const std::lock_guard<std::mutex> lock(conn->writeMutex);
-    if (conn->fd < 0 || conn->broken)
-        return;
-    std::string framed = line;
-    framed += '\n';
-    std::size_t sent = 0;
-    while (sent < framed.size()) {
-        const ssize_t n =
-            ::send(conn->fd, framed.data() + sent,
-                   framed.size() - sent, MSG_NOSIGNAL);
-        if (n <= 0) {
-            // Peer vanished; mark so later replies are dropped
-            // without log spam.
-            conn->broken = true;
+    bool needWake = false;
+    {
+        const std::lock_guard<std::mutex> lock(
+            conn->writeMutex);
+        if (conn->fd < 0 || conn->broken)
             return;
+        if (conn->tx.size() + line.size() + 1 >
+            kMaxOutboxBytes) {
+            // The peer keeps sending requests without reading
+            // replies; dropping it bounds our memory, exactly
+            // like kMaxLineBytes bounds the read side.
+            conn->broken = true;
+            conn->tx.clear();
+        } else {
+            conn->tx += line;
+            conn->tx += '\n';
+            flushLocked(*conn);
         }
-        sent += static_cast<std::size_t>(n);
+        // Broken conns need the poll thread to reap them;
+        // residual bytes need it to arm POLLOUT. One queued
+        // wake per connection is enough either way.
+        if ((conn->broken || !conn->tx.empty()) &&
+            !conn->wakeQueued) {
+            conn->wakeQueued = true;
+            needWake = true;
+        }
+    }
+    if (needWake && wakePipe_[1] >= 0) {
+        const char byte = 'w';
+        [[maybe_unused]] const ssize_t n =
+            ::write(wakePipe_[1], &byte, 1);
+    }
+}
+
+void
+ServeDaemon::flushLocked(Connection& conn)
+{
+    if (conn.fd < 0 || conn.broken)
+        return;
+    while (!conn.tx.empty()) {
+        const ssize_t n =
+            ::send(conn.fd, conn.tx.data(), conn.tx.size(),
+                   MSG_NOSIGNAL | MSG_DONTWAIT);
+        if (n > 0) {
+            conn.tx.erase(0, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 &&
+            (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            return; // kernel buffer full; POLLOUT resumes us
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        // Peer vanished; mark so later replies are dropped
+        // without log spam.
+        conn.broken = true;
+        conn.tx.clear();
+        return;
     }
 }
 

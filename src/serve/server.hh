@@ -116,20 +116,29 @@ class ServeDaemon
     /** Stop and join everything; idempotent. */
     void stop();
 
-    /** Write end of the self-pipe: writing one byte from a signal
-     * handler wakes the poll loop and stops the daemon. */
+    /** Write end of the self-pipe: writing the byte 'q' from a
+     * signal handler wakes the poll loop and stops the daemon.
+     * (Other bytes — the internal 'w' — just wake the loop so it
+     * re-arms POLLOUT for freshly queued replies.) */
     int wakeFd() const { return wakePipe_[1]; }
 
     ServeStats stats() const;
 
   private:
+    /** One client connection. The fd is non-blocking; replies go
+     * through `tx`, an outbox flushed opportunistically by
+     * sendLine() and drained on POLLOUT by the poll thread, so a
+     * peer that never reads can never block a daemon thread.
+     * writeMutex guards fd/tx/broken/wakeQueued. */
     struct Connection
     {
         int fd = -1;
         std::string name; ///< default rate-limit principal
         std::string rx;   ///< partial-line receive buffer
         std::mutex writeMutex;
+        std::string tx;      ///< pending unsent reply bytes
         bool broken = false; ///< write failed; drop silently
+        bool wakeQueued = false; ///< poll-loop wake already sent
     };
     using ConnPtr = std::shared_ptr<Connection>;
 
@@ -155,6 +164,8 @@ class ServeDaemon
     void computeJob(const Job& job);
 
     void sendLine(const ConnPtr& conn, const std::string& line);
+    /** Drain conn.tx without blocking (writeMutex held). */
+    void flushLocked(Connection& conn);
     double nowSeconds() const;
 
     ServeOptions options_;

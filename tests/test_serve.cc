@@ -98,6 +98,51 @@ TEST(ServeJson, RejectsMalformedInput)
                  FatalError);
 }
 
+TEST(ServeJson, DeepNestingFailsTheParseNotTheStack)
+{
+    // A request line full of '[' fits under kMaxLineBytes but
+    // would recurse once per byte: it must produce a parse error
+    // (-> per-request error reply), not a stack overflow.
+    EXPECT_THROW(Json::parse(std::string(100000, '[')),
+                 FatalError);
+    std::string objects;
+    for (int i = 0; i < 100000; ++i)
+        objects += R"({"k":)";
+    EXPECT_THROW(Json::parse(objects), FatalError);
+    // Balanced but over-limit nesting is rejected too...
+    EXPECT_THROW(Json::parse(std::string(70, '[') +
+                             std::string(70, ']')),
+                 FatalError);
+    // ...while any sane protocol document parses fine.
+    const std::string ok =
+        std::string(16, '[') + std::string(16, ']');
+    EXPECT_EQ(Json::parse(ok).dump(), ok);
+}
+
+TEST(ServeJson, OverRangeNumbersDoNotSilentlyClamp)
+{
+    // strtoll saturates at INT64_MAX with ERANGE; the parser
+    // must fall through to the double representation.
+    const Json big = Json::parse("99999999999999999999");
+    EXPECT_DOUBLE_EQ(big.asDouble(), 1e20);
+    EXPECT_THROW(big.asInt(), FatalError);
+    const Json neg = Json::parse("-99999999999999999999");
+    EXPECT_DOUBLE_EQ(neg.asDouble(), -1e20);
+    // Beyond double range there is nothing left to fall back to.
+    EXPECT_THROW(Json::parse("1e999"), FatalError);
+}
+
+TEST(ServeJson, HugeUnsignedSerializesAsNonNegative)
+{
+    // > INT64_MAX: a wrapped int64 would dump a negative number.
+    const std::uint64_t huge = 0xffffffffffffffffull;
+    const Json v(huge);
+    const std::string text = v.dump();
+    EXPECT_EQ(text.find('-'), std::string::npos) << text;
+    EXPECT_DOUBLE_EQ(Json::parse(text).asDouble(),
+                     static_cast<double>(huge));
+}
+
 // ---------------------------------------------------------------
 // Protocol
 // ---------------------------------------------------------------
@@ -321,7 +366,9 @@ class TestClient
             ::close(fd_);
     }
 
-    Json rpc(const std::string& line)
+    /** Fire a framed line without reading a reply; false once
+     * the daemon has dropped us. */
+    bool sendOnly(const std::string& line)
     {
         std::string framed = line;
         framed += '\n';
@@ -329,11 +376,18 @@ class TestClient
         while (sent < framed.size()) {
             const ssize_t n =
                 ::send(fd_, framed.data() + sent,
-                       framed.size() - sent, 0);
+                       framed.size() - sent, MSG_NOSIGNAL);
             if (n <= 0)
-                fatal("client send failed");
+                return false;
             sent += static_cast<std::size_t>(n);
         }
+        return true;
+    }
+
+    Json rpc(const std::string& line)
+    {
+        if (!sendOnly(line))
+            fatal("client send failed");
         std::string reply;
         char c = 0;
         for (;;) {
@@ -529,6 +583,55 @@ TEST(ServeDaemonTest, StatsPingAndErrorsOverTheWire)
     EXPECT_TRUE(stats.find("ok")->asBool());
     EXPECT_EQ(stats.find("jobs_done")->asInt(), 0);
     EXPECT_GE(stats.find("jobs_failed")->asInt(), 1);
+    daemon.stop();
+}
+
+TEST(ServeDaemonTest, WakeFdByteStopsTheDaemonLikeASignal)
+{
+    const std::string sock = tempSocketPath("sig");
+    ServeOptions options;
+    options.socketPath = sock;
+    options.threads = 1;
+    ServeDaemon daemon(options);
+    daemon.start();
+    // Exactly what tools/tempest_serve.cc's SIGINT/SIGTERM
+    // handler does: one 'q' byte into the wake pipe. Without
+    // the poll loop translating it into requestStop(), this
+    // test hangs in waitStopped() forever.
+    const char byte = 'q';
+    ASSERT_EQ(::write(daemon.wakeFd(), &byte, 1), 1);
+    daemon.waitStopped();
+    daemon.stop();
+    EXPECT_FALSE(std::filesystem::exists(sock));
+}
+
+TEST(ServeDaemonTest, SlowReaderCannotStallTheDaemon)
+{
+    const std::string sock = tempSocketPath("slow");
+    ServeOptions options;
+    options.socketPath = sock;
+    options.threads = 1;
+    ServeDaemon daemon(options);
+    daemon.start();
+    TestClient slow(sock);
+    TestClient live(sock);
+
+    // ~1 KiB of echoed correlation id per ping; a few thousand
+    // unread replies overflow the socket buffer and then the
+    // daemon's per-connection outbox cap. The daemon must shed
+    // the non-reading peer, not block sending to it.
+    const std::string line =
+        std::string(R"({"op":"ping","id":")") +
+        std::string(1024, 'x') + R"("})";
+    for (int i = 0; i < 4096; ++i) {
+        if (!slow.sendOnly(line))
+            break; // daemon dropped us: the intended outcome
+    }
+
+    // Before the non-blocking outbox, the poll thread was stuck
+    // in send() to `slow` here and this rpc would never return.
+    const Json pong = live.rpc(R"({"op":"ping"})");
+    EXPECT_TRUE(pong.find("ok")->asBool());
     daemon.stop();
 }
 
