@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Bump-pointer arena for a simulator's hot-state arrays.
+ *
+ * Every parallel job used to build its Simulator out of dozens of
+ * individually malloc'd std::vectors; under a thread pool those
+ * constructions contend on the global allocator. An Arena turns a
+ * run's construction-time allocations into a handful of large block
+ * requests and per-array pointer bumps, and frees everything at once
+ * when the owning Simulator dies.
+ *
+ * Lifetime rules (DESIGN.md §14):
+ * - The arena outlives every array carved from it: components hold
+ *   raw pointers into arena blocks and never free them individually.
+ * - Arenas are not thread-safe; one arena belongs to one simulator
+ *   (the parallel runner gives each job its own).
+ * - There is no per-array reuse: the arena only grows (by whole
+ *   blocks) and releases memory in its destructor. Steady-state
+ *   simulation performs no allocations at all, so growth stops once
+ *   construction is done.
+ * - Components that can be built standalone (tests, benches) own a
+ *   private arena when the caller does not supply one.
+ *
+ * Only trivially-copyable element types are supported; arrays come
+ * back zero-initialized, which doubles as the "constructed" state
+ * for every hot array in the pipeline.
+ */
+
+#ifndef TEMPEST_COMMON_ARENA_HH
+#define TEMPEST_COMMON_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+
+#include "common/log.hh"
+
+namespace tempest
+{
+
+/** Grow-only bump allocator; see the file comment for the rules. */
+class Arena
+{
+  public:
+    /** @param block_bytes granularity of the underlying blocks. */
+    explicit Arena(std::size_t block_bytes = 256 * 1024)
+        : blockBytes_(block_bytes)
+    {
+        if (block_bytes < 4096)
+            fatal("arena block size must be at least 4096 bytes");
+    }
+
+    ~Arena() { release(); }
+
+    Arena(const Arena&) = delete;
+    Arena& operator=(const Arena&) = delete;
+
+    /**
+     * Carve a zero-initialized array of n trivially-copyable
+     * elements out of the arena. n == 0 returns a valid non-null
+     * pointer (to a zero-length region).
+     */
+    template <typename T>
+    T*
+    alloc(std::size_t n)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "arena arrays hold trivially-copyable "
+                      "elements only");
+        void* p = allocBytes(n * sizeof(T), alignof(T));
+        return static_cast<T*>(p);
+    }
+
+    /** Total bytes handed out (excluding alignment padding). */
+    std::size_t allocatedBytes() const { return allocated_; }
+
+    /** Number of underlying blocks requested from the system. */
+    int blockCount() const { return blockCount_; }
+
+  private:
+    struct BlockHeader
+    {
+        BlockHeader* next;
+        std::size_t size; ///< usable bytes after the header
+    };
+
+    void*
+    allocBytes(std::size_t n, std::size_t align)
+    {
+        std::size_t cur = reinterpret_cast<std::size_t>(cursor_);
+        std::size_t aligned = (cur + (align - 1)) & ~(align - 1);
+        if (cursor_ == nullptr ||
+            aligned + n > reinterpret_cast<std::size_t>(end_)) {
+            grow(n + align);
+            cur = reinterpret_cast<std::size_t>(cursor_);
+            aligned = (cur + (align - 1)) & ~(align - 1);
+        }
+        cursor_ = reinterpret_cast<char*>(aligned + n);
+        allocated_ += n;
+        void* p = reinterpret_cast<void*>(aligned);
+        std::memset(p, 0, n);
+        return p;
+    }
+
+    void
+    grow(std::size_t min_bytes)
+    {
+        const std::size_t usable =
+            min_bytes > blockBytes_ ? min_bytes : blockBytes_;
+        const std::size_t total = usable + sizeof(BlockHeader);
+        char* raw = static_cast<char*>(
+            ::operator new(total, std::align_val_t{64}));
+        auto* header = reinterpret_cast<BlockHeader*>(raw);
+        header->next = blocks_;
+        header->size = usable;
+        blocks_ = header;
+        ++blockCount_;
+        cursor_ = raw + sizeof(BlockHeader);
+        end_ = cursor_ + usable;
+    }
+
+    void
+    release()
+    {
+        while (blocks_ != nullptr) {
+            BlockHeader* next = blocks_->next;
+            ::operator delete(static_cast<void*>(blocks_),
+                              std::align_val_t{64});
+            blocks_ = next;
+        }
+        cursor_ = end_ = nullptr;
+        blockCount_ = 0;
+    }
+
+    std::size_t blockBytes_;
+    BlockHeader* blocks_ = nullptr;
+    char* cursor_ = nullptr;
+    char* end_ = nullptr;
+    std::size_t allocated_ = 0;
+    int blockCount_ = 0;
+};
+
+} // namespace tempest
+
+#endif // TEMPEST_COMMON_ARENA_HH

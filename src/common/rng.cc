@@ -126,9 +126,15 @@ Rng::geometricFromUniform(double u, double p)
     // Inversion method. A rescaled uniform can round up to exactly
     // 1.0; floor it against the smallest positive tail so the log
     // stays finite.
+    return geometricFromUniformLogDenom(u, std::log1p(-p));
+}
+
+std::uint64_t
+Rng::geometricFromUniformLogDenom(double u, double log_denom)
+{
     const double tail = std::max(1.0 - u, 1e-300); // in (0, 1]
     return static_cast<std::uint64_t>(
-        std::floor(std::log(tail) / std::log1p(-p)));
+        std::floor(std::log(tail) / log_denom));
 }
 
 double

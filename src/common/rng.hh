@@ -64,6 +64,16 @@ class Rng
      */
     static std::uint64_t geometricFromUniform(double u, double p);
 
+    /**
+     * Same inversion with the caller-cached denominator
+     * log1p(-p). Callers drawing many variates at a fixed p hoist
+     * the denominator log out of the loop; the division (not a
+     * reciprocal multiply) keeps the result bit-identical to
+     * geometricFromUniform(u, p).
+     */
+    static std::uint64_t geometricFromUniformLogDenom(
+        double u, double log_denom);
+
     /** Standard normal draw (Box-Muller, no caching). */
     double gaussian();
 

@@ -92,6 +92,16 @@ ResourceBalancingDtm::sampleQueue(IssueQueue& iq,
 DtmAction
 ResourceBalancingDtm::sample(const std::vector<Kelvin>& temps)
 {
+    Kelvin hottest = 0;
+    for (const Kelvin t : temps)
+        hottest = std::max(hottest, t);
+    return sample(temps, hottest);
+}
+
+DtmAction
+ResourceBalancingDtm::sample(const std::vector<Kelvin>& temps,
+                             Kelvin hottest)
+{
     const Kelvin max_t = config_.maxTemperature;
     bool stall = false;
 
@@ -218,9 +228,6 @@ ResourceBalancingDtm::sample(const std::vector<Kelvin>& temps)
 
     // ---- fetch throttling (related-work temporal comparator) ----
     if (config_.fetchThrottling) {
-        Kelvin hottest = 0;
-        for (const Kelvin t : temps)
-            hottest = std::max(hottest, t);
         const Kelvin on_t = max_t - config_.fetchThrottleMarginK;
         if (hottest >= on_t) {
             if (core_.fetchInterval() == 1)

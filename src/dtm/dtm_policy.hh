@@ -141,6 +141,15 @@ class ResourceBalancingDtm
      */
     DtmAction sample(const std::vector<Kelvin>& temps);
 
+    /**
+     * Same policy evaluation with the hottest block temperature
+     * already reduced by the caller (the simulator's batched
+     * interval pass computes it while reading the sensors, so the
+     * fetch-throttle comparator need not rescan the vector).
+     */
+    DtmAction sample(const std::vector<Kelvin>& temps,
+                     Kelvin hottest);
+
     const DtmStats& stats() const { return stats_; }
     const DtmConfig& config() const { return config_; }
 

@@ -95,6 +95,23 @@ class StateWriter
         buf_.append(s);
     }
 
+    /**
+     * Bulk write of one SoA array: a u64 byte count followed by the
+     * raw little-endian bytes. Elements must be trivially copyable
+     * and fixed-width; multi-byte elements travel in host byte
+     * order, which the matching reader validates by length (the
+     * checkpoint format is already host-endian per the fixed-width
+     * field helpers above — tempest targets little-endian hosts).
+     * Lint treats `blob` calls as the serializer for members
+     * annotated `ckpt:bulk(<group>)`.
+     */
+    void
+    blob(const void* data, std::size_t n_bytes)
+    {
+        u64(static_cast<std::uint64_t>(n_bytes));
+        buf_.append(static_cast<const char*>(data), n_bytes);
+    }
+
     const std::string& bytes() const { return buf_; }
     std::size_t size() const { return buf_.size(); }
 
@@ -159,6 +176,26 @@ class StateReader
         std::string s(reinterpret_cast<const char*>(p_), n);
         p_ += n;
         return s;
+    }
+
+    /**
+     * Bulk read of one SoA array written by StateWriter::blob. The
+     * destination must hold exactly n_bytes; a length mismatch is a
+     * geometry mismatch (different build or corrupt checkpoint) and
+     * is fatal.
+     */
+    void
+    blob(void* out, std::size_t n_bytes)
+    {
+        const std::uint64_t stored = u64();
+        if (stored != n_bytes) {
+            fatal("checkpoint bulk array is ", stored,
+                  " bytes, expected ", n_bytes,
+                  ": geometry mismatch or corrupt checkpoint");
+        }
+        need(n_bytes);
+        std::memcpy(out, p_, n_bytes);
+        p_ += n_bytes;
     }
 
     std::size_t

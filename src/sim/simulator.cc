@@ -128,7 +128,7 @@ Simulator::Simulator(const SimConfig& config,
     config_.thermal.validate();
 
     core_ = std::make_unique<OooCore>(config_.pipeline, profile,
-                                      config_.runSeed);
+                                      config_.runSeed, &arena_);
     power_ = std::make_unique<PowerModel>(
         config_.energy, floorplan_, config_.pipeline,
         config_.pipeline.frequencyHz);
@@ -138,10 +138,8 @@ Simulator::Simulator(const SimConfig& config,
     dtm_ = std::make_unique<ResourceBalancingDtm>(
         config_.dtm, *core_, floorplan_);
 
-    blockAvg_.resize(
+    blockAccum_.resize(
         static_cast<std::size_t>(floorplan_.numBlocks()));
-    blockMax_.assign(
-        static_cast<std::size_t>(floorplan_.numBlocks()), 0.0);
 }
 
 void
@@ -189,17 +187,29 @@ Simulator::runInterval(bool stalled, std::uint64_t cycles)
 
     total_.add(interval);
 
+    // Batched interval pass: one loop over the packed per-block
+    // accumulators fuses the sensor read (ascending block order, so
+    // the sensor RNG draw order matches SensorBank::readAll), the
+    // running average and peak updates, and the hottest-block
+    // reduction the DTM wants — instead of three separate sweeps
+    // over parallel vectors.
+    Kelvin hottest = 0;
+    const int num_blocks = floorplan_.numBlocks();
+    tempsScratch_.resize(static_cast<std::size_t>(num_blocks));
     {
         TEMPEST_PROF_SCOPE(ProfStage::Sensor);
-        sensors_->readAll(tempsScratch_);
+        for (int b = 0; b < num_blocks; ++b) {
+            const auto i = static_cast<std::size_t>(b);
+            const Kelvin t = sensors_->read(b);
+            tempsScratch_[i] = t;
+            BlockThermalAccum& acc = blockAccum_[i];
+            if (!stalled)
+                acc.avg.sample(t);
+            acc.maxT = std::max(acc.maxT, t);
+            hottest = std::max(hottest, t);
+        }
     }
     const std::vector<Kelvin>& temps = tempsScratch_;
-    for (int b = 0; b < floorplan_.numBlocks(); ++b) {
-        const auto i = static_cast<std::size_t>(b);
-        if (!stalled)
-            blockAvg_[i].sample(temps[i]);
-        blockMax_[i] = std::max(blockMax_[i], temps[i]);
-    }
 
     if (trace_) {
         trace_->record(core_->cycle(), stalled,
@@ -210,8 +220,8 @@ Simulator::runInterval(bool stalled, std::uint64_t cycles)
     bool global_stall = false;
     if (!stalled) {
         TEMPEST_PROF_SCOPE(ProfStage::Dtm);
-        global_stall =
-            dtm_->sample(temps) == DtmAction::GlobalStall;
+        global_stall = dtm_->sample(temps, hottest) ==
+                       DtmAction::GlobalStall;
     }
     if (global_stall) {
         // Stall for the cooling time, advanced in interval-sized
@@ -264,8 +274,8 @@ Simulator::result() const
     for (int b = 0; b < floorplan_.numBlocks(); ++b) {
         const auto i = static_cast<std::size_t>(b);
         result.blocks[i].name = floorplan_.block(b).name;
-        result.blocks[i].avg = blockAvg_[i].mean();
-        result.blocks[i].max = blockMax_[i];
+        result.blocks[i].avg = blockAccum_[i].avg.mean();
+        result.blocks[i].max = blockAccum_[i].maxT;
     }
     return result;
 }
@@ -281,9 +291,10 @@ void
 Simulator::resetMeasurement()
 {
     total_.clear();
-    for (RunningStat& s : blockAvg_)
-        s.reset();
-    std::fill(blockMax_.begin(), blockMax_.end(), 0.0);
+    for (BlockThermalAccum& acc : blockAccum_) {
+        acc.avg.reset();
+        acc.maxT = 0.0;
+    }
     dtm_->resetStats();
     measureStartCycle_ = core_->cycle();
     measureStartCommitted_ = core_->committed();
@@ -314,15 +325,15 @@ Simulator::saveCheckpoint() const
 
     StateWriter& stats = cp.chunk(kChunkSimStats);
     saveActivity(stats, total_);
-    stats.u32(static_cast<std::uint32_t>(blockAvg_.size()));
-    for (const RunningStat& s : blockAvg_) {
-        stats.u64(s.count());
-        stats.f64(s.sum());
-        stats.f64(s.min());
-        stats.f64(s.max());
+    stats.u32(static_cast<std::uint32_t>(blockAccum_.size()));
+    for (const BlockThermalAccum& acc : blockAccum_) {
+        stats.u64(acc.avg.count());
+        stats.f64(acc.avg.sum());
+        stats.f64(acc.avg.min());
+        stats.f64(acc.avg.max());
     }
-    for (const Kelvin t : blockMax_)
-        stats.f64(t);
+    for (const BlockThermalAccum& acc : blockAccum_)
+        stats.f64(acc.maxT);
     stats.boolean(warmed_);
     stats.u64(measureStartCycle_);
     stats.u64(measureStartCommitted_);
@@ -399,20 +410,20 @@ Simulator::restoreCheckpoint(const std::string& bytes)
         StateReader r = cp.chunk(kChunkSimStats);
         loadActivity(r, total_);
         const auto n = r.u32();
-        if (n != blockAvg_.size()) {
+        if (n != blockAccum_.size()) {
             fatal("checkpoint block statistics cover ", n,
                   " blocks, this simulator has ",
-                  blockAvg_.size());
+                  blockAccum_.size());
         }
-        for (RunningStat& s : blockAvg_) {
+        for (BlockThermalAccum& acc : blockAccum_) {
             const std::uint64_t count = r.u64();
             const double sum = r.f64();
             const double min = r.f64();
             const double max = r.f64();
-            s.restore(count, sum, min, max);
+            acc.avg.restore(count, sum, min, max);
         }
-        for (Kelvin& t : blockMax_)
-            t = r.f64();
+        for (BlockThermalAccum& acc : blockAccum_)
+            acc.maxT = r.f64();
         warmed_ = r.boolean();
         measureStartCycle_ = r.u64();
         measureStartCommitted_ = r.u64();

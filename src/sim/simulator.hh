@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "dtm/dtm_policy.hh"
@@ -162,6 +163,9 @@ class Simulator
 
     SimConfig config_;
     Floorplan floorplan_;
+    // Pooled backing store for the core's hot-state arrays; must
+    // outlive (so: be declared before) the core.
+    Arena arena_;
     std::unique_ptr<OooCore> core_;
     std::unique_ptr<PowerModel> power_;
     std::unique_ptr<RcModel> rc_;
@@ -171,10 +175,17 @@ class Simulator
     std::vector<Watt> powerScratch_;
     std::vector<Kelvin> tempsScratch_;
 
-    // Accumulated statistics.
+    // Accumulated statistics. The per-block thermal accumulators
+    // are packed into one struct array so the per-interval pass
+    // (sensor read + average + peak + hottest, see runInterval)
+    // touches one contiguous line-sized record per block.
+    struct BlockThermalAccum
+    {
+        RunningStat avg;   ///< non-stalled samples
+        Kelvin maxT = 0.0; ///< includes stalled intervals
+    };
     ActivityRecord total_;
-    std::vector<RunningStat> blockAvg_;  ///< non-stalled samples
-    std::vector<Kelvin> blockMax_;
+    std::vector<BlockThermalAccum> blockAccum_;
     bool warmed_ = false;
     ThermalTrace* trace_ = nullptr;
 

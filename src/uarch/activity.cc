@@ -1,5 +1,7 @@
 #include "uarch/activity.hh"
 
+#include <type_traits>
+
 #include "common/log.hh"
 
 namespace tempest
@@ -37,41 +39,20 @@ PipelineConfig::validate() const
 void
 ActivityRecord::add(const ActivityRecord& other)
 {
-    for (int q = 0; q < kNumIssueQueues; ++q) {
-        for (int h = 0; h < 2; ++h) {
-            iqEntryMoves[q][h] += other.iqEntryMoves[q][h];
-            iqMuxSelects[q][h] += other.iqMuxSelects[q][h];
-            iqLongCompactions[q][h] += other.iqLongCompactions[q][h];
-            iqCounterOps[q][h] += other.iqCounterOps[q][h];
-            iqOccupiedCycles[q][h] += other.iqOccupiedCycles[q][h];
-            iqDispatchWrites[q][h] += other.iqDispatchWrites[q][h];
-        }
-        iqTagBroadcasts[q] += other.iqTagBroadcasts[q];
-        iqPayloadAccesses[q] += other.iqPayloadAccesses[q];
-        iqSelectAccesses[q] += other.iqSelectAccesses[q];
-        iqClockGateCycles[q] += other.iqClockGateCycles[q];
-    }
-    for (int i = 0; i < kMaxIntAlus; ++i)
-        intAluOps[i] += other.intAluOps[i];
-    for (int i = 0; i < kMaxFpAdders; ++i)
-        fpAddOps[i] += other.fpAddOps[i];
-    fpMulOps += other.fpMulOps;
-    for (int i = 0; i < kMaxRegfileCopies; ++i) {
-        intRegReads[i] += other.intRegReads[i];
-        intRegWrites[i] += other.intRegWrites[i];
-    }
-    fpRegReads += other.fpRegReads;
-    fpRegWrites += other.fpRegWrites;
-    l1iAccesses += other.l1iAccesses;
-    l1dAccesses += other.l1dAccesses;
-    l2Accesses += other.l2Accesses;
-    bpredAccesses += other.bpredAccesses;
-    renameOps += other.renameOps;
-    lsqOps += other.lsqOps;
-    commits += other.commits;
-    cycles += other.cycles;
-    stallCycles += other.stallCycles;
-    instructions += other.instructions;
+    // Every member is a std::uint64_t (or an array of them; the
+    // static_asserts below keep that honest), so the interval drain
+    // is one flat word-wise pass over the object representation
+    // instead of a field-by-field walk.
+    static_assert(std::is_trivially_copyable_v<ActivityRecord>);
+    static_assert(sizeof(ActivityRecord) % sizeof(std::uint64_t) ==
+                  0);
+    auto* dst = reinterpret_cast<std::uint64_t*>(this);
+    const auto* src =
+        reinterpret_cast<const std::uint64_t*>(&other);
+    constexpr std::size_t words =
+        sizeof(ActivityRecord) / sizeof(std::uint64_t);
+    for (std::size_t i = 0; i < words; ++i)
+        dst[i] += src[i];
 }
 
 } // namespace tempest

@@ -1,6 +1,7 @@
 #include "uarch/core.hh"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/log.hh"
 #include "common/profiler.hh"
@@ -11,11 +12,13 @@ namespace tempest
 
 OooCore::OooCore(const PipelineConfig& config,
                  const BenchmarkProfile& profile,
-                 std::uint64_t run_seed)
+                 std::uint64_t run_seed, Arena* arena)
     : config_(config),
       stream_(profile, run_seed),
-      intIq_(config.intIqEntries, config.issueWidth, QueueKind::Int),
-      fpIq_(config.fpIqEntries, config.issueWidth, QueueKind::Fp),
+      intIq_(config.intIqEntries, config.issueWidth, QueueKind::Int,
+             arena != nullptr ? arena : &ownArena_),
+      fpIq_(config.fpIqEntries, config.issueWidth, QueueKind::Fp,
+            arena != nullptr ? arena : &ownArena_),
       intSelect_(config.numIntAlus),
       fpSelect_(config.numFpAdders + 1), // last tree = FP multiplier
       alus_(config),
@@ -31,8 +34,15 @@ OooCore::OooCore(const PipelineConfig& config,
               doneMask_ + 1,
               "); in-flight sequence numbers would alias");
     }
-    rob_.assign(static_cast<std::size_t>(config.activeListEntries),
-                RobEntry{});
+    Arena& a = arena != nullptr ? *arena : ownArena_;
+    const auto rob_n =
+        static_cast<std::size_t>(config.activeListEntries);
+    robWords_ = (config.activeListEntries + 63) / 64;
+    robSeq_ = a.alloc<std::uint64_t>(rob_n);
+    robCompleted_ =
+        a.alloc<std::uint64_t>(static_cast<std::size_t>(robWords_));
+    robIsMem_ =
+        a.alloc<std::uint64_t>(static_cast<std::size_t>(robWords_));
 
     // Completion wheel: power-of-two slot count so the cycle index
     // reduces with a mask, deep enough for the longest latency.
@@ -68,17 +78,27 @@ OooCore::OooCore(const PipelineConfig& config,
     }
     wheelSlotCap_ = std::min(config.activeListEntries,
                              config.issueWidth * distinct);
-    wheel_.assign(slots * static_cast<std::size_t>(wheelSlotCap_),
-                  Completion{});
-    wheelCount_.assign(slots, 0);
+    const std::size_t wheel_n =
+        slots * static_cast<std::size_t>(wheelSlotCap_);
+    wheelSeq_ = a.alloc<std::uint64_t>(wheel_n);
+    wheelRobIdx_ = a.alloc<std::int32_t>(wheel_n);
+    wheelFlags_ = a.alloc<std::uint8_t>(wheel_n);
+    wheelCount_ = a.alloc<std::int32_t>(slots);
 
     // All-ones: every not-yet-dispatched sequence number reads as
     // complete until dispatch clears its bit.
-    done_.assign((doneMask_ + 1) / 64, ~0ULL);
+    done_ = a.alloc<std::uint64_t>((doneMask_ + 1) / 64);
+    std::memset(done_, 0xff, (doneMask_ + 1) / 8);
 
     fetchCap_ = 4 * config.fetchWidth;
-    fetchRing_.assign(static_cast<std::size_t>(fetchCap_),
-                      MicroOp{});
+    const auto fetch_n = static_cast<std::size_t>(fetchCap_);
+    fetchSeq_ = a.alloc<std::uint64_t>(fetch_n);
+    fetchSrc0_ = a.alloc<std::uint64_t>(fetch_n);
+    fetchSrc1_ = a.alloc<std::uint64_t>(fetch_n);
+    fetchLine_ = a.alloc<std::uint64_t>(fetch_n);
+    fetchCls_ = a.alloc<std::uint8_t>(fetch_n);
+    fetchNumSrcs_ = a.alloc<std::uint8_t>(fetch_n);
+    fetchFlags_ = a.alloc<std::uint8_t>(fetch_n);
 }
 
 void
@@ -93,7 +113,7 @@ OooCore::robHeadSeq() const
 {
     if (robCount_ == 0)
         return stream_.generated() + 1;
-    return rob_[static_cast<std::size_t>(robHead_)].seq;
+    return robSeq_[static_cast<std::size_t>(robHead_)];
 }
 
 bool
@@ -112,12 +132,19 @@ OooCore::schedule(const Completion& completion, int latency)
         latency = 1;
     const std::size_t slot = static_cast<std::size_t>(
         (cycle_ + static_cast<Cycle>(latency)) & wheelMask_);
-    int& n = wheelCount_[slot];
+    std::int32_t& n = wheelCount_[slot];
     if (n >= wheelSlotCap_)
         panic("completion wheel slot overflow (cap ",
               wheelSlotCap_, "); per-cycle completion bound broken");
-    wheel_[slot * static_cast<std::size_t>(wheelSlotCap_) +
-           static_cast<std::size_t>(n)] = completion;
+    const std::size_t at =
+        slot * static_cast<std::size_t>(wheelSlotCap_) +
+        static_cast<std::size_t>(n);
+    wheelSeq_[at] = completion.seq;
+    wheelRobIdx_[at] = completion.robIdx;
+    wheelFlags_[at] = static_cast<std::uint8_t>(
+        (completion.hasDest ? kWheelHasDest : 0) |
+        (completion.fpDest ? kWheelFpDest : 0) |
+        (completion.mispredictedBranch ? kWheelMispredict : 0));
     ++n;
 }
 
@@ -129,27 +156,32 @@ OooCore::doWriteback(ActivityRecord& activity)
     const int num_events = wheelCount_[slot];
     if (num_events == 0)
         return;
-    const Completion* events =
-        &wheel_[slot * static_cast<std::size_t>(wheelSlotCap_)];
+    const std::size_t base =
+        slot * static_cast<std::size_t>(wheelSlotCap_);
     // Count the result tags completing this cycle; dependents wake
-    // through the completed-producer scoreboard in one pass per
-    // queue, so the same-cycle completion count is unbounded (the
+    // through the per-producer watch index as each completion
+    // drains, so the same-cycle completion count is unbounded (the
     // old fixed tag list silently dropped wakeups past its cap,
     // deadlocking the queues).
     int num_tags = 0;
     for (int i = 0; i < num_events; ++i) {
-        const Completion& c = events[i];
-        rob_[static_cast<std::size_t>(c.robIdx)].completed = true;
-        markDone(c.seq);
-        if (c.hasDest) {
+        const std::size_t at = base + static_cast<std::size_t>(i);
+        const int rob_idx = wheelRobIdx_[at];
+        robCompleted_[rob_idx >> 6] |=
+            1ULL << (rob_idx & 63);
+        markDone(wheelSeq_[at]);
+        intIq_.wakeMatching(wheelSeq_[at]);
+        fpIq_.wakeMatching(wheelSeq_[at]);
+        const std::uint8_t flags = wheelFlags_[at];
+        if (flags & kWheelHasDest) {
             ++num_tags;
             // Result write: all integer copies, or the FP file.
-            if (c.fpDest)
+            if (flags & kWheelFpDest)
                 ++activity.fpRegWrites;
             else
                 intRegfile_.chargeWrite(activity);
         }
-        if (c.mispredictedBranch) {
+        if (flags & kWheelMispredict) {
             // Redirect: frontend refills after the penalty.
             fetchBlocked_ = false;
             blockingBranchSeq_ = 0;
@@ -159,30 +191,41 @@ OooCore::doWriteback(ActivityRecord& activity)
         }
     }
     wheelCount_[slot] = 0;
-    // Clock-gated empty queues skip the broadcast entirely.
-    if (intIq_.count() > 0)
-        intIq_.wakeupScoreboard(done_.data(), doneMask_, num_tags,
-                                activity);
-    if (fpIq_.count() > 0)
-        fpIq_.wakeupScoreboard(done_.data(), doneMask_, num_tags,
-                               activity);
+    // Clock-gated empty queues skip the broadcast charge entirely.
+    intIq_.chargeWakeup(num_tags, activity);
+    fpIq_.chargeWakeup(num_tags, activity);
 }
 
 void
 OooCore::doCommit(ActivityRecord& activity)
 {
-    for (int n = 0; n < config_.commitWidth && robCount_ > 0; ++n) {
-        RobEntry& head = rob_[static_cast<std::size_t>(robHead_)];
-        if (!head.completed)
+    // Retire the contiguous completed run at the head a word at a
+    // time: countr_one on the shifted completed word gives the run
+    // length, a popcount over the matching robIsMem_ bits releases
+    // the LSQ slots. The loop re-enters only at word or active-list
+    // wrap boundaries.
+    int n = 0;
+    while (n < config_.commitWidth && robCount_ > 0) {
+        const int head = robHead_;
+        const int word = head >> 6;
+        const int bit = head & 63;
+        int run = std::countr_one(robCompleted_[word] >> bit);
+        run = std::min({run, config_.commitWidth - n, robCount_,
+                        config_.activeListEntries - head, 64 - bit});
+        if (run == 0)
             break;
-        if (head.isMem)
-            --lsqCount_;
-        if (++robHead_ == config_.activeListEntries)
+        const std::uint64_t mem_bits =
+            (robIsMem_[word] >> bit) &
+            (run >= 64 ? ~0ULL : (1ULL << run) - 1);
+        lsqCount_ -= std::popcount(mem_bits);
+        robHead_ = head + run;
+        if (robHead_ == config_.activeListEntries)
             robHead_ = 0;
-        --robCount_;
-        ++committed_;
-        ++activity.commits;
-        ++activity.instructions;
+        robCount_ -= run;
+        committed_ += static_cast<std::uint64_t>(run);
+        activity.commits += static_cast<std::uint64_t>(run);
+        activity.instructions += static_cast<std::uint64_t>(run);
+        n += run;
     }
 }
 
@@ -216,10 +259,10 @@ OooCore::doIssue(ActivityRecord& activity)
         intSelect_.select(
             intIq_, cycle_, budget,
             [this](int fu) { return alus_.intAluAvailable(fu); },
-            [&mem_ports_left](int, const IqEntry& e) {
-                if (!AluPool::intAluExecutes(e.cls))
+            [&mem_ports_left](int, OpClass cls) {
+                if (!AluPool::intAluExecutes(cls))
                     return false;
-                if (isMemClass(e.cls)) {
+                if (isMemClass(cls)) {
                     if (mem_ports_left <= 0)
                         return false;
                     // A true return is always granted, so the
@@ -230,35 +273,37 @@ OooCore::doIssue(ActivityRecord& activity)
             },
             grantScratch_);
         for (const Grant& g : grantScratch_) {
-            // markIssued only flips the pending-invalid flag, so
-            // reading the entry through a reference afterwards is
-            // safe and skips a 60-byte copy per grant.
-            const IqEntry& entry =
-                intIq_.entryAtPhysUnchecked(g.physIdx);
-            intIq_.markIssued(g.physIdx, activity);
+            // Field reads straight out of the queue's SoA arrays;
+            // markIssued only flips a pending bit, so the reads
+            // can follow it.
+            const int p = g.physIdx;
+            const OpClass cls = intIq_.opClassAt(p);
+            const std::uint64_t seq = intIq_.seqAt(p);
+            intIq_.markIssued(p, activity);
             --budget;
             ++activity.intAluOps[g.fu];
-            intRegfile_.chargeReads(g.fu, entry.numSrcs, activity);
+            intRegfile_.chargeReads(g.fu, intIq_.numSrcsAt(p),
+                                    activity);
 
             int latency = 0;
-            if (entry.cls == OpClass::Load) {
+            if (cls == OpClass::Load) {
                 const MemLevel level =
-                    caches_.access(entry.lineAddr, activity);
+                    caches_.access(intIq_.lineAddrAt(p), activity);
                 latency = caches_.latency(level);
                 ++activity.lsqOps;
-            } else if (entry.cls == OpClass::Store) {
-                caches_.access(entry.lineAddr, activity);
+            } else if (cls == OpClass::Store) {
+                caches_.access(intIq_.lineAddrAt(p), activity);
                 latency = config_.intAluLatency;
                 ++activity.lsqOps;
             } else {
-                latency = alus_.latencyOf(entry.cls);
+                latency = alus_.latencyOf(cls);
             }
 
-            schedule({entry.seq, rob_index_of(entry.seq),
-                      entry.hasDest,
+            schedule({seq, rob_index_of(seq),
+                      intIq_.hasDestAt(p),
                       /*fpDest=*/false,
-                      entry.cls == OpClass::Branch &&
-                          entry.mispredicted},
+                      cls == OpClass::Branch &&
+                          intIq_.mispredictedAt(p)},
                      latency);
         }
     };
@@ -275,26 +320,27 @@ OooCore::doIssue(ActivityRecord& activity)
                     return true; // multiplier is never turned off
                 return alus_.fpAdderAvailable(fu);
             },
-            [mul_fu](int fu, const IqEntry& e) {
-                return fu == mul_fu ? e.cls == OpClass::FpMul
-                                    : e.cls == OpClass::FpAdd;
+            [mul_fu](int fu, OpClass cls) {
+                return fu == mul_fu ? cls == OpClass::FpMul
+                                    : cls == OpClass::FpAdd;
             },
             grantScratch_);
         for (const Grant& g : grantScratch_) {
-            const IqEntry& entry =
-                fpIq_.entryAtPhysUnchecked(g.physIdx);
-            fpIq_.markIssued(g.physIdx, activity);
+            const int p = g.physIdx;
+            const OpClass cls = fpIq_.opClassAt(p);
+            const std::uint64_t seq = fpIq_.seqAt(p);
+            fpIq_.markIssued(p, activity);
             --budget;
             if (g.fu == mul_fu)
                 ++activity.fpMulOps;
             else
                 ++activity.fpAddOps[g.fu];
             activity.fpRegReads +=
-                static_cast<std::uint64_t>(entry.numSrcs);
+                static_cast<std::uint64_t>(fpIq_.numSrcsAt(p));
 
-            const int latency = alus_.latencyOf(entry.cls);
-            schedule({entry.seq, rob_index_of(entry.seq),
-                      entry.hasDest,
+            const int latency = alus_.latencyOf(cls);
+            schedule({seq, rob_index_of(seq),
+                      fpIq_.hasDestAt(p),
                       /*fpDest=*/true, false},
                      latency);
         }
@@ -317,25 +363,31 @@ OooCore::doDispatch(ActivityRecord& activity)
             return;
         if (robCount_ >= config_.activeListEntries)
             return;
-        const MicroOp& op =
-            fetchRing_[static_cast<std::size_t>(fetchHead_)];
-        const bool is_mem = isMemClass(op.cls);
+        const auto at = static_cast<std::size_t>(fetchHead_);
+        const auto cls = static_cast<OpClass>(fetchCls_[at]);
+        const bool is_mem = isMemClass(cls);
         if (is_mem && lsqCount_ >= config_.lsqEntries)
             return;
-        IssueQueue& iq = isFpClass(op.cls) ? fpIq_ : intIq_;
+        IssueQueue& iq = isFpClass(cls) ? fpIq_ : intIq_;
         if (!iq.canDispatch())
             return;
 
+        const std::uint64_t seq = fetchSeq_[at];
+        const std::uint8_t flags = fetchFlags_[at];
         IqEntry entry;
-        entry.seq = op.seq;
-        entry.cls = op.cls;
-        entry.numSrcs = op.numSrcs;
-        entry.hasDest = op.hasDest;
-        entry.lineAddr = op.lineAddr;
-        entry.mispredicted = op.mispredicted;
-        for (int s = 0; s < op.numSrcs; ++s) {
-            entry.src[s] = op.src[s];
-            entry.srcReady[s] = producerReady(op.src[s]);
+        entry.seq = seq;
+        entry.cls = cls;
+        entry.numSrcs = fetchNumSrcs_[at];
+        entry.hasDest = (flags & kFetchHasDest) != 0;
+        entry.lineAddr = fetchLine_[at];
+        entry.mispredicted = (flags & kFetchMispredict) != 0;
+        if (entry.numSrcs > 0) {
+            entry.src[0] = fetchSrc0_[at];
+            entry.srcReady[0] = producerReady(entry.src[0]);
+        }
+        if (entry.numSrcs > 1) {
+            entry.src[1] = fetchSrc1_[at];
+            entry.srcReady[1] = producerReady(entry.src[1]);
         }
 
         // Allocate the active-list slot before inserting so the
@@ -343,15 +395,20 @@ OooCore::doDispatch(ActivityRecord& activity)
         int rob_idx = robHead_ + robCount_;
         if (rob_idx >= config_.activeListEntries)
             rob_idx -= config_.activeListEntries;
-        rob_[static_cast<std::size_t>(rob_idx)] = {op.seq, false,
-                                                   is_mem};
+        robSeq_[static_cast<std::size_t>(rob_idx)] = seq;
+        const std::uint64_t rob_bit = 1ULL << (rob_idx & 63);
+        robCompleted_[rob_idx >> 6] &= ~rob_bit;
+        if (is_mem)
+            robIsMem_[rob_idx >> 6] |= rob_bit;
+        else
+            robIsMem_[rob_idx >> 6] &= ~rob_bit;
         ++robCount_;
-        markInFlight(op.seq);
+        markInFlight(seq);
         if (is_mem) {
             ++lsqCount_;
             ++activity.lsqOps;
         }
-        if (op.cls == OpClass::Branch)
+        if (cls == OpClass::Branch)
             ++activity.bpredAccesses;
         ++activity.renameOps;
 
@@ -382,20 +439,60 @@ OooCore::doFetch(ActivityRecord& activity)
     if (fetchCount_ >= 3 * config_.fetchWidth)
         return; // fetch buffer full
     ++activity.l1iAccesses;
-    for (int n = 0; n < config_.fetchWidth; ++n) {
-        const MicroOp op = stream_.next();
-        const bool blocks = op.cls == OpClass::Branch &&
-                            op.mispredicted;
-        int tail = fetchHead_ + fetchCount_;
-        if (tail >= fetchCap_)
-            tail -= fetchCap_;
-        fetchRing_[static_cast<std::size_t>(tail)] = op;
-        ++fetchCount_;
+    // Bulk-copy the fetch group straight from the generator's batch
+    // ring (span memcpy per field array) instead of gathering and
+    // re-scattering one MicroOp at a time. A group stops early at a
+    // mispredicted branch (always a Branch-class slot: the generator
+    // sets the mispred bit only for branches) or at a batch-ring
+    // refill boundary; the loop re-enters after either.
+    int want = config_.fetchWidth;
+    while (want > 0) {
+        const InstructionStream::BatchView v = stream_.view();
+        int k = std::min(want, v.count - v.next);
+        const std::uint64_t span_mask =
+            k >= 64 ? ~0ULL : (1ULL << k) - 1;
+        const std::uint64_t blockers =
+            (v.mispred >> v.next) & span_mask;
+        const bool blocks = blockers != 0;
+        if (blocks)
+            k = std::countr_zero(blockers) + 1;
+        int copied = 0;
+        while (copied < k) {
+            int tail = fetchHead_ + fetchCount_;
+            if (tail >= fetchCap_)
+                tail -= fetchCap_;
+            // Contiguous in both rings: stop at either wrap.
+            const int seg = std::min(k - copied, fetchCap_ - tail);
+            const int src = v.next + copied;
+            const auto at = static_cast<std::size_t>(tail);
+            const auto cnt = static_cast<std::size_t>(seg);
+            std::memcpy(fetchSeq_ + at, v.seq + src, cnt * 8);
+            std::memcpy(fetchSrc0_ + at, v.src0 + src, cnt * 8);
+            std::memcpy(fetchSrc1_ + at, v.src1 + src, cnt * 8);
+            std::memcpy(fetchLine_ + at, v.line + src, cnt * 8);
+            std::memcpy(fetchCls_ + at, v.cls + src, cnt);
+            std::memcpy(fetchNumSrcs_ + at, v.numSrcs + src, cnt);
+            for (int i = 0; i < seg; ++i) {
+                const int slot = src + i;
+                fetchFlags_[at + static_cast<std::size_t>(i)] =
+                    static_cast<std::uint8_t>(
+                        (((v.hasDest >> slot) & 1) != 0
+                             ? kFetchHasDest
+                             : 0) |
+                        (((v.mispred >> slot) & 1) != 0
+                             ? kFetchMispredict
+                             : 0));
+            }
+            fetchCount_ += seg;
+            copied += seg;
+        }
+        stream_.advance(k);
+        want -= k;
         if (blocks) {
             // Fetch goes down the wrong path; stop supplying
             // correct-path work until the branch resolves.
             fetchBlocked_ = true;
-            blockingBranchSeq_ = op.seq;
+            blockingBranchSeq_ = v.seq[v.next + k - 1];
             return;
         }
     }
@@ -450,54 +547,45 @@ OooCore::stallCycles(std::uint64_t n, ActivityRecord& activity)
 void
 OooCore::saveState(StateWriter& w) const
 {
+    const auto rob_n =
+        static_cast<std::size_t>(config_.activeListEntries);
+    const auto rob_wb = static_cast<std::size_t>(robWords_) * 8;
+    const std::size_t num_slots =
+        static_cast<std::size_t>(wheelMask_) + 1;
+    const std::size_t wheel_n =
+        num_slots * static_cast<std::size_t>(wheelSlotCap_);
+    const auto fetch_n = static_cast<std::size_t>(fetchCap_);
+
     w.u64(cycle_);
     w.u64(committed_);
 
-    w.u32(static_cast<std::uint32_t>(rob_.size()));
+    w.u32(static_cast<std::uint32_t>(rob_n));
     w.i32(robHead_);
     w.i32(robCount_);
     w.i32(lsqCount_);
-    for (const RobEntry& e : rob_) {
-        w.u64(e.seq);
-        w.boolean(e.completed);
-        w.boolean(e.isMem);
-    }
+    w.blob(robSeq_, rob_n * 8);
+    w.blob(robCompleted_, rob_wb);
+    w.blob(robIsMem_, rob_wb);
 
     w.u64(wheelMask_);
     w.i32(wheelSlotCap_);
-    const std::size_t num_slots = wheelCount_.size();
-    for (std::size_t s = 0; s < num_slots; ++s) {
-        const int n = wheelCount_[s];
-        w.i32(n);
-        for (int i = 0; i < n; ++i) {
-            const Completion& c =
-                wheel_[s * static_cast<std::size_t>(wheelSlotCap_) +
-                       static_cast<std::size_t>(i)];
-            w.u64(c.seq);
-            w.i32(c.robIdx);
-            w.boolean(c.hasDest);
-            w.boolean(c.fpDest);
-            w.boolean(c.mispredictedBranch);
-        }
-    }
+    w.blob(wheelCount_, num_slots * 4);
+    w.blob(wheelSeq_, wheel_n * 8);
+    w.blob(wheelRobIdx_, wheel_n * 4);
+    w.blob(wheelFlags_, wheel_n);
 
-    w.u32(static_cast<std::uint32_t>(done_.size()));
-    for (const std::uint64_t word : done_)
-        w.u64(word);
+    w.blob(done_, (doneMask_ + 1) / 8);
 
     w.i32(fetchCap_);
     w.i32(fetchHead_);
     w.i32(fetchCount_);
-    for (const MicroOp& op : fetchRing_) {
-        w.u64(op.seq);
-        w.u8(static_cast<std::uint8_t>(op.cls));
-        w.i32(op.numSrcs);
-        w.u64(op.src[0]);
-        w.u64(op.src[1]);
-        w.boolean(op.hasDest);
-        w.u64(op.lineAddr);
-        w.boolean(op.mispredicted);
-    }
+    w.blob(fetchSeq_, fetch_n * 8);
+    w.blob(fetchSrc0_, fetch_n * 8);
+    w.blob(fetchSrc1_, fetch_n * 8);
+    w.blob(fetchLine_, fetch_n * 8);
+    w.blob(fetchCls_, fetch_n);
+    w.blob(fetchNumSrcs_, fetch_n);
+    w.blob(fetchFlags_, fetch_n);
     w.i32(fetchInterval_);
     w.boolean(fetchBlocked_);
     w.u64(blockingBranchSeq_);
@@ -507,22 +595,29 @@ OooCore::saveState(StateWriter& w) const
 void
 OooCore::loadState(StateReader& r)
 {
+    const auto rob_n =
+        static_cast<std::size_t>(config_.activeListEntries);
+    const auto rob_wb = static_cast<std::size_t>(robWords_) * 8;
+    const std::size_t num_slots =
+        static_cast<std::size_t>(wheelMask_) + 1;
+    const std::size_t wheel_n =
+        num_slots * static_cast<std::size_t>(wheelSlotCap_);
+    const auto fetch_n = static_cast<std::size_t>(fetchCap_);
+
     cycle_ = r.u64();
     committed_ = r.u64();
 
     const auto rob_size = r.u32();
-    if (rob_size != rob_.size()) {
+    if (rob_size != rob_n) {
         fatal("checkpoint core mismatch: saved active list has ",
-              rob_size, " entries, this core has ", rob_.size());
+              rob_size, " entries, this core has ", rob_n);
     }
     robHead_ = r.i32();
     robCount_ = r.i32();
     lsqCount_ = r.i32();
-    for (RobEntry& e : rob_) {
-        e.seq = r.u64();
-        e.completed = r.boolean();
-        e.isMem = r.boolean();
-    }
+    r.blob(robSeq_, rob_n * 8);
+    r.blob(robCompleted_, rob_wb);
+    r.blob(robIsMem_, rob_wb);
 
     const auto wheel_mask = r.u64();
     const int slot_cap = r.i32();
@@ -532,32 +627,17 @@ OooCore::loadState(StateReader& r)
               " cap ", slot_cap, ", this core mask ", wheelMask_,
               " cap ", wheelSlotCap_, ")");
     }
-    const std::size_t num_slots = wheelCount_.size();
+    r.blob(wheelCount_, num_slots * 4);
+    r.blob(wheelSeq_, wheel_n * 8);
+    r.blob(wheelRobIdx_, wheel_n * 4);
+    r.blob(wheelFlags_, wheel_n);
     for (std::size_t s = 0; s < num_slots; ++s) {
-        const int n = r.i32();
-        if (n < 0 || n > wheelSlotCap_)
-            fatal("checkpoint core: wheel slot count ", n,
-                  " out of range");
-        wheelCount_[s] = n;
-        for (int i = 0; i < n; ++i) {
-            Completion& c =
-                wheel_[s * static_cast<std::size_t>(wheelSlotCap_) +
-                       static_cast<std::size_t>(i)];
-            c.seq = r.u64();
-            c.robIdx = r.i32();
-            c.hasDest = r.boolean();
-            c.fpDest = r.boolean();
-            c.mispredictedBranch = r.boolean();
-        }
+        if (wheelCount_[s] < 0 || wheelCount_[s] > wheelSlotCap_)
+            fatal("checkpoint core: wheel slot count ",
+                  wheelCount_[s], " out of range");
     }
 
-    const auto done_words = r.u32();
-    if (done_words != done_.size()) {
-        fatal("checkpoint core mismatch: done-bit ring has ",
-              done_words, " words, this core has ", done_.size());
-    }
-    for (std::uint64_t& word : done_)
-        word = r.u64();
+    r.blob(done_, (doneMask_ + 1) / 8);
 
     const int fetch_cap = r.i32();
     if (fetch_cap != fetchCap_) {
@@ -566,16 +646,13 @@ OooCore::loadState(StateReader& r)
     }
     fetchHead_ = r.i32();
     fetchCount_ = r.i32();
-    for (MicroOp& op : fetchRing_) {
-        op.seq = r.u64();
-        op.cls = static_cast<OpClass>(r.u8());
-        op.numSrcs = r.i32();
-        op.src[0] = r.u64();
-        op.src[1] = r.u64();
-        op.hasDest = r.boolean();
-        op.lineAddr = r.u64();
-        op.mispredicted = r.boolean();
-    }
+    r.blob(fetchSeq_, fetch_n * 8);
+    r.blob(fetchSrc0_, fetch_n * 8);
+    r.blob(fetchSrc1_, fetch_n * 8);
+    r.blob(fetchLine_, fetch_n * 8);
+    r.blob(fetchCls_, fetch_n);
+    r.blob(fetchNumSrcs_, fetch_n);
+    r.blob(fetchFlags_, fetch_n);
     fetchInterval_ = r.i32();
     fetchBlocked_ = r.boolean();
     blockingBranchSeq_ = r.u64();

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/arena.hh"
 #include "common/types.hh"
 #include "uarch/activity.hh"
 #include "uarch/alu.hh"
@@ -38,10 +39,17 @@ class OooCore
      * @param config pipeline parameters (validated)
      * @param profile workload the core executes
      * @param run_seed experiment seed for the instruction stream
+     * @param arena backing store for the hot-state arrays (ROB,
+     *        completion wheel, done ring, fetch ring, and both
+     *        issue queues); nullptr uses a core-private arena.
+     *        The arena must outlive the core.
      */
     OooCore(const PipelineConfig& config,
             const BenchmarkProfile& profile,
-            std::uint64_t run_seed = 0);
+            std::uint64_t run_seed = 0, Arena* arena = nullptr);
+
+    OooCore(const OooCore&) = delete;
+    OooCore& operator=(const OooCore&) = delete;
 
     /** Simulate one cycle, accumulating activity. */
     void tick(ActivityRecord& activity);
@@ -120,13 +128,6 @@ class OooCore
   private:
     friend struct CoreTestPeer; ///< white-box writeback tests
 
-    struct RobEntry
-    {
-        std::uint64_t seq = 0;
-        bool completed = false;
-        bool isMem = false;
-    };
-
     /** Scheduled writeback event. */
     struct Completion
     {
@@ -159,6 +160,9 @@ class OooCore
     PipelineConfig config_;    // ckpt:skip(config, supplied by the restoring run)
     InstructionStream stream_; // ckpt:skip(own chunk: kChunkWorkload)
 
+    // ckpt:skip(allocator backing store, rebuilt by the constructor)
+    Arena ownArena_; ///< used only when no external arena is given
+
     IssueQueue intIq_;         // ckpt:skip(own chunk: kChunkIqInt)
     IssueQueue fpIq_;          // ckpt:skip(own chunk: kChunkIqFp)
     SelectNetwork intSelect_;  // ckpt:skip(stateless select trees)
@@ -168,28 +172,42 @@ class OooCore
     RegisterFile intRegfile_;  // ckpt:skip(own chunk: kChunkRegfile)
     DataHierarchy caches_;     // ckpt:skip(own chunk: kChunkCaches)
 
-    // Reorder buffer (active list) as a ring.
-    std::vector<RobEntry> rob_;
+    // Reorder buffer (active list) as a ring, structure-of-arrays:
+    // sequence numbers in one array, the per-entry booleans as
+    // bitmaps (bit i = ring slot i). Commit tests one completed
+    // bit; writeback sets one.
+    std::uint64_t* robSeq_ = nullptr;       // ckpt:bulk(core-soa)
+    std::uint64_t* robCompleted_ = nullptr; // ckpt:bulk(core-soa)
+    std::uint64_t* robIsMem_ = nullptr;     // ckpt:bulk(core-soa)
+    int robWords_ = 0; // ckpt:skip(geometry, derived from config)
     int robHead_ = 0;
     int robCount_ = 0;
     int lsqCount_ = 0;
 
-    // Completion wheel, flattened: a power-of-two number of slots
-    // (indexed by cycle & wheelMask_) times a fixed per-slot
+    // Completion wheel, flattened SoA: a power-of-two number of
+    // slots (indexed by cycle & wheelMask_) times a fixed per-slot
     // capacity, with a count per slot. The capacity is the static
     // bound on same-cycle completions: at most issueWidth ops issue
     // per cycle, and a slot only collects from one issue cycle per
-    // distinct operation latency (see the constructor).
-    std::vector<Completion> wheel_;
-    std::vector<int> wheelCount_;
+    // distinct operation latency (see the constructor). Event
+    // fields live in parallel arrays (slot * cap + i); the three
+    // booleans pack into one flags byte.
+    std::uint64_t* wheelSeq_ = nullptr;    // ckpt:bulk(core-soa)
+    std::int32_t* wheelRobIdx_ = nullptr;  // ckpt:bulk(core-soa)
+    std::uint8_t* wheelFlags_ = nullptr;   // ckpt:bulk(core-soa)
+    std::int32_t* wheelCount_ = nullptr;   // ckpt:bulk(core-soa)
     std::uint64_t wheelMask_ = 0;
     int wheelSlotCap_ = 0;
+
+    static constexpr std::uint8_t kWheelHasDest = 1;
+    static constexpr std::uint8_t kWheelFpDest = 2;
+    static constexpr std::uint8_t kWheelMispredict = 4;
 
     // Completed-producer ring (sized beyond any in-flight window),
     // one bit per sequence number: word (seq & mask) / 64, bit
     // (seq & mask) % 64. The wakeup scoreboard tests these bits
     // directly.
-    std::vector<std::uint64_t> done_;
+    std::uint64_t* done_ = nullptr; // ckpt:bulk(core-soa)
     static constexpr std::uint64_t doneMask_ = 4095;
 
     /** Set the completed bit for a sequence number. */
@@ -210,8 +228,21 @@ class OooCore
 
     // Fetch buffer as a fixed ring (capacity 4 * fetchWidth covers
     // the high-water mark: the 3 * fetchWidth full check plus one
-    // more fetch group).
-    std::vector<MicroOp> fetchRing_;
+    // more fetch group), structure-of-arrays: one array per MicroOp
+    // field, the two booleans packed into a flags byte. Fetch
+    // scatters the generated op; dispatch gathers only the fields
+    // it needs.
+    std::uint64_t* fetchSeq_ = nullptr;     // ckpt:bulk(core-soa)
+    std::uint64_t* fetchSrc0_ = nullptr;    // ckpt:bulk(core-soa)
+    std::uint64_t* fetchSrc1_ = nullptr;    // ckpt:bulk(core-soa)
+    std::uint64_t* fetchLine_ = nullptr;    // ckpt:bulk(core-soa)
+    std::uint8_t* fetchCls_ = nullptr;      // ckpt:bulk(core-soa)
+    std::uint8_t* fetchNumSrcs_ = nullptr;  // ckpt:bulk(core-soa)
+    std::uint8_t* fetchFlags_ = nullptr;    // ckpt:bulk(core-soa)
+
+    static constexpr std::uint8_t kFetchHasDest = 1;
+    static constexpr std::uint8_t kFetchMispredict = 2;
+
     int fetchHead_ = 0;
     int fetchCount_ = 0;
     int fetchCap_ = 0;

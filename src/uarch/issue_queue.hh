@@ -24,17 +24,33 @@
  * re-derives logical positions, reproducing the paper's transiently
  * inverted priorities right after a toggle.
  *
- * Readiness is tracked in two 64-bit bitmaps maintained
- * incrementally by dispatch/wakeup/issue/compaction:
+ * Storage is structure-of-arrays (DESIGN.md §14): each entry field
+ * lives in its own parallel array indexed by physical slot, and all
+ * boolean per-entry state is packed into 64-bit bitmaps, so every
+ * per-cycle scan walks contiguous words instead of striding through
+ * an array of structs:
  *
- * - `readyBits_`, indexed by *logical* position: bit l is set iff
- *   the entry at logical l is ready to issue. The select network
- *   walks these words with std::countr_zero, so priority order
- *   falls out of bit order with no per-entry scan.
- * - `waitingBits_`, indexed by *physical* slot: bit p is set iff
- *   the entry at p has at least one unready source (the set the
- *   wakeup CAM watches). Physical indexing makes a mode toggle a
- *   no-op for this map — entries do not move.
+ * - `seq_`, `src0_`/`src1_`, `lineAddr_` (u64) and `cls_`,
+ *   `numSrcs_` (u8): the payload/tag arrays. Wakeup touches only
+ *   the tag arrays; select touches only `cls_`.
+ * - `validBits_`/`pendingBits_`: occupancy, by physical slot.
+ * - `needsBits_[s]`: bit p set iff the entry at p is waiting on
+ *   source s (the set the wakeup CAM watches). The union of the
+ *   two is the old waiting bitmap; physical indexing makes a mode
+ *   toggle a no-op for these maps — entries do not move.
+ * - `hasDestBits_`/`mispredBits_`: remaining per-entry flags.
+ * - `ready_`, indexed by *logical* position: bit l is set iff the
+ *   entry at logical l is ready to issue. The select network walks
+ *   these words with std::countr_zero, so priority order falls out
+ *   of bit order with no per-entry scan.
+ *
+ * The arrays are carved from an Arena (the owning simulator's, or a
+ * private one for standalone construction) and serialized as bulk
+ * blob writes — see the `ckpt:bulk(iq-soa)` annotations.
+ *
+ * `IqEntry` remains as the dispatch descriptor and as a
+ * materialized per-entry view for tests; the hot paths never build
+ * one.
  */
 
 #ifndef TEMPEST_UARCH_ISSUE_QUEUE_HH
@@ -42,8 +58,8 @@
 
 #include <bit>
 #include <cstdint>
-#include <vector>
 
+#include "common/arena.hh"
 #include "uarch/activity.hh"
 #include "uarch/pipeline_config.hh"
 #include "workload/instruction.hh"
@@ -61,7 +77,7 @@ enum class CompactionMode
     Toggled       ///< head at physical N/2, wrap-around compaction
 };
 
-/** One issue-queue entry. */
+/** One issue-queue entry (dispatch descriptor / materialized view). */
 struct IqEntry
 {
     bool valid = false;
@@ -99,8 +115,14 @@ class IssueQueue
      * @param num_entries queue size (even; Table 2: 32)
      * @param issue_width max compaction distance per cycle
      * @param kind integer or floating-point queue
+     * @param arena arena the SoA arrays are carved from; nullptr
+     *        uses a private arena (standalone tests/benches)
      */
-    IssueQueue(int num_entries, int issue_width, QueueKind kind);
+    IssueQueue(int num_entries, int issue_width, QueueKind kind,
+               Arena* arena = nullptr);
+
+    IssueQueue(const IssueQueue&) = delete;
+    IssueQueue& operator=(const IssueQueue&) = delete;
 
     int size() const { return size_; }
     QueueKind kind() const { return kind_; }
@@ -139,46 +161,75 @@ class IssueQueue
                        ActivityRecord& activity);
 
     /**
-     * Scoreboard variant of the same-cycle wakeup: instead of
-     * matching each waiting source against a bounded list of
-     * completing tags, consult the core's completed-producer bit
-     * ring (bit `seq & mask` of `done_bits`). Models the same
-     * hardware event — the activity charge is still one tag
-     * broadcast per completing destination (`n_tags`) — but has no
-     * cap on how many results can wake dependents in one cycle.
-     * Entries that become fully ready move from the waiting bitmap
-     * to the ready bitmap.
+     * Event-driven variant of the same-cycle wakeup: wake only the
+     * entries registered in the watch index as waiting on exactly
+     * this producer, instead of scanning every waiting entry
+     * against a completed-producer scoreboard. The writeback loop
+     * calls this once per completing instruction; the modeled
+     * tag-broadcast energy for the cycle is charged separately via
+     * chargeWakeup(), so the activity accounting is identical to a
+     * CAM broadcast. Entries that become fully ready move from the
+     * waiting bitmaps to the ready bitmap.
      */
-    void wakeupScoreboard(const std::uint64_t* done_bits,
-                          std::uint64_t mask, int n_tags,
-                          ActivityRecord& activity);
+    void wakeMatching(std::uint64_t producer_seq);
+
+    /**
+     * Charge the cycle's tag-broadcast activity for `n_tags`
+     * completing destinations. No-op when the queue is empty (the
+     * broadcast drivers are clock-gated) or n_tags <= 0.
+     */
+    void chargeWakeup(int n_tags, ActivityRecord& activity);
 
     /** Ready bitmap in logical-priority order: bit l of word l/64
      * is set iff the entry at logical position l is ready. */
-    const std::uint64_t* readyBits() const { return ready_.data(); }
+    const std::uint64_t* readyBits() const { return ready_; }
 
     /** Number of 64-bit words in the ready/waiting bitmaps. */
     int bitWords() const { return words_; }
 
+    /** Op class of the entry at a physical slot (select hot path;
+     * the index must come from the ready bitmap). */
+    OpClass
+    opClassAt(int phys) const
+    {
+        return static_cast<OpClass>(cls_[phys]);
+    }
+
+    /** Unchecked field reads for the issue hot path; the index
+     * must name a valid entry (it came from a grant). */
+    std::uint64_t seqAt(int phys) const { return seq_[phys]; }
+    int numSrcsAt(int phys) const { return numSrcs_[phys]; }
+    std::uint64_t lineAddrAt(int phys) const
+    {
+        return lineAddr_[phys];
+    }
+    bool hasDestAt(int phys) const
+    {
+        return testBit(hasDestBits_, phys);
+    }
+    bool mispredictedAt(int phys) const
+    {
+        return testBit(mispredBits_, phys);
+    }
+
     /**
      * Visit ready entries in priority (logical) order by walking
      * the ready bitmap. The visitor receives (physical index,
-     * entry) and returns false to stop. Entries issued by the
-     * visitor itself are not revisited; entries dispatched during
-     * iteration are not picked up.
+     * materialized entry view) and returns false to stop. Entries
+     * issued by the visitor itself are not revisited; entries
+     * dispatched during iteration are not picked up.
      */
     template <typename Visitor>
     void
     forEachReadyInPriorityOrder(Visitor&& visit) const
     {
         for (int w = 0; w < words_; ++w) {
-            std::uint64_t m = ready_[static_cast<std::size_t>(w)];
+            std::uint64_t m = ready_[w];
             while (m != 0) {
                 const int l = w * 64 + std::countr_zero(m);
                 m &= m - 1;
                 const int p = physOfLogical(l);
-                const IqEntry& e =
-                    phys_[static_cast<std::size_t>(p)];
+                const IqEntry e = materialize(p);
                 if (!visit(p, e))
                     return;
             }
@@ -240,17 +291,9 @@ class IssueQueue
         return phys < half_ ? 0 : 1;
     }
 
-    /** Entry access by physical index (for tests and the core). */
-    const IqEntry& entryAtPhys(int phys) const;
-    IqEntry& entryAtPhys(int phys);
-
-    /** Unchecked entry access for the select hot path; the index
-     * must come from the ready bitmap. */
-    const IqEntry&
-    entryAtPhysUnchecked(int phys) const
-    {
-        return phys_[static_cast<std::size_t>(phys)];
-    }
+    /** Materialized entry view by physical index (tests; the hot
+     * paths use the field accessors above). */
+    IqEntry entryAtPhys(int phys) const;
 
     /** Valid entries currently in a physical half. */
     int occupancyOfHalf(int half) const;
@@ -262,8 +305,7 @@ class IssueQueue
     {
         int n = 0;
         for (int w = 0; w < words_; ++w)
-            n += std::popcount(
-                waiting_[static_cast<std::size_t>(w)]);
+            n += std::popcount(needsBits_[0][w] | needsBits_[1][w]);
         return n;
     }
 
@@ -280,6 +322,47 @@ class IssueQueue
   private:
     int queueIndex() const { return static_cast<int>(kind_); }
 
+    /** Build the struct view of one physical slot. */
+    IqEntry materialize(int phys) const;
+
+    /** compactStep body; force_generic pins the reference pass so
+     * the unit tests can diff the two implementations. */
+    void compactStepImpl(ActivityRecord& activity,
+                         bool force_generic);
+
+    /** Compaction pass over single-word bitmaps: holes and runs
+     * are derived with mask arithmetic, runs of entries move with
+     * one memmove per field array and one mask shift per bitmap
+     * (the hot path; every shipped queue fits one word). */
+    void compactWordPass(ActivityRecord& activity);
+
+    /** Reference per-entry compaction pass (queues > 64 entries);
+     * must charge and move exactly like compactWordPass. */
+    void compactGenericPass(ActivityRecord& activity);
+
+    friend struct IqTestPeer;
+
+    static std::uint64_t
+    mask64(int n)
+    {
+        return n >= 64 ? ~0ULL : (1ULL << n) - 1;
+    }
+
+    /** Register (consumer seq, source k) in the watch index as
+     * waiting on producer_seq. */
+    void watchAdd(std::uint64_t consumer_seq, int k,
+                  std::uint64_t producer_seq);
+
+    /** Physical slot of the entry with the given seq that is
+     * waiting on source k, or -1. Scans the needsBits_[k] words —
+     * correct under any logical mapping (a mode toggle rotates
+     * logical order, so seq_ is NOT sorted along it). */
+    int physBySeq(std::uint64_t seq, int k) const;
+
+    /** Rebuild the watch index from the waiting bitmaps and tag
+     * arrays (constructor, clear() and loadState). */
+    void rebuildWatch();
+
     /** Recompute the cached tail position (one past the highest
      * occupied logical slot). */
     void recomputeTail();
@@ -288,40 +371,55 @@ class IssueQueue
      * (used after a mode toggle re-derives logical positions). */
     void rebuildReadyBits();
 
-    void
-    setReadyBit(int logical)
+    static bool
+    testBit(const std::uint64_t* map, int i)
     {
-        ready_[static_cast<std::size_t>(logical >> 6)] |=
-            1ULL << (logical & 63);
+        return (map[i >> 6] >> (i & 63)) & 1;
     }
 
-    void
-    clearReadyBit(int logical)
+    static void
+    setBit(std::uint64_t* map, int i)
     {
-        ready_[static_cast<std::size_t>(logical >> 6)] &=
-            ~(1ULL << (logical & 63));
+        map[i >> 6] |= 1ULL << (i & 63);
     }
 
-    void
-    setWaitingBit(int phys)
+    static void
+    clearBit(std::uint64_t* map, int i)
     {
-        waiting_[static_cast<std::size_t>(phys >> 6)] |=
-            1ULL << (phys & 63);
+        map[i >> 6] &= ~(1ULL << (i & 63));
     }
 
-    void
-    clearWaitingBit(int phys)
+    /** Relocate one bit: clears `from`, writes its old value at
+     * `to` (unconditionally, so stale destination bits die). */
+    static void
+    moveBit(std::uint64_t* map, int from, int to)
     {
-        waiting_[static_cast<std::size_t>(phys >> 6)] &=
-            ~(1ULL << (phys & 63));
+        const bool was = testBit(map, from);
+        clearBit(map, from);
+        if (was)
+            setBit(map, to);
+        else
+            clearBit(map, to);
     }
+
+    void setReadyBit(int logical) { setBit(ready_, logical); }
+    void clearReadyBit(int logical) { clearBit(ready_, logical); }
 
     bool
     testReadyBit(int logical) const
     {
-        return (ready_[static_cast<std::size_t>(logical >> 6)] >>
-                (logical & 63)) &
-               1;
+        return testBit(ready_, logical);
+    }
+
+    /** @return true if the valid entry at `phys` waits on nothing
+     * and has not issued. */
+    bool
+    slotReady(int phys) const
+    {
+        return testBit(validBits_, phys) &&
+               !testBit(pendingBits_, phys) &&
+               !testBit(needsBits_[0], phys) &&
+               !testBit(needsBits_[1], phys);
     }
 
     int size_;
@@ -331,7 +429,6 @@ class IssueQueue
     int issueWidth_; // ckpt:skip(config, supplied by the restoring run)
     QueueKind kind_;
     CompactionMode mode_ = CompactionMode::Conventional;
-    std::vector<IqEntry> phys_;
     int count_ = 0;
     std::uint64_t toggleCount_ = 0;
 
@@ -341,11 +438,51 @@ class IssueQueue
     int halfCount_[2] = {0, 0}; ///< valid entries per physical half
     int pendingInvalidCount_ = 0; ///< issued, not yet holes
 
+    // ckpt:skip(allocator backing the SoA arrays, not state)
+    Arena ownArena_; ///< used when the caller supplies no arena
+
+    // SoA payload/tag arrays, indexed by physical slot; arena-owned
+    // (freed when the arena dies), serialized as bulk blobs.
+    std::uint64_t* seq_;      // ckpt:bulk(iq-soa)
+    std::uint64_t* src0_;     // ckpt:bulk(iq-soa)
+    std::uint64_t* src1_;     // ckpt:bulk(iq-soa)
+    std::uint64_t* lineAddr_; // ckpt:bulk(iq-soa)
+    std::uint8_t* cls_;       // ckpt:bulk(iq-soa)
+    std::uint8_t* numSrcs_;   // ckpt:bulk(iq-soa)
+
+    // Per-entry flags as bitmaps, indexed by physical slot.
+    std::uint64_t* validBits_;   // ckpt:bulk(iq-soa)
+    std::uint64_t* pendingBits_; // ckpt:bulk(iq-soa)
+    std::uint64_t* hasDestBits_; // ckpt:bulk(iq-soa)
+    std::uint64_t* mispredBits_; // ckpt:bulk(iq-soa)
+    /** needsBits_[s] bit p: entry at p waits on source s. */
+    std::uint64_t* needsBits_[2]; // ckpt:bulk(iq-soa)
+
     /** Ready entries by logical position (see file comment). */
-    std::vector<std::uint64_t> ready_;
-    /** Entries with at least one unready source, by physical
-     * slot; rebuilt each compaction, appended by dispatch. */
-    std::vector<std::uint64_t> waiting_;
+    std::uint64_t* ready_; // ckpt:bulk(iq-soa)
+
+    // Event-driven wakeup index: per producer-seq slot (low bits),
+    // an intrusive singly-linked list of (consumer seq, source)
+    // nodes waiting on that producer. Nodes come from a free list
+    // sized 2 * size_ (an entry watches at most two sources) and
+    // name the waiting entry by its *seq*, which is stable across
+    // compaction — the passes never touch the index. wakeMatching()
+    // resolves the seq back to a slot by scanning the waiting
+    // bitmap words for a seq match; the queues are one or two
+    // words, so this costs a handful of compares and stays correct
+    // when a mode toggle rotates the logical order out from under
+    // any position-derived shortcut.
+    // Seqs hash to a slot by their low bits, so the full producer
+    // tag is verified before a needs bit clears. The whole index is
+    // derived state: rebuildWatch() reconstructs it from the
+    // waiting bitmaps and tag arrays.
+    static constexpr int kWatchSlots = 1024;
+    std::int16_t* watchHead_;  // ckpt:skip(derived, rebuildWatch)
+    std::int16_t* nodeNext_;   // ckpt:skip(derived, rebuildWatch)
+    std::uint64_t* watchSeq_;  // ckpt:skip(derived, rebuildWatch)
+    std::uint8_t* watchK_;     // ckpt:skip(derived, rebuildWatch)
+    // ckpt:skip(derived, rebuildWatch)
+    std::int16_t nodeFreeHead_ = -1;
 };
 
 } // namespace tempest

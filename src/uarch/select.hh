@@ -67,8 +67,8 @@ class SelectNetwork
      * @param cycle current cycle (drives round-robin rotation)
      * @param max_grants remaining global issue budget
      * @param fu_available callable bool(int fu): busy/turnoff mask
-     * @param can_use callable bool(int fu, const IqEntry&): class
-     *        and port eligibility; must be side-effect free
+     * @param can_use callable bool(int fu, OpClass): class and
+     *        port eligibility; must be side-effect free
      * @param grants output; grants are appended in tree order
      * @return number of grants appended
      */
@@ -111,9 +111,7 @@ class SelectNetwork
                     m &= m - 1;
                     const int phys =
                         iq.physOfLogical(w * 64 + bit);
-                    const IqEntry& entry =
-                        iq.entryAtPhysUnchecked(phys);
-                    if (!can_use(fu, entry))
+                    if (!can_use(fu, iq.opClassAt(phys)))
                         continue;
                     avail_[static_cast<std::size_t>(w)] &=
                         ~(1ULL << bit);

@@ -39,6 +39,22 @@ InstructionStream::InstructionStream(const BenchmarkProfile& profile,
     mixTable_.build(profile_.mix,
                     static_cast<int>(OpClass::NumOpClasses));
     updatePhase();
+    updateDepDenoms();
+}
+
+void
+InstructionStream::updateDepDenoms()
+{
+    // The denominators feed a division in the geometric inversion
+    // (not a reciprocal multiply), so a draw is bit-identical to
+    // computing log1p at the draw site.
+    const double near_mean = std::max(profile_.nearDepDist, 1.0);
+    logDenomNear_ =
+        near_mean > 1.0 ? std::log1p(-1.0 / near_mean) : 0.0;
+    const double far_mean =
+        std::max(profile_.meanDepDist * depScale_, 1.0);
+    logDenomFar_ =
+        far_mean > 1.0 ? std::log1p(-1.0 / far_mean) : 0.0;
 }
 
 void
@@ -53,6 +69,7 @@ InstructionStream::updatePhase()
         phaseRemaining_ = ~0ULL;
         depScale_ = 1.0;
         missScale_ = 1.0;
+        updateDepDenoms();
         return;
     }
     // Alternate calm and burst phases with geometric lengths whose
@@ -68,6 +85,7 @@ InstructionStream::updatePhase()
     depScale_ = inBurst_ ? profile_.burstIlpScale : 1.0;
     // Bursts are compute phases: loads mostly hit.
     missScale_ = inBurst_ ? 0.25 : 1.0;
+    updateDepDenoms();
 }
 
 std::uint64_t
@@ -85,15 +103,15 @@ InstructionStream::drawProducer()
     double u = rng_.uniform();
     const bool near = u < p_near;
     u = near ? u / p_near : (u - p_near) / (1.0 - p_near);
-    const double base_mean =
-        near ? profile_.nearDepDist
-             : profile_.meanDepDist * depScale_;
-    const double mean = std::max(base_mean, 1.0);
     // Distance = 1 + Geometric with mean (mean - 1), measured in
-    // value-producing instructions.
+    // value-producing instructions. The log1p(-1/mean) denominator
+    // is hoisted into the phase-change path (updateDepDenoms);
+    // 0.0 marks a degenerate mean <= 1 (always distance 1).
+    const double log_denom =
+        near ? logDenomNear_ : logDenomFar_;
     std::uint64_t dist = 1;
-    if (mean > 1.0)
-        dist += Rng::geometricFromUniform(u, 1.0 / mean);
+    if (log_denom != 0.0)
+        dist += Rng::geometricFromUniformLogDenom(u, log_denom);
     const std::uint64_t window =
         std::min(destCount_, destRingSize_);
     if (dist > window)
@@ -119,57 +137,68 @@ InstructionStream::drawLineAddr()
     return hotBase + indexFromUniform(u / hot_slice, hotLines);
 }
 
-MicroOp
-InstructionStream::generate()
+void
+InstructionStream::generateInto(int i)
 {
     updatePhase();
 
-    MicroOp op;
-    op.seq = ++seq_;
+    const auto at = static_cast<std::size_t>(i);
+    const std::uint64_t slot_bit = 1ULL << i;
+    const std::uint64_t seq = ++seq_;
+    batchSeq_[at] = seq;
+    batchLine_[at] = 0;
+    batchSrc0_[at] = 0;
+    batchSrc1_[at] = 0;
+    batchHasDest_ &= ~slot_bit;
+    batchMispred_ &= ~slot_bit;
 
-    op.cls = static_cast<OpClass>(mixTable_.sample(rng_));
+    const auto cls = static_cast<OpClass>(mixTable_.sample(rng_));
+    batchCls_[at] = static_cast<std::uint8_t>(cls);
 
-    switch (op.cls) {
+    int num_srcs = 0;
+    bool has_dest = false;
+    switch (cls) {
       case OpClass::Load:
-        op.numSrcs = 1; // address register
-        op.hasDest = true;
-        op.lineAddr = drawLineAddr();
+        num_srcs = 1; // address register
+        has_dest = true;
+        batchLine_[at] = drawLineAddr();
         break;
       case OpClass::Store:
-        op.numSrcs = 2; // address + data
-        op.hasDest = false;
-        op.lineAddr = drawLineAddr();
+        num_srcs = 2; // address + data
+        batchLine_[at] = drawLineAddr();
         break;
       case OpClass::Branch:
-        op.numSrcs = 1; // condition
-        op.hasDest = false;
-        op.mispredicted =
-            rng_.chance(profile_.branchMispredictRate);
+        num_srcs = 1; // condition
+        if (rng_.chance(profile_.branchMispredictRate))
+            batchMispred_ |= slot_bit;
         break;
       default: {
         // Arithmetic: mostly two sources, sometimes fewer
         // (immediates, loop-invariant values).
         const double u = rng_.uniform();
-        op.numSrcs = u < 0.65 ? 2 : (u < 0.95 ? 1 : 0);
-        op.hasDest = true;
+        num_srcs = u < 0.65 ? 2 : (u < 0.95 ? 1 : 0);
+        has_dest = true;
         break;
       }
     }
+    batchNumSrcs_[at] = static_cast<std::uint8_t>(num_srcs);
 
-    for (int i = 0; i < op.numSrcs; ++i)
-        op.src[i] = drawProducer();
+    if (num_srcs > 0)
+        batchSrc0_[at] = drawProducer();
+    if (num_srcs > 1)
+        batchSrc1_[at] = drawProducer();
 
-    if (op.hasDest)
-        destRing_[destCount_++ % destRingSize_] = op.seq;
-
-    return op;
+    if (has_dest) {
+        batchHasDest_ |= slot_bit;
+        destRing_[destCount_++ % destRingSize_] = seq;
+    }
 }
 
 void
 InstructionStream::refill()
 {
     for (int i = 0; i < batchSize_; ++i)
-        batch_[static_cast<std::size_t>(i)] = generate();
+        generateInto(i);
     batchNext_ = 0;
     batchCount_ = batchSize_;
 }
@@ -184,17 +213,14 @@ InstructionStream::saveState(StateWriter& w) const
     w.u64(consumed_);
     w.i32(batchNext_);
     w.i32(batchCount_);
-    for (int i = 0; i < batchSize_; ++i) {
-        const MicroOp& op = batch_[static_cast<std::size_t>(i)];
-        w.u64(op.seq);
-        w.u8(static_cast<std::uint8_t>(op.cls));
-        w.i32(op.numSrcs);
-        w.u64(op.src[0]);
-        w.u64(op.src[1]);
-        w.boolean(op.hasDest);
-        w.u64(op.lineAddr);
-        w.boolean(op.mispredicted);
-    }
+    w.blob(batchSeq_, batchSize_ * 8);
+    w.blob(batchSrc0_, batchSize_ * 8);
+    w.blob(batchSrc1_, batchSize_ * 8);
+    w.blob(batchLine_, batchSize_ * 8);
+    w.blob(batchCls_, batchSize_);
+    w.blob(batchNumSrcs_, batchSize_);
+    w.u64(batchHasDest_);
+    w.u64(batchMispred_);
     w.boolean(inBurst_);
     w.u64(phaseRemaining_);
     w.u64(burstCount_);
@@ -223,17 +249,14 @@ InstructionStream::loadState(StateReader& r)
     consumed_ = r.u64();
     batchNext_ = r.i32();
     batchCount_ = r.i32();
-    for (int i = 0; i < batchSize_; ++i) {
-        MicroOp& op = batch_[static_cast<std::size_t>(i)];
-        op.seq = r.u64();
-        op.cls = static_cast<OpClass>(r.u8());
-        op.numSrcs = r.i32();
-        op.src[0] = r.u64();
-        op.src[1] = r.u64();
-        op.hasDest = r.boolean();
-        op.lineAddr = r.u64();
-        op.mispredicted = r.boolean();
-    }
+    r.blob(batchSeq_, batchSize_ * 8);
+    r.blob(batchSrc0_, batchSize_ * 8);
+    r.blob(batchSrc1_, batchSize_ * 8);
+    r.blob(batchLine_, batchSize_ * 8);
+    r.blob(batchCls_, batchSize_);
+    r.blob(batchNumSrcs_, batchSize_);
+    batchHasDest_ = r.u64();
+    batchMispred_ = r.u64();
     inBurst_ = r.boolean();
     phaseRemaining_ = r.u64();
     burstCount_ = r.u64();
@@ -243,6 +266,7 @@ InstructionStream::loadState(StateReader& r)
     destCount_ = r.u64();
     for (std::uint64_t& s : destRing_)
         s = r.u64();
+    updateDepDenoms();
 }
 
 } // namespace tempest

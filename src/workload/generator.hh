@@ -45,14 +45,67 @@ class InstructionStream
     explicit InstructionStream(const BenchmarkProfile& profile,
                                std::uint64_t run_seed = 0);
 
-    /** Return the next dynamic instruction. */
+    /** Return the next dynamic instruction (gathered from the
+     * batch ring's field arrays). */
     MicroOp
     next()
     {
         if (batchNext_ == batchCount_)
             refill();
+        const auto i = static_cast<std::size_t>(batchNext_++);
         ++consumed_;
-        return batch_[static_cast<std::size_t>(batchNext_++)];
+        MicroOp op;
+        op.seq = batchSeq_[i];
+        op.cls = static_cast<OpClass>(batchCls_[i]);
+        op.numSrcs = batchNumSrcs_[i];
+        op.src[0] = batchSrc0_[i];
+        op.src[1] = batchSrc1_[i];
+        op.hasDest = ((batchHasDest_ >> i) & 1) != 0;
+        op.lineAddr = batchLine_[i];
+        op.mispredicted = ((batchMispred_ >> i) & 1) != 0;
+        return op;
+    }
+
+    /**
+     * Read-only view of the un-consumed tail of the batch ring, for
+     * consumers that copy several instructions at once (the core's
+     * fetch stage). Field pointers alias the ring's SoA arrays; the
+     * view is invalidated by the next call to next(), view() or
+     * advance() past a refill.
+     */
+    struct BatchView
+    {
+        const std::uint64_t* seq;
+        const std::uint64_t* src0;
+        const std::uint64_t* src1;
+        const std::uint64_t* line;
+        const std::uint8_t* cls;
+        const std::uint8_t* numSrcs;
+        std::uint64_t hasDest;  ///< bitmask, bit i = ring slot i
+        std::uint64_t mispred;  ///< bitmask, bit i = ring slot i
+        int next;               ///< first un-consumed ring slot
+        int count;              ///< slots generated (view ends here)
+    };
+
+    /** @return the current batch view, refilling first if the ring
+     * is exhausted (so view().next < view().count always holds). */
+    BatchView
+    view()
+    {
+        if (batchNext_ == batchCount_)
+            refill();
+        return {batchSeq_,  batchSrc0_,    batchSrc1_,
+                batchLine_, batchCls_,     batchNumSrcs_,
+                batchHasDest_, batchMispred_, batchNext_,
+                batchCount_};
+    }
+
+    /** Consume n instructions previously exposed via view(). */
+    void
+    advance(int n)
+    {
+        batchNext_ += n;
+        consumed_ += static_cast<std::uint64_t>(n);
     }
 
     /**
@@ -95,8 +148,12 @@ class InstructionStream
     /** Advance phase state and return current dep-distance scale. */
     void updatePhase();
 
-    /** Generate one instruction (advances the RNG stream). */
-    MicroOp generate();
+    /** Refresh the cached geometric log-denominators. */
+    void updateDepDenoms();
+
+    /** Generate one instruction into batch ring slot i (advances
+     * the RNG stream). */
+    void generateInto(int i);
 
     /** Refill the batch ring with freshly generated instructions. */
     void refill();
@@ -119,9 +176,21 @@ class InstructionStream
     // Batch ring: generation is feedback-free (nothing the core
     // does influences the stream), so instructions are produced a
     // batch at a time — the generator's state stays hot in cache
-    // and the per-call path is a copy plus two counter bumps.
+    // and the per-call path is a field gather plus two counter
+    // bumps. Structure-of-arrays: one array per MicroOp field,
+    // the booleans as 64-bit masks (batchSize_ is exactly one
+    // mask word). Unused fields of a slot are zeroed by
+    // generateInto so the ring's content — and hence the
+    // checkpoint bytes — never carry stale values.
     static constexpr int batchSize_ = 64;
-    MicroOp batch_[batchSize_];
+    std::uint64_t batchSeq_[batchSize_] = {};  // ckpt:bulk(gen-batch)
+    std::uint64_t batchSrc0_[batchSize_] = {}; // ckpt:bulk(gen-batch)
+    std::uint64_t batchSrc1_[batchSize_] = {}; // ckpt:bulk(gen-batch)
+    std::uint64_t batchLine_[batchSize_] = {}; // ckpt:bulk(gen-batch)
+    std::uint8_t batchCls_[batchSize_] = {};   // ckpt:bulk(gen-batch)
+    std::uint8_t batchNumSrcs_[batchSize_] = {}; // ckpt:bulk(gen-batch)
+    std::uint64_t batchHasDest_ = 0; ///< bitmask, bit i = slot i
+    std::uint64_t batchMispred_ = 0; ///< bitmask, bit i = slot i
     int batchNext_ = 0;
     int batchCount_ = 0;
 
@@ -131,6 +200,16 @@ class InstructionStream
     std::uint64_t burstCount_ = 0;
     double depScale_ = 1.0;
     double missScale_ = 1.0;
+
+    // Cached geometric denominators log1p(-1/mean) for the two
+    // dependence-distance branches (0.0 = mean <= 1, no draw).
+    // The near mean is fixed by the profile; the far mean moves
+    // with depScale_, so updateDepDenoms() runs at construction,
+    // on each phase change, and after loadState.
+    // ckpt:skip(derived from profile_ and depScale_)
+    double logDenomNear_ = 0.0;
+    // ckpt:skip(derived from profile_ and depScale_)
+    double logDenomFar_ = 0.0;
 
     // Cold-stream cursor for fresh (always-miss) lines.
     std::uint64_t coldCursor_ = 0;

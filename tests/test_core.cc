@@ -29,8 +29,10 @@ struct CoreTestPeer
         int idx = core.robHead_ + core.robCount_;
         if (idx >= core.config_.activeListEntries)
             idx -= core.config_.activeListEntries;
-        core.rob_[static_cast<std::size_t>(idx)] = {seq, false,
-                                                    false};
+        core.robSeq_[static_cast<std::size_t>(idx)] = seq;
+        const std::uint64_t bit = 1ULL << (idx & 63);
+        core.robCompleted_[idx >> 6] &= ~bit;
+        core.robIsMem_[idx >> 6] &= ~bit;
         ++core.robCount_;
         return idx;
     }

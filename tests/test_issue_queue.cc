@@ -15,6 +15,17 @@
 
 namespace tempest
 {
+
+/** Test-only access to the reference compaction pass. */
+struct IqTestPeer
+{
+    static void
+    compactGeneric(IssueQueue& iq, ActivityRecord& act)
+    {
+        iq.compactStepImpl(act, true);
+    }
+};
+
 namespace
 {
 
@@ -198,6 +209,31 @@ TEST(IssueQueue, BroadcastOfWrongTagWakesNothing)
     iq.forEachReadyInPriorityOrder(
         [&](int, const IqEntry&) { ++ready; return true; });
     EXPECT_EQ(ready, 0);
+}
+
+TEST(IssueQueue, BroadcastWakesAcrossModeToggle)
+{
+    // Regression: a mode toggle rotates logical order without
+    // moving entries, so seq_ is not sorted along logical
+    // positions afterwards. The watch index must still resolve
+    // consumer seqs (an early version binary-searched the logical
+    // order and deadlocked every waiter after the first DTM
+    // toggle).
+    IssueQueue iq(8, 4, QueueKind::Int);
+    ActivityRecord act;
+    for (std::uint64_t s = 5; s <= 7; ++s) {
+        IqEntry waiting = makeEntry(s, /*ready=*/false);
+        waiting.src[0] = 37 + s;
+        iq.dispatch(waiting, act);
+    }
+    iq.compactStep(act);
+    iq.toggleMode();
+    for (std::uint64_t tag = 42; tag <= 44; ++tag)
+        iq.broadcast(tag, act);
+    int ready = 0;
+    iq.forEachReadyInPriorityOrder(
+        [&](int, const IqEntry&) { ++ready; return true; });
+    EXPECT_EQ(ready, 3);
 }
 
 TEST(IssueQueue, ToggledModeMapsHeadToMiddle)
@@ -396,6 +432,113 @@ TEST(IssueQueue, ReadyAtDispatchIsNeverWatchedByWakeup)
 INSTANTIATE_TEST_SUITE_P(Seeds, IssueQueueFuzz,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7,
                                            8));
+
+/** Drive two identical queues, one compacting through the public
+ * single-word fast pass and one pinned to the per-entry reference
+ * pass, and require identical visible state and activity charges
+ * every cycle (stale bits at holes are the one tolerated
+ * difference — they are dead state, overwritten before use). */
+TEST(IssueQueue, WordAndGenericCompactionAgree)
+{
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        IssueQueue a(32, 6, QueueKind::Int);
+        IssueQueue b(32, 6, QueueKind::Int);
+        ActivityRecord act_a;
+        ActivityRecord act_b;
+        Rng rng(seed);
+        std::uint64_t next_seq = 1;
+        std::vector<std::uint64_t> outstanding; // unwoken tags
+        std::vector<int> ready_phys;
+        for (int cycle = 0; cycle < 3000; ++cycle) {
+            while (a.canDispatch() && rng.chance(0.6)) {
+                const std::uint64_t s = next_seq++;
+                IqEntry e = makeEntry(s, rng.chance(0.5));
+                if (!e.srcReady[0]) {
+                    e.src[0] = s + 1000000;
+                    outstanding.push_back(e.src[0]);
+                }
+                a.dispatch(e, act_a);
+                b.dispatch(e, act_b);
+            }
+            // Wake a random prefix of the oldest sleepers.
+            if (!outstanding.empty() && rng.chance(0.7)) {
+                const auto n = 1 + rng.below(outstanding.size());
+                a.broadcastMany(outstanding.data(),
+                                static_cast<int>(n), act_a);
+                b.broadcastMany(outstanding.data(),
+                                static_cast<int>(n), act_b);
+                outstanding.erase(outstanding.begin(),
+                                  outstanding.begin() +
+                                      static_cast<long>(n));
+            }
+            // Issue a random subset of ready entries (same slots
+            // in both queues — their state is identical).
+            ready_phys.clear();
+            a.forEachReadyInPriorityOrder(
+                [&](int p, const IqEntry&) {
+                    ready_phys.push_back(p);
+                    return true;
+                });
+            int budget = 6;
+            for (const int p : ready_phys) {
+                if (budget == 0 || !rng.chance(0.5))
+                    continue;
+                a.markIssued(p, act_a);
+                b.markIssued(p, act_b);
+                --budget;
+            }
+            if (rng.chance(0.03)) {
+                a.toggleMode();
+                b.toggleMode();
+            }
+            a.compactStep(act_a);
+            IqTestPeer::compactGeneric(b, act_b);
+
+            ASSERT_EQ(a.count(), b.count()) << "cycle " << cycle;
+            ASSERT_EQ(a.waitingCount(), b.waitingCount());
+            ASSERT_EQ(a.canDispatch(), b.canDispatch());
+            for (int h = 0; h < 2; ++h)
+                ASSERT_EQ(a.occupancyOfHalf(h),
+                          b.occupancyOfHalf(h));
+            ASSERT_EQ(a.readyBits()[0], b.readyBits()[0])
+                << "cycle " << cycle;
+            for (int p = 0; p < a.size(); ++p) {
+                const IqEntry ea = a.entryAtPhys(p);
+                const IqEntry eb = b.entryAtPhys(p);
+                ASSERT_EQ(ea.valid, eb.valid)
+                    << "cycle " << cycle << " slot " << p;
+                ASSERT_EQ(ea.pendingInvalid, eb.pendingInvalid);
+                if (!ea.valid)
+                    continue;
+                ASSERT_EQ(ea.seq, eb.seq);
+                ASSERT_EQ(ea.numSrcs, eb.numSrcs);
+                ASSERT_EQ(ea.src[0], eb.src[0]);
+                ASSERT_EQ(ea.srcReady[0], eb.srcReady[0]);
+                ASSERT_EQ(ea.srcReady[1], eb.srcReady[1]);
+            }
+            for (int h = 0; h < 2; ++h) {
+                ASSERT_EQ(act_a.iqEntryMoves[0][h],
+                          act_b.iqEntryMoves[0][h])
+                    << "cycle " << cycle;
+                ASSERT_EQ(act_a.iqLongCompactions[0][h],
+                          act_b.iqLongCompactions[0][h])
+                    << "cycle " << cycle;
+                ASSERT_EQ(act_a.iqMuxSelects[0][h],
+                          act_b.iqMuxSelects[0][h]);
+                ASSERT_EQ(act_a.iqCounterOps[0][h],
+                          act_b.iqCounterOps[0][h]);
+                ASSERT_EQ(act_a.iqOccupiedCycles[0][h],
+                          act_b.iqOccupiedCycles[0][h]);
+                ASSERT_EQ(act_a.iqDispatchWrites[0][h],
+                          act_b.iqDispatchWrites[0][h]);
+            }
+            ASSERT_EQ(act_a.iqClockGateCycles[0],
+                      act_b.iqClockGateCycles[0]);
+            ASSERT_EQ(act_a.iqTagBroadcasts[0],
+                      act_b.iqTagBroadcasts[0]);
+        }
+    }
+}
 
 } // namespace
 } // namespace tempest

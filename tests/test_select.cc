@@ -42,7 +42,7 @@ struct SelectFixture : public ::testing::Test
         net.select(
             iq, cycle, budget,
             [this](int fu) { return available[fu]; },
-            [](int, const IqEntry&) { return true; }, grants);
+            [](int, OpClass) { return true; }, grants);
         return grants;
     }
 
@@ -122,8 +122,8 @@ TEST_F(SelectFixture, ClassEligibilityFilters)
     std::vector<Grant> grants;
     net.select(
         iq, 0, 6, [](int) { return true; },
-        [](int, const IqEntry& e) {
-            return e.cls == OpClass::IntAlu;
+        [](int, OpClass cls) {
+            return cls == OpClass::IntAlu;
         },
         grants);
     ASSERT_EQ(grants.size(), 1u);
@@ -156,7 +156,7 @@ TEST_F(SelectFixture, RoundRobinSpreadsWorkEvenly)
         std::vector<Grant> grants;
         net.select(
             iq, cycle, 1, [](int) { return true; },
-            [](int, const IqEntry&) { return true; }, grants);
+            [](int, OpClass) { return true; }, grants);
         ASSERT_EQ(grants.size(), 1u);
         ++per_fu[grants[0].fu];
         iq.markIssued(grants[0].physIdx, act);
@@ -177,7 +177,7 @@ TEST_F(SelectFixture, StaticPrioritySkewsWorkToFuZero)
         std::vector<Grant> grants;
         net.select(
             iq, cycle, 1, [](int) { return true; },
-            [](int, const IqEntry&) { return true; }, grants);
+            [](int, OpClass) { return true; }, grants);
         ++per_fu[grants[0].fu];
         iq.markIssued(grants[0].physIdx, act);
         iq.compactStep(act);

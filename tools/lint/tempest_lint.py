@@ -15,6 +15,20 @@ Three checkers guard the invariants the bit-identity test gates
 
                    int half_;  // ckpt:skip(derived: size_ / 2)
 
+               Structure-of-arrays members serialized with a bulk
+               blob write are annotated with their array group:
+
+                   std::uint64_t* seq_;  // ckpt:bulk(iq-soa)
+
+               The tag must trail the member on its own line (the
+               above-the-line placement ckpt:skip accepts would
+               bleed the group onto the next member).  A ckpt:bulk
+               member must be written by a
+               <param>.blob(...) call in *both* saveState and
+               loadState; dropping one array of a group corrupts
+               every array serialized after it, so the checker
+               reports these with a group-aware diagnostic.
+
   determinism  Bans wall-clock and entropy sources and
                iteration-order hazards anywhere under src/:
                std::random_device, rand()/srand()/time()/clock()
@@ -53,7 +67,8 @@ import sys
 # structure) and harvest lint annotations from the comment text.
 # --------------------------------------------------------------------------
 
-ANNOT_RE = re.compile(r"(ckpt:skip|det:allow|lint:allow)\(([^)]*)\)")
+ANNOT_RE = re.compile(
+    r"(ckpt:skip|ckpt:bulk|det:allow|lint:allow)\(([^)]*)\)")
 
 
 def scrub(text):
@@ -146,12 +161,30 @@ def is_ident(t):
 
 def has_annotation(annotations, kind, first_line, last_line=None):
     """An annotation exempts its own line(s) and the line below it."""
+    return annotation_value(annotations, kind, first_line,
+                            last_line) is not None
+
+
+def annotation_value(annotations, kind, first_line, last_line=None):
+    """The annotation's parenthesized value, or None if absent.
+    Same placement rules as has_annotation()."""
     last_line = last_line if last_line is not None else first_line
     for ln in range(first_line - 1, last_line + 1):
-        for k, _reason in annotations.get(ln, []):
+        for k, reason in annotations.get(ln, []):
             if k == kind:
-                return True
-    return False
+                return reason
+    return None
+
+
+def same_line_annotation_value(annotations, kind, line):
+    """Like annotation_value, but only the given line counts.
+    ckpt:bulk uses this: group tags are trailing comments on the
+    member they tag, so the above-the-line placement rule would
+    bleed a group onto the next (unrelated) member."""
+    for k, reason in annotations.get(line, []):
+        if k == kind:
+            return reason
+    return None
 
 
 # --------------------------------------------------------------------------
@@ -172,7 +205,7 @@ class ClassInfo:
         self.name = name
         self.path = path
         self.line = line
-        self.members = []  # [(name, line, skipped)]
+        self.members = []  # [(name, line, skipped, path, bulk_group)]
         self.save = None   # MethodBody
         self.load = None   # MethodBody
 
@@ -382,7 +415,10 @@ def parse_class_body(toks, i, cls, classes, annotations, path):
                 first = stmt[0][1]
                 skipped = has_annotation(annotations, "ckpt:skip",
                                          first, mline)
-                cls.members.append((name, mline, skipped, path))
+                bulk = same_line_annotation_value(
+                    annotations, "ckpt:bulk", mline)
+                cls.members.append((name, mline, skipped, path,
+                                    bulk))
             stmt = []
             j += 1
             continue
@@ -545,8 +581,11 @@ def build_ir_libclang(files, root, compile_commands, file_cache):
                             ml = f.location.line
                             skipped = has_annotation(
                                 annotations, "ckpt:skip", ml)
+                            bulk = same_line_annotation_value(
+                                annotations, "ckpt:bulk", ml)
                             cls.members.append(
-                                (f.spelling, ml, skipped, path))
+                                (f.spelling, ml, skipped, path,
+                                 bulk))
             if c.kind == cindex.CursorKind.CXX_METHOD and \
                     c.spelling in ("saveState", "loadState") and \
                     c.is_definition():
@@ -593,7 +632,7 @@ def build_ir_libclang(files, root, compile_commands, file_cache):
 # --------------------------------------------------------------------------
 
 SERIALIZER_METHODS = {"u8", "u32", "u64", "i32", "i64", "boolean", "f64",
-                      "str"}
+                      "str", "blob"}
 
 
 def serializer_sequence(body):
@@ -647,9 +686,15 @@ def check_checkpoint(classes, findings):
             continue
         save_refs = body_refs(cls.save)
         load_refs = body_refs(cls.load)
+        save_calls = serializer_sequence(cls.save)
+        load_calls = serializer_sequence(cls.load)
+
+        def blob_covers(calls, member):
+            return any(m == "blob" and member in idents
+                       for m, _ln, idents in calls)
 
         ordered = []
-        for mname, mline, skipped, mpath in cls.members:
+        for mname, mline, skipped, mpath, bulk in cls.members:
             if skipped:
                 continue
             in_save = mname in save_refs
@@ -657,6 +702,22 @@ def check_checkpoint(classes, findings):
             if in_save and in_load:
                 ordered.append((mname, save_refs[mname][0],
                                 load_refs[mname][0]))
+                # A bulk-group array must actually flow through a
+                # blob call on both sides; an incidental mention
+                # (say, a memset in loadState) must not count as
+                # serialization.
+                if bulk is not None:
+                    sides = [side for side, calls in
+                             (("saveState", save_calls),
+                              ("loadState", load_calls))
+                             if not blob_covers(calls, mname)]
+                    if sides:
+                        findings.append(
+                            (mpath, mline, "checkpoint",
+                             "class %s: member '%s' of bulk group "
+                             "'%s' is not written by a blob(...) "
+                             "call in %s" % (name, mname, bulk,
+                                             " or ".join(sides))))
                 continue
             if not in_save and not in_load:
                 side = "saveState or loadState"
@@ -664,10 +725,19 @@ def check_checkpoint(classes, findings):
                 side = "saveState"
             else:
                 side = "loadState"
-            findings.append(
-                (mpath, mline, "checkpoint",
-                 "class %s: member '%s' is not referenced in %s and has "
-                 "no ckpt:skip(<reason>) annotation" % (name, mname, side)))
+            if bulk is not None:
+                findings.append(
+                    (mpath, mline, "checkpoint",
+                     "class %s: member '%s' of bulk group '%s' is not "
+                     "referenced in %s — a dropped array in a "
+                     "bulk-serialized group corrupts every array "
+                     "restored after it" % (name, mname, bulk, side)))
+            else:
+                findings.append(
+                    (mpath, mline, "checkpoint",
+                     "class %s: member '%s' is not referenced in %s and has "
+                     "no ckpt:skip(<reason>) annotation" % (name, mname,
+                                                            side)))
 
         # Relative order of first references must match.
         by_save = [m for m, _s, _l in

@@ -1,0 +1,37 @@
+// Fixture: three SoA arrays form bulk group 'soa', but saveState
+// blobs only two of them.  The restored bytes of every array after
+// the dropped one land in the wrong member, so the checker must
+// flag 'mid_' with a group-aware diagnostic.
+#include "stubs.hh"
+
+namespace tempest
+{
+
+class BulkDroppedArray
+{
+  public:
+    void
+    saveState(StateWriter& w) const
+    {
+        w.u32(count_);
+        w.blob(head_, 64);
+        w.blob(tail_, 64);
+    }
+
+    void
+    loadState(StateReader& r)
+    {
+        count_ = r.u32();
+        r.blob(head_, 64);
+        r.blob(mid_, 64);
+        r.blob(tail_, 64);
+    }
+
+  private:
+    std::uint32_t count_ = 0;
+    std::uint64_t* head_; // ckpt:bulk(soa)
+    std::uint64_t* mid_;  // ckpt:bulk(soa)
+    std::uint64_t* tail_; // ckpt:bulk(soa)
+};
+
+} // namespace tempest

@@ -1,0 +1,35 @@
+// Fixture: 'mid_' of bulk group 'soa' is mentioned in loadState
+// (a memset), which satisfies the plain referenced-in-both-bodies
+// rule — but it never flows through a blob(...) call there, so its
+// restored contents are whatever the memset left.  The bulk check
+// must flag it anyway.
+#include "stubs.hh"
+
+#include <cstring>
+
+namespace tempest
+{
+
+class BulkNotBlobbed
+{
+  public:
+    void
+    saveState(StateWriter& w) const
+    {
+        w.blob(head_, 64);
+        w.blob(mid_, 64);
+    }
+
+    void
+    loadState(StateReader& r)
+    {
+        r.blob(head_, 64);
+        std::memset(mid_, 0, 64);
+    }
+
+  private:
+    std::uint64_t* head_; // ckpt:bulk(soa)
+    std::uint64_t* mid_;  // ckpt:bulk(soa)
+};
+
+} // namespace tempest

@@ -1,0 +1,41 @@
+// Fixture: a complete bulk group — every annotated array is blobbed
+// in both directions, in the same order, plus a derived index that
+// is rebuilt rather than serialized.  Must lint clean.
+#include "stubs.hh"
+
+namespace tempest
+{
+
+class BulkGroupComplete
+{
+  public:
+    void
+    saveState(StateWriter& w) const
+    {
+        w.u32(count_);
+        w.blob(head_, 64);
+        w.blob(mid_, 64);
+        w.blob(tail_, 64);
+    }
+
+    void
+    loadState(StateReader& r)
+    {
+        count_ = r.u32();
+        r.blob(head_, 64);
+        r.blob(mid_, 64);
+        r.blob(tail_, 64);
+        rebuildIndex();
+    }
+
+  private:
+    void rebuildIndex();
+
+    std::uint32_t count_ = 0;
+    std::uint64_t* head_; // ckpt:bulk(soa)
+    std::uint64_t* mid_;  // ckpt:bulk(soa)
+    std::uint64_t* tail_; // ckpt:bulk(soa)
+    std::uint64_t* index_; // ckpt:skip(derived, rebuildIndex)
+};
+
+} // namespace tempest

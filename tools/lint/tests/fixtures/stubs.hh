@@ -3,6 +3,7 @@
 #ifndef TEMPEST_LINT_FIXTURE_STUBS_HH
 #define TEMPEST_LINT_FIXTURE_STUBS_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -20,6 +21,7 @@ class StateWriter
     void boolean(bool);
     void f64(double);
     void str(const std::string&);
+    void blob(const void*, std::size_t);
 };
 
 class StateReader
@@ -33,6 +35,7 @@ class StateReader
     bool boolean();
     double f64();
     std::string str();
+    void blob(void*, std::size_t);
 };
 
 } // namespace tempest

@@ -26,6 +26,16 @@ CASES = {
         "class MissingSaveMember",
         "'orphan_' is not referenced in saveState",
     ]),
+    "bad_bulk_dropped_array.cc": (1, [
+        "class BulkDroppedArray",
+        "'mid_' of bulk group 'soa'",
+        "is not referenced in saveState",
+    ]),
+    "bad_bulk_not_blobbed.cc": (1, [
+        "class BulkNotBlobbed",
+        "'mid_' of bulk group 'soa'",
+        "not written by a blob(...) call in loadState",
+    ]),
     "bad_order_mismatch.cc": (1, [
         "class OrderMismatch",
         "member order differs between saveState and loadState",
@@ -53,6 +63,7 @@ CASES = {
         "'using namespace' in a header",
     ]),
     "good_annotated.cc": (0, []),
+    "good_bulk_group.cc": (0, []),
     "good_clean.cc": (0, []),
 }
 

@@ -1,21 +1,25 @@
 #!/usr/bin/env python3
-"""Advisory perf-smoke check against the recorded bench history.
+"""Perf-smoke gate against the recorded bench history.
 
-Runs bench_wallclock in smoke mode and compares serial (1-thread)
-throughput against the most recent entry in BENCH_wallclock.json.
-Prints a loud warning when throughput drops more than the threshold
-below the recorded value, but always exits 0: smoke runs on shared
-CI machines are too noisy to gate merges, they exist to make a real
-regression visible in the log.
+Runs bench_wallclock in smoke mode and compares throughput against
+the recorded trajectory in BENCH_wallclock.json.
 
-Only serial rows are compared. Multi-thread rows depend on the
-machine's core count (see hardware_concurrency in the history
-entries); comparing them across machines conflates oversubscription
-with regression.
+Serial (1-thread) rows are a hard gate: if the smoke run's best
+serial throughput falls below ``--serial-floor`` (default 0.85) of
+the best serial throughput ever recorded, the check exits nonzero.
+Serial throughput is the one number that is comparable across the
+machines this project records on, and every optimization PR raises
+it; a >15% drop is a real regression, not noise.
+
+Multi-thread rows stay advisory. They depend on the machine's core
+count (see hardware_concurrency in the history entries); comparing
+them across machines conflates oversubscription with regression, so
+a drop only prints a warning.
 
 Usage:
     python3 tools/perf_smoke.py [--build-dir build]
         [--history BENCH_wallclock.json] [--threshold 0.10]
+        [--serial-floor 0.85]
 
 Stdlib only; no third-party dependencies.
 """
@@ -41,21 +45,46 @@ def serial_best(runs):
     return max(vals) if vals else None
 
 
-def latest_serial_baseline(history):
-    """Most recent history entry that actually has serial runs.
+def threaded_best(runs):
+    """Best recorded throughput per thread count (> 1)."""
+    best = {}
+    for r in runs:
+        if not isinstance(r, dict):
+            continue
+        t = r.get("threads")
+        v = r.get("sim_cycles_per_second")
+        if (isinstance(t, int) and t > 1 and
+                isinstance(v, (int, float))):
+            best[t] = max(best.get(t, 0), v)
+    return best
 
-    A recording made on a machine that only ran multi-thread rows
-    must not mask older serial baselines: walk backwards until an
-    entry yields a serial throughput. Returns (baseline, entry) or
-    (None, None).
+
+def best_recorded_serial(history):
+    """Best serial throughput across the whole history.
+
+    The gate compares against the best entry ever recorded, not the
+    most recent one: a regression that slipped into one recording
+    must not lower the bar for the next. Returns (baseline, entry)
+    or (None, None).
     """
-    for entry in reversed(history):
+    best, best_entry = None, None
+    for entry in history:
         if not isinstance(entry, dict):
             continue
-        baseline = serial_best(entry.get("runs", []))
-        if baseline is not None:
-            return baseline, entry
-    return None, None
+        v = serial_best(entry.get("runs", []))
+        if v is not None and (best is None or v > best):
+            best, best_entry = v, entry
+    return best, best_entry
+
+
+def best_recorded_threaded(history):
+    best = {}
+    for entry in history:
+        if not isinstance(entry, dict):
+            continue
+        for t, v in threaded_best(entry.get("runs", [])).items():
+            best[t] = max(best.get(t, 0), v)
+    return best
 
 
 def main():
@@ -66,7 +95,11 @@ def main():
                              "BENCH_wallclock.json at repo root)")
     parser.add_argument("--threshold", type=float, default=0.10,
                         help="fractional drop that triggers the "
-                             "warning (default: 0.10)")
+                             "advisory warning (default: 0.10)")
+    parser.add_argument("--serial-floor", type=float, default=0.85,
+                        help="hard-fail when serial throughput is "
+                             "below this fraction of the best "
+                             "recorded serial entry (default: 0.85)")
     args = parser.parse_args()
 
     root = repo_root()
@@ -89,7 +122,7 @@ def main():
         print(f"perf-smoke: {len(history) if isinstance(history, list) else 0} "
               "history entries (need >= 2); nothing to compare")
         return 0
-    baseline, baseline_entry = latest_serial_baseline(history)
+    baseline, baseline_entry = best_recorded_serial(history)
     if baseline is None:
         print("perf-smoke: no history entry has serial runs")
         return 0
@@ -112,21 +145,48 @@ def main():
         finally:
             os.unlink(tmp.name)
 
-    current = serial_best(payload.get("runs", []))
+    runs = payload.get("runs", [])
+    current = serial_best(runs)
     if current is None:
         print("perf-smoke: smoke run produced no serial rows")
         return 0
 
+    # ---- threaded rows: advisory only ----
+    recorded_threaded = best_recorded_threaded(history)
+    for t, v in sorted(threaded_best(runs).items()):
+        rec = recorded_threaded.get(t)
+        if not rec:
+            continue
+        ratio = v / rec
+        print(f"perf-smoke: {t}-thread throughput "
+              f"{v / 1e6:.2f} Mcycles/s vs recorded "
+              f"{rec / 1e6:.2f} Mcycles/s ({ratio:.2f}x)")
+        if ratio < 1.0 - args.threshold:
+            drop = (1.0 - ratio) * 100.0
+            print(f"::warning title=perf-smoke::{t}-thread "
+                  f"throughput is {drop:.0f}% below the best "
+                  "recorded bench entry; advisory only (thread "
+                  "rows are machine-dependent)", file=sys.stderr)
+
+    # ---- serial rows: hard gate ----
     ratio = current / baseline
     print(f"perf-smoke: serial throughput {current / 1e6:.2f} "
-          f"Mcycles/s vs recorded {baseline / 1e6:.2f} Mcycles/s "
-          f"({ratio:.2f}x)")
+          f"Mcycles/s vs best recorded {baseline / 1e6:.2f} "
+          f"Mcycles/s ({ratio:.2f}x)")
+    if ratio < args.serial_floor:
+        drop = (1.0 - ratio) * 100.0
+        print("::error title=perf-smoke::serial wall-clock "
+              f"throughput is {drop:.0f}% below the best recorded "
+              f"bench entry ({baseline_entry.get('git_rev', '?')}, "
+              f"floor {args.serial_floor:.2f}x); failing the check",
+              file=sys.stderr)
+        return 1
     if ratio < 1.0 - args.threshold:
         drop = (1.0 - ratio) * 100.0
-        print("::warning title=perf-smoke::wall-clock throughput "
-              f"is {drop:.0f}% below the last recorded bench "
-              f"entry ({baseline_entry.get('git_rev', '?')}); "
-              "advisory only, but worth a look", file=sys.stderr)
+        print("::warning title=perf-smoke::serial throughput is "
+              f"{drop:.0f}% below the best recorded bench entry "
+              f"({baseline_entry.get('git_rev', '?')}); above the "
+              "hard floor but worth a look", file=sys.stderr)
     return 0
 
 

@@ -1,11 +1,14 @@
 #!/usr/bin/env python3
-"""Regression test for perf_smoke.py's baseline selection.
+"""Regression tests for perf_smoke.py's baseline selection.
 
-The old serial_best(history[-1]) lookup returned nothing when the
-most recent benchmark recording came from a machine that only ran
-multi-thread rows, silently disabling the perf regression gate.
-latest_serial_baseline() must walk backwards to the most recent
-entry that actually has serial runs.
+Two failure modes are covered:
+
+- The old serial_best(history[-1]) lookup returned nothing when the
+  most recent benchmark recording came from a machine that only ran
+  multi-thread rows, silently disabling the perf regression gate.
+- A regression that slips into one recording must not lower the bar
+  for the next: best_recorded_serial() takes the best serial
+  throughput across the WHOLE history, not the most recent entry.
 """
 
 import importlib.util
@@ -49,6 +52,12 @@ def main():
             {"threads": 1, "sim_cycles_per_second": 3.0e6},
         ],
     }
+    regressed = {
+        "git_rev": "reg0001",
+        "runs": [
+            {"threads": 1, "sim_cycles_per_second": 1.8e6},
+        ],
+    }
     mt_only = {
         "git_rev": "mt9999",
         "runs": [
@@ -59,28 +68,34 @@ def main():
         {"threads": 1}, {"threads": 1,
                          "sim_cycles_per_second": "fast"}]}
 
-    base, entry = ps.latest_serial_baseline(
+    base, entry = ps.best_recorded_serial(
         [serial_old, serial_new])
     check(base == 3.0e6 and entry is serial_new,
-          "most recent serial entry wins")
+          "best serial entry wins")
 
-    # The regression: a trailing multi-thread-only recording must
-    # not mask the older serial baseline.
-    base, entry = ps.latest_serial_baseline(
+    # A multi-thread-only recording must not mask the serial
+    # baseline.
+    base, entry = ps.best_recorded_serial(
         [serial_old, serial_new, mt_only])
     check(base == 3.0e6 and entry is serial_new,
           "multi-thread-only tail entry is skipped")
 
-    base, entry = ps.latest_serial_baseline(
+    # A regressed recording must not lower the bar.
+    base, entry = ps.best_recorded_serial(
+        [serial_old, serial_new, regressed])
+    check(base == 3.0e6 and entry is serial_new,
+          "a slower trailing entry does not lower the baseline")
+
+    base, entry = ps.best_recorded_serial(
         [serial_old, mt_only, junk])
     check(base == 2.5e6 and entry is serial_old,
           "junk rows and mt-only entries are both skipped")
 
-    base, entry = ps.latest_serial_baseline([mt_only, junk])
+    base, entry = ps.best_recorded_serial([mt_only, junk])
     check(base is None and entry is None,
           "no serial data anywhere -> (None, None)")
 
-    base, entry = ps.latest_serial_baseline([])
+    base, entry = ps.best_recorded_serial([])
     check(base is None and entry is None,
           "empty history -> (None, None)")
 
@@ -88,6 +103,12 @@ def main():
           "serial_best picks the best serial row")
     check(ps.serial_best(mt_only["runs"]) is None,
           "serial_best ignores multi-thread rows")
+
+    check(ps.threaded_best(serial_old["runs"]) == {8: 9.0e6},
+          "threaded_best groups by thread count")
+    check(ps.best_recorded_threaded(
+              [serial_old, mt_only]) == {8: 9.5e6},
+          "best_recorded_threaded takes the best per thread count")
 
     if failures:
         print(f"\n{len(failures)} check(s) FAILED")
