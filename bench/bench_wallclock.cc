@@ -35,7 +35,9 @@
 
 #include "common/log.hh"
 #include "sim/experiment.hh"
+#include "sim/fabric/coordinator.hh"
 #include "sim/runner.hh"
+#include "sim/sim_config_io.hh"
 
 namespace tempest
 {
@@ -261,10 +263,115 @@ timeWarmFork(const std::vector<std::string>& benchmarks,
     return t;
 }
 
+/** Multi-process fabric vs in-process runner (DESIGN.md §15). */
+struct FabricTiming
+{
+    std::size_t jobs = 0;
+    std::uint64_t simCycles = 0;
+    double inProcessWallSeconds = 0.0;
+    /** (workers, wall seconds) per pool size. */
+    std::vector<std::pair<int, double>> pools;
+};
+
+/** The paper's four DTM variants in the dotted-key vocabulary the
+ * fabric ships over the wire (sim_config_io). */
+std::vector<std::pair<std::string, Config>>
+fabricConfigs()
+{
+    auto make = [](bool toggling, bool throttle) {
+        Config cfg;
+        if (toggling)
+            cfg.set("dtm.toggling", "true");
+        if (throttle)
+            cfg.set("dtm.fetch_throttling", "true");
+        return cfg;
+    };
+    return {
+        {"iq_base", make(false, false)},
+        {"iq_toggling", make(true, false)},
+        {"iq_throttle", make(false, true)},
+        {"iq_toggle_throttle", make(true, true)},
+    };
+}
+
+/**
+ * Time the sweep fabric at 1/2/8 worker processes against the
+ * serial in-process runner on the same job matrix. The workers=1
+ * row measures pure coordinator overhead (fork + IPC + result
+ * transport); larger pools measure process-level scaling. Every
+ * pool's outcome set is checked bit-identical to the in-process
+ * reference before any number is reported.
+ */
+FabricTiming
+timeFabric(const std::vector<std::string>& benchmarks,
+           std::uint64_t cycles, std::uint64_t base_seed)
+{
+    fabric::SweepSpec spec;
+    spec.configs = fabricConfigs();
+    spec.benchmarks = benchmarks;
+    spec.measureCycles = cycles;
+
+    std::vector<std::pair<std::string, SimConfig>> sim_configs;
+    for (const auto& [tag, config] : spec.configs)
+        sim_configs.emplace_back(tag, simConfigFromConfig(config));
+
+    ExperimentRunner::Options serial_options;
+    serial_options.threads = 1;
+    serial_options.baseSeed = base_seed;
+
+    FabricTiming t;
+    auto start = std::chrono::steady_clock::now();
+    const auto reference = experiments::runSweep(
+        sim_configs, benchmarks, cycles, serial_options);
+    t.inProcessWallSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    for (const ExperimentOutcome& o : reference) {
+        if (!o.ok)
+            fatal("fabric bench reference job ", o.tag, "/",
+                  o.benchmark, " failed: ", o.error);
+        t.simCycles += o.result.cycles;
+    }
+    t.jobs = reference.size();
+
+    for (const int workers : {1, 2, 8}) {
+        fabric::FabricOptions options;
+        options.workers = workers;
+        options.baseSeed = base_seed;
+        fabric::FabricCoordinator coordinator(options);
+        start = std::chrono::steady_clock::now();
+        const auto outcomes = coordinator.runSweep(spec);
+        const double wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        if (outcomes.size() != reference.size())
+            fatal("fabric sweep at ", workers,
+                  " workers ran a different job count");
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+            if (!outcomes[i].ok)
+                fatal("fabric bench job ", outcomes[i].tag, "/",
+                      outcomes[i].benchmark,
+                      " failed: ", outcomes[i].error);
+            if (experiments::hashSimResult(outcomes[i].result) !=
+                experiments::hashSimResult(reference[i].result)) {
+                fatal("fabric sweep at ", workers,
+                      " workers diverged from the in-process "
+                      "runner for job ", outcomes[i].tag, "/",
+                      outcomes[i].benchmark);
+            }
+        }
+        t.pools.emplace_back(workers, wall);
+    }
+    return t;
+}
+
 void
 writeJson(const std::string& path,
           const std::vector<SweepTiming>& timings,
           const WarmForkTiming& warm_fork,
+          const FabricTiming& fabric_timing,
           const std::vector<std::string>& benchmarks,
           std::uint64_t cycles)
 {
@@ -321,12 +428,39 @@ writeJson(const std::string& path,
         "\"cold_wall_seconds\": %.4f, "
         "\"warm_wall_seconds\": %.4f, "
         "\"threaded_wall_seconds\": %.4f, "
-        "\"speedup\": %.3f}\n",
+        "\"speedup\": %.3f},\n",
         warm_fork.configs,
         static_cast<unsigned long long>(warm_fork.warmupCycles),
         static_cast<unsigned long long>(warm_fork.measureCycles),
         warm_fork.coldWallSeconds, warm_fork.warmWallSeconds,
         warm_fork.threadedWallSeconds, warm_fork.speedup());
+    // Worker-process rows, like thread rows, depend on the
+    // machine's core count; perf_smoke.py treats them as
+    // advisory-only.
+    std::fprintf(f, "  \"fabric\": {\"jobs\": %zu, "
+                    "\"sim_cycles\": %llu, "
+                    "\"in_process_wall_seconds\": %.4f, "
+                    "\"pools\": [\n",
+                 fabric_timing.jobs,
+                 static_cast<unsigned long long>(
+                     fabric_timing.simCycles),
+                 fabric_timing.inProcessWallSeconds);
+    for (std::size_t i = 0; i < fabric_timing.pools.size(); ++i) {
+        const auto& [workers, wall] = fabric_timing.pools[i];
+        const double rate =
+            wall > 0
+                ? static_cast<double>(fabric_timing.simCycles) /
+                      wall
+                : 0.0;
+        std::fprintf(f,
+                     "    {\"workers\": %d, "
+                     "\"wall_seconds\": %.4f, "
+                     "\"sim_cycles_per_second\": %.0f}%s\n",
+                     workers, wall, rate,
+                     i + 1 < fabric_timing.pools.size() ? ","
+                                                        : "");
+    }
+    std::fprintf(f, "  ]}\n");
     std::fprintf(f, "}\n");
     std::fclose(f);
 }
@@ -388,9 +522,27 @@ run()
         warm_fork.coldWallSeconds, warm_fork.warmWallSeconds,
         warm_fork.speedup(), warm_fork.threadedWallSeconds);
 
+    const FabricTiming fabric_timing =
+        timeFabric(benchmarks, cycles, base_seed);
+    std::printf("fabric sweep (%zu jobs, in-process %.2fs):",
+                fabric_timing.jobs,
+                fabric_timing.inProcessWallSeconds);
+    for (const auto& [workers, wall] : fabric_timing.pools)
+        std::printf(" %dw %.2fs", workers, wall);
+    if (!fabric_timing.pools.empty() &&
+        fabric_timing.inProcessWallSeconds > 0) {
+        std::printf(
+            " (1-worker overhead %.1f%%)",
+            (fabric_timing.pools.front().second /
+                 fabric_timing.inProcessWallSeconds -
+             1.0) *
+                100.0);
+    }
+    std::printf("\n");
+
     const char* json = std::getenv("TEMPEST_BENCH_JSON");
     writeJson(json ? json : "BENCH_wallclock.json", timings,
-              warm_fork, benchmarks, cycles);
+              warm_fork, fabric_timing, benchmarks, cycles);
     return 0;
 }
 

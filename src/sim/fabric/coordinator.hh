@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Sweep-fabric coordinator (DESIGN.md §15).
+ *
+ * The coordinator owns the job graph, in the spirit of YTsaurus's
+ * controller-agent/scheduler split: it shards a (benchmark x
+ * config) matrix into jobs keyed by the deterministic
+ * deriveRunSeed identity, schedules them over a pool of worker
+ * processes connected by per-worker Unix socketpairs, ships warm
+ * state by file path (the snapshot is written once per benchmark
+ * through the versioned checkpoint format), detects worker death
+ * (EOF/POLLHUP + waitpid) or job timeout and re-queues the dead
+ * worker's shard onto survivors, and merges results
+ * deterministically by job index — never by arrival order — so
+ * the outcome set is bit-identical to the in-process runner at
+ * any worker count and across any failure/recovery history.
+ *
+ * Failure model:
+ *  - A job that *fails* (simulation throws on a worker) is a
+ *    completed outcome with ok=false, exactly like
+ *    ExperimentRunner::runJob; it is never retried.
+ *  - A worker that *dies* mid-job (crash, SIGKILL, timeout) gets
+ *    its shard re-queued at the front of the queue, up to
+ *    maxJobAttempts dispatches; past that the job is recorded as
+ *    failed (a poison shard must not crash the pool forever).
+ *  - When every worker is dead and shards remain, the coordinator
+ *    respawns workers from a bounded budget before giving up.
+ */
+
+#ifndef TEMPEST_SIM_FABRIC_COORDINATOR_HH
+#define TEMPEST_SIM_FABRIC_COORDINATOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/config.hh"
+#include "sim/fabric/fabric_protocol.hh"
+#include "sim/runner.hh"
+
+namespace tempest
+{
+namespace fabric
+{
+
+/** Pool shape and recovery policy. */
+struct FabricOptions
+{
+    /** Worker process count (clamped to [1, jobs]). */
+    int workers = 1;
+    /** Experiment-level seed the per-job seeds derive from. */
+    std::uint64_t baseSeed = 1;
+    /** Directory warm snapshots are written to (file-path warm
+     * shipping). Required by runWarmForkSweep. */
+    std::string spillDir;
+    /** argv to exec for each worker; "--worker-fd <n>" is
+     * appended. Empty: fork-mode — the child calls workerMain()
+     * directly (no exec), which is what tests and benches use. */
+    std::vector<std::string> workerCommand;
+    /** SIGKILL + re-queue a job running longer than this (hung
+     * worker recovery). 0 disables the deadline. */
+    double jobTimeoutSeconds = 0;
+    /** Dispatch attempts per job before it is recorded as failed
+     * (worker-death retries; simulation errors never retry). */
+    int maxJobAttempts = 3;
+    /** Workers respawned after total pool loss before the
+     * remaining shards are failed; <0 picks 2*workers+2. */
+    int respawnBudget = -1;
+    /** Observability hook: spawn/death/re-queue/timeout events as
+     * human-readable lines (never part of any result). */
+    std::function<void(const std::string&)> onEvent;
+};
+
+/** A (benchmark x config) sweep over dotted config keys — the
+ * same vocabulary tempest_run configs and tempest_serve requests
+ * use (sim_config_io). */
+struct SweepSpec
+{
+    /** (tag, dotted-key config) pairs; tag feeds seed identity. */
+    std::vector<std::pair<std::string, Config>> configs;
+    std::vector<std::string> benchmarks;
+    std::uint64_t measureCycles = 0;
+};
+
+/** Warm-fork parameters (mirrors experiments::WarmForkOptions). */
+struct WarmSpec
+{
+    /** Shared neutral warm-up config (techniques off). */
+    Config warmConfig;
+    std::uint64_t warmupCycles = 0;
+    std::string warmTag = "warmup";
+    bool resetMeasurement = true;
+};
+
+class FabricCoordinator
+{
+  public:
+    explicit FabricCoordinator(FabricOptions options)
+        : options_(std::move(options))
+    {}
+
+    /**
+     * Cold sweep of the (configs x benchmarks) matrix across the
+     * worker pool. Outcome order matches experiments::runSweep
+     * (configs-major), and each outcome is bit-identical to the
+     * in-process runner's for the same (baseSeed, tag, benchmark).
+     */
+    std::vector<ExperimentOutcome> runSweep(const SweepSpec& spec);
+
+    /**
+     * Warm-fork sweep: phase 1 builds one warm snapshot per
+     * benchmark (parallel across workers, written to spillDir via
+     * the versioned checkpoint format), phase 2 forks every
+     * (config, benchmark) job from its benchmark's snapshot file.
+     * Outcome order and bit pattern match
+     * experiments::runWarmForkSweep with the same spillDir
+     * discipline. fatal() if spillDir is empty.
+     */
+    std::vector<ExperimentOutcome> runWarmForkSweep(
+        const SweepSpec& spec, const WarmSpec& warm);
+
+    /**
+     * Scheduling engine: run a dense job list (job.index == its
+     * position) across the pool and return results indexed by
+     * job.index. Public so tests can drive failure injection
+     * without sweep scaffolding.
+     */
+    std::vector<FabricResult> runJobs(
+        const std::vector<FabricJob>& jobs);
+
+    const FabricOptions& options() const { return options_; }
+
+  private:
+    void event(const std::string& message) const;
+
+    FabricOptions options_;
+};
+
+} // namespace fabric
+} // namespace tempest
+
+#endif // TEMPEST_SIM_FABRIC_COORDINATOR_HH

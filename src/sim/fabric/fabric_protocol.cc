@@ -1,0 +1,256 @@
+#include "sim/fabric/fabric_protocol.hh"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/log.hh"
+#include "serve/protocol.hh"
+#include "sim/checkpoint/stateio.hh"
+
+namespace tempest
+{
+namespace fabric
+{
+
+namespace
+{
+
+const char*
+kindName(FabricJob::Kind kind)
+{
+    return kind == FabricJob::Kind::Run ? "run" : "warm";
+}
+
+FabricJob::Kind
+parseKind(const std::string& name)
+{
+    if (name == "run")
+        return FabricJob::Kind::Run;
+    if (name == "warm")
+        return FabricJob::Kind::Warm;
+    fatal("unknown fabric job kind '", name, "' (run|warm)");
+}
+
+/** Required object member; fatal() with the field name. */
+const serve::Json&
+field(const serve::Json& doc, const char* key)
+{
+    const serve::Json* value = doc.find(key);
+    if (!value)
+        fatal("fabric message has no \"", key, "\" field");
+    return *value;
+}
+
+} // namespace
+
+std::string
+hexEncode(std::string_view bytes)
+{
+    static const char kDigits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (const char c : bytes) {
+        const auto b = static_cast<unsigned char>(c);
+        out.push_back(kDigits[b >> 4]);
+        out.push_back(kDigits[b & 0xf]);
+    }
+    return out;
+}
+
+std::string
+hexDecode(std::string_view hex)
+{
+    if (hex.size() % 2 != 0)
+        fatal("hex blob has odd length ", hex.size());
+    auto nibble = [](char c) -> int {
+        if (c >= '0' && c <= '9')
+            return c - '0';
+        if (c >= 'a' && c <= 'f')
+            return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F')
+            return c - 'A' + 10;
+        fatal("invalid hex digit '", std::string(1, c), "'");
+    };
+    std::string out;
+    out.reserve(hex.size() / 2);
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+        out.push_back(static_cast<char>((nibble(hex[i]) << 4) |
+                                        nibble(hex[i + 1])));
+    }
+    return out;
+}
+
+std::uint64_t
+parseHexU64(const std::string& text)
+{
+    const char* start = text.c_str();
+    char* end = nullptr;
+    errno = 0;
+    const std::uint64_t v = std::strtoull(start, &end, 16);
+    if (end == start || *end != '\0' || errno == ERANGE)
+        fatal("'", text, "' is not a hex u64");
+    return v;
+}
+
+std::string
+encodeJob(const FabricJob& job)
+{
+    serve::Json msg;
+    msg["op"] = serve::Json("job");
+    msg["kind"] = serve::Json(kindName(job.kind));
+    msg["index"] =
+        serve::Json(static_cast<std::uint64_t>(job.index));
+    msg["tag"] = serve::Json(job.tag);
+    msg["benchmark"] = serve::Json(job.benchmark);
+    msg["cycles"] = serve::Json(job.cycles);
+    msg["seed"] = serve::Json(serve::hexU64(job.seed));
+    // An explicit empty object, never null: an empty Config is a
+    // valid job config (every key at its default).
+    serve::Json config{serve::Json::Object{}};
+    // Config entries are already strings; shipping them verbatim
+    // (and re-set()ing on the worker) is an exact round trip.
+    for (const auto& [key, value] : job.config.entries())
+        config[key] = serve::Json(value);
+    msg["config"] = config;
+    if (!job.snapshotPath.empty())
+        msg["snapshot"] = serve::Json(job.snapshotPath);
+    msg["reset_measurement"] = serve::Json(job.resetMeasurement);
+    return msg.dump();
+}
+
+FabricJob
+parseJob(const serve::Json& doc)
+{
+    FabricJob job;
+    job.kind = parseKind(field(doc, "kind").asString());
+    job.index = static_cast<std::size_t>(
+        field(doc, "index").asUnsigned());
+    job.tag = field(doc, "tag").asString();
+    job.benchmark = field(doc, "benchmark").asString();
+    job.cycles = field(doc, "cycles").asUnsigned();
+    job.seed = parseHexU64(field(doc, "seed").asString());
+    for (const auto& [key, value] :
+         field(doc, "config").asObject())
+        job.config.set(key, value.asString());
+    if (const serve::Json* snapshot = doc.find("snapshot"))
+        job.snapshotPath = snapshot->asString();
+    job.resetMeasurement =
+        field(doc, "reset_measurement").asBool();
+    if (job.kind == FabricJob::Kind::Warm &&
+        job.snapshotPath.empty())
+        fatal("fabric warm job needs a snapshot output path");
+    return job;
+}
+
+std::string
+encodeResult(const FabricResult& result)
+{
+    serve::Json msg;
+    msg["op"] = serve::Json("result");
+    msg["index"] =
+        serve::Json(static_cast<std::uint64_t>(result.index));
+    msg["ok"] = serve::Json(result.ok);
+    if (!result.ok) {
+        msg["error"] = serve::Json(result.error);
+        return msg.dump();
+    }
+    msg["result_hash"] =
+        serve::Json(serve::hexU64(result.resultHash));
+    msg["wall_seconds"] = serve::Json(result.wallSeconds);
+    if (result.hasResult) {
+        msg["blob"] = serve::Json(
+            hexEncode(encodeSimResultBlob(result.result)));
+    }
+    return msg.dump();
+}
+
+FabricResult
+parseResult(const serve::Json& doc)
+{
+    FabricResult result;
+    result.index = static_cast<std::size_t>(
+        field(doc, "index").asUnsigned());
+    result.ok = field(doc, "ok").asBool();
+    if (!result.ok) {
+        result.error = field(doc, "error").asString();
+        return result;
+    }
+    result.resultHash =
+        parseHexU64(field(doc, "result_hash").asString());
+    result.wallSeconds = field(doc, "wall_seconds").asDouble();
+    if (const serve::Json* blob = doc.find("blob")) {
+        result.result =
+            decodeSimResultBlob(hexDecode(blob->asString()));
+        result.hasResult = true;
+    }
+    return result;
+}
+
+std::string
+encodeHello(long pid)
+{
+    serve::Json msg;
+    msg["op"] = serve::Json("hello");
+    msg["pid"] = serve::Json(static_cast<std::int64_t>(pid));
+    return msg.dump();
+}
+
+std::string
+encodeShutdown()
+{
+    serve::Json msg;
+    msg["op"] = serve::Json("shutdown");
+    return msg.dump();
+}
+
+std::string
+encodeSimResultBlob(const SimResult& result)
+{
+    StateWriter w;
+    w.str(result.benchmark);
+    w.f64(result.ipc);
+    w.u64(result.cycles);
+    w.u64(result.instructions);
+    w.u64(result.stallCycles);
+    // DtmStats and ActivityRecord are flat all-u64 PODs; the bulk
+    // write captures every counter bit-exactly and the matching
+    // length check on the reader side turns a layout drift between
+    // coordinator and worker builds into a clear error.
+    w.blob(&result.dtm, sizeof(result.dtm));
+    w.blob(&result.activity, sizeof(result.activity));
+    w.u32(static_cast<std::uint32_t>(result.blocks.size()));
+    for (const BlockTempStats& b : result.blocks) {
+        w.str(b.name);
+        w.f64(b.avg);
+        w.f64(b.max);
+    }
+    return w.bytes();
+}
+
+SimResult
+decodeSimResultBlob(std::string_view bytes)
+{
+    StateReader r(bytes);
+    SimResult result;
+    result.benchmark = r.str();
+    result.ipc = r.f64();
+    result.cycles = r.u64();
+    result.instructions = r.u64();
+    result.stallCycles = r.u64();
+    r.blob(&result.dtm, sizeof(result.dtm));
+    r.blob(&result.activity, sizeof(result.activity));
+    const std::uint32_t num_blocks = r.u32();
+    result.blocks.resize(num_blocks);
+    for (BlockTempStats& b : result.blocks) {
+        b.name = r.str();
+        b.avg = r.f64();
+        b.max = r.f64();
+    }
+    if (!r.atEnd())
+        fatal("fabric result blob has ", r.remaining(),
+              " trailing bytes");
+    return result;
+}
+
+} // namespace fabric
+} // namespace tempest

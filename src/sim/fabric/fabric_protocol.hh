@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Sweep-fabric wire protocol (DESIGN.md §15): the line-delimited
+ * JSON messages a coordinator and its worker processes exchange
+ * over per-worker Unix socketpairs, reusing the serve JSON codec
+ * (src/serve/json.hh) so all three consumers of the dotted config
+ * keys — tempest_run, tempest_serve, and the fabric — translate
+ * configurations identically.
+ *
+ * Coordinator -> worker:
+ *
+ *   {"op":"job","kind":"run","index":7,"tag":"iq_toggling",
+ *    "benchmark":"mesa","cycles":2000000,"seed":"0x...",
+ *    "config":{"floorplan.variant":"iq","dtm.toggling":"true"},
+ *    "snapshot":"/spill/warm_mesa.ckpt","reset_measurement":true}
+ *   {"op":"job","kind":"warm", ... ,"snapshot":"<output path>"}
+ *   {"op":"shutdown"}
+ *
+ * Worker -> coordinator:
+ *
+ *   {"op":"hello","pid":12345}
+ *   {"op":"result","index":7,"ok":true,"result_hash":"0x...",
+ *    "wall_seconds":0.41,"blob":"<hex SimResult>"}
+ *   {"op":"result","index":7,"ok":false,"error":"..."}
+ *
+ * A "run" job executes one shard: cold from cycle 0 when
+ * "snapshot" is absent, or forked from the named warm snapshot
+ * file (the coordinator ships warm state by path, never by value —
+ * the snapshot is written once per benchmark via the versioned
+ * checkpoint format and every fork re-reads it). A "warm" job
+ * builds that snapshot: warm up under the neutral config and
+ * write the checkpoint to "snapshot" atomically.
+ *
+ * SimResults travel as a hex-encoded binary blob in the StateIO
+ * little-endian encoding (doubles as IEEE bit patterns), NOT as
+ * JSON numbers: the fabric's contract is bit-identity with the
+ * in-process runner, and a double that round-trips through
+ * decimal text cannot guarantee that. "result_hash" carries
+ * hashSimResult() computed by the worker; the coordinator
+ * recomputes it from the decoded blob and treats a mismatch as
+ * transport corruption.
+ */
+
+#ifndef TEMPEST_SIM_FABRIC_FABRIC_PROTOCOL_HH
+#define TEMPEST_SIM_FABRIC_FABRIC_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/config.hh"
+#include "serve/json.hh"
+#include "sim/simulator.hh"
+
+namespace tempest
+{
+namespace fabric
+{
+
+/** One shard of the job graph, as shipped to a worker. */
+struct FabricJob
+{
+    enum class Kind
+    {
+        Run, ///< simulate one (config, benchmark) shard
+        Warm ///< build one benchmark's warm snapshot file
+    };
+
+    Kind kind = Kind::Run;
+    /** Job-graph index: the deterministic merge key. */
+    std::size_t index = 0;
+    /** Config identity within the sweep (seed derivation). */
+    std::string tag;
+    std::string benchmark;
+    /** Measured cycles (Run) or warm-up cycles (Warm). */
+    std::uint64_t cycles = 0;
+    /** Exact runSeed (already derived by the coordinator). */
+    std::uint64_t seed = 0;
+    /** Dotted config keys (sim_config_io vocabulary). */
+    Config config;
+    /** Run: fork source when non-empty. Warm: output path. */
+    std::string snapshotPath;
+    /** Run-from-snapshot only: zero measurement after restore. */
+    bool resetMeasurement = true;
+};
+
+/** One worker reply. */
+struct FabricResult
+{
+    std::size_t index = 0;
+    bool ok = false;
+    std::string error;
+    /** hashSimResult (Run) or FNV-1a of the snapshot bytes
+     * (Warm), as reported by the worker. */
+    std::uint64_t resultHash = 0;
+    /** Simulation wall seconds on the worker (metadata only). */
+    double wallSeconds = 0;
+    /** Decoded result; valid only for ok Run replies. */
+    SimResult result;
+    bool hasResult = false;
+};
+
+// ---- message codecs (one JSON document per line, no newline) ----
+
+std::string encodeJob(const FabricJob& job);
+/** Parse a job message; fatal() on malformed input. */
+FabricJob parseJob(const serve::Json& doc);
+
+std::string encodeResult(const FabricResult& result);
+/** Parse a result message; fatal() on malformed input. */
+FabricResult parseResult(const serve::Json& doc);
+
+std::string encodeHello(long pid);
+std::string encodeShutdown();
+
+// ---- SimResult binary blob (StateIO encoding) ----
+
+/** Serialize every SimResult field bit-exactly. */
+std::string encodeSimResultBlob(const SimResult& result);
+/** Inverse of encodeSimResultBlob; fatal() on truncation. */
+SimResult decodeSimResultBlob(std::string_view bytes);
+
+// ---- helpers ----
+
+/** Lowercase hex, two digits per byte. */
+std::string hexEncode(std::string_view bytes);
+/** Inverse of hexEncode; fatal() on odd length or non-hex. */
+std::string hexDecode(std::string_view hex);
+
+/** Parse "0x..."/plain hex into a u64; fatal() on garbage. */
+std::uint64_t parseHexU64(const std::string& text);
+
+} // namespace fabric
+} // namespace tempest
+
+#endif // TEMPEST_SIM_FABRIC_FABRIC_PROTOCOL_HH

@@ -1,0 +1,557 @@
+/**
+ * @file
+ * Sweep-fabric tests (DESIGN.md §15): wire-protocol round trips,
+ * bit-exact SimResult transport, and the coordinator/worker
+ * process pool — including the contract the whole subsystem
+ * exists for: fabric-merged sweeps are bit-identical to the
+ * in-process runner at any worker count, before and after worker
+ * death, re-queue, and respawn.
+ */
+
+#include <signal.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "common/log.hh"
+#include "sim/experiment.hh"
+#include "sim/fabric/coordinator.hh"
+#include "sim/fabric/fabric_protocol.hh"
+#include "sim/fabric/worker.hh"
+#include "sim/runner.hh"
+#include "sim/sim_config_io.hh"
+#include "workload/profile.hh"
+
+using namespace tempest;
+using namespace tempest::fabric;
+
+namespace
+{
+
+/** Scratch directory for spill files, removed on destruction. */
+struct TempDir
+{
+    std::string path;
+
+    TempDir()
+    {
+        char tmpl[] = "/tmp/tempest_fabric_test_XXXXXX";
+        if (!mkdtemp(tmpl))
+            throw std::runtime_error("mkdtemp failed");
+        path = tmpl;
+    }
+
+    ~TempDir()
+    {
+        const std::string cmd = "rm -rf " + path;
+        [[maybe_unused]] const int rc = std::system(cmd.c_str());
+    }
+};
+
+SimResult
+smallResult()
+{
+    SimConfig config = experiments::iqBase();
+    config.runSeed = 42;
+    Simulator sim(config, spec2000("art"));
+    return sim.run(20000);
+}
+
+std::vector<std::uint64_t>
+hashesOf(const std::vector<ExperimentOutcome>& outcomes)
+{
+    std::vector<std::uint64_t> hashes;
+    hashes.reserve(outcomes.size());
+    for (const ExperimentOutcome& o : outcomes) {
+        EXPECT_TRUE(o.ok) << o.tag << "/" << o.benchmark << ": "
+                          << o.error;
+        hashes.push_back(o.ok
+                             ? experiments::hashSimResult(o.result)
+                             : 0);
+    }
+    return hashes;
+}
+
+/** The small sweep every pool test runs: 2 configs x 2
+ * benchmarks, dotted-key configs. */
+SweepSpec
+smallSweep()
+{
+    SweepSpec spec;
+    Config base;
+    Config toggling;
+    toggling.set("dtm.toggling", "true");
+    spec.configs = {{"base", base}, {"toggling", toggling}};
+    spec.benchmarks = {"art", "mesa"};
+    spec.measureCycles = 50000;
+    return spec;
+}
+
+/** In-process reference for smallSweep() (cold path). */
+std::vector<ExperimentOutcome>
+smallSweepReference(std::uint64_t base_seed)
+{
+    const SweepSpec spec = smallSweep();
+    std::vector<std::pair<std::string, SimConfig>> configs;
+    for (const auto& [tag, cfg] : spec.configs)
+        configs.emplace_back(tag, simConfigFromConfig(cfg));
+    ExperimentRunner::Options options;
+    options.threads = 2;
+    options.baseSeed = base_seed;
+    return experiments::runSweep(configs, spec.benchmarks,
+                                 spec.measureCycles, options);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// Wire protocol
+// ---------------------------------------------------------------
+
+TEST(FabricProtocol, HexRoundTrip)
+{
+    const std::string bytes("\x00\x01\xfe\xff\x80 abc", 9);
+    EXPECT_EQ(hexDecode(hexEncode(bytes)), bytes);
+    EXPECT_EQ(hexEncode(std::string()), "");
+    EXPECT_THROW(hexDecode("abc"), FatalError);  // odd length
+    EXPECT_THROW(hexDecode("zz"), FatalError);   // bad digit
+    EXPECT_EQ(parseHexU64("0xffffffffffffffff"),
+              0xffffffffffffffffULL);
+    EXPECT_THROW(parseHexU64("gg"), FatalError);
+}
+
+TEST(FabricProtocol, JobRoundTrip)
+{
+    FabricJob job;
+    job.kind = FabricJob::Kind::Run;
+    job.index = 7;
+    job.tag = "iq_toggling";
+    job.benchmark = "mesa";
+    job.cycles = 2'000'000;
+    job.seed = 0xdeadbeefcafef00dULL;
+    job.config.set("dtm.toggling", "true");
+    job.config.set("thermal.time_scale", "0.04");
+    job.snapshotPath = "/spill/warm_mesa.ckpt";
+    job.resetMeasurement = false;
+
+    const FabricJob back =
+        parseJob(serve::Json::parse(encodeJob(job)));
+    EXPECT_EQ(back.kind, job.kind);
+    EXPECT_EQ(back.index, job.index);
+    EXPECT_EQ(back.tag, job.tag);
+    EXPECT_EQ(back.benchmark, job.benchmark);
+    EXPECT_EQ(back.cycles, job.cycles);
+    EXPECT_EQ(back.seed, job.seed);
+    EXPECT_EQ(back.config.entries(), job.config.entries());
+    EXPECT_EQ(back.snapshotPath, job.snapshotPath);
+    EXPECT_EQ(back.resetMeasurement, job.resetMeasurement);
+}
+
+TEST(FabricProtocol, EmptyConfigJobRoundTrips)
+{
+    // An all-defaults config must survive as an empty object,
+    // not degrade to null (the neutral warm-up config is empty).
+    FabricJob job;
+    job.kind = FabricJob::Kind::Warm;
+    job.index = 0;
+    job.tag = "warmup";
+    job.benchmark = "art";
+    job.cycles = 1000;
+    job.seed = 1;
+    job.snapshotPath = "/tmp/x.ckpt";
+    const FabricJob back =
+        parseJob(serve::Json::parse(encodeJob(job)));
+    EXPECT_TRUE(back.config.entries().empty());
+    EXPECT_EQ(back.kind, FabricJob::Kind::Warm);
+}
+
+TEST(FabricProtocol, WarmJobWithoutSnapshotPathIsFatal)
+{
+    FabricJob job;
+    job.kind = FabricJob::Kind::Warm;
+    job.tag = "warmup";
+    job.benchmark = "art";
+    job.cycles = 1000;
+    EXPECT_THROW(parseJob(serve::Json::parse(encodeJob(job))),
+                 FatalError);
+}
+
+TEST(FabricProtocol, ResultRoundTripPreservesEveryBit)
+{
+    FabricResult res;
+    res.index = 3;
+    res.ok = true;
+    res.result = smallResult();
+    res.hasResult = true;
+    res.resultHash = experiments::hashSimResult(res.result);
+    res.wallSeconds = 0.25;
+
+    const FabricResult back =
+        parseResult(serve::Json::parse(encodeResult(res)));
+    EXPECT_EQ(back.index, res.index);
+    EXPECT_TRUE(back.ok);
+    EXPECT_TRUE(back.hasResult);
+    EXPECT_EQ(back.resultHash, res.resultHash);
+    // The decoded result must hash identically: every field,
+    // every counter, every double bit pattern survived the trip.
+    EXPECT_EQ(experiments::hashSimResult(back.result),
+              res.resultHash);
+    EXPECT_EQ(back.wallSeconds, res.wallSeconds);
+}
+
+TEST(FabricProtocol, ErrorResultRoundTrip)
+{
+    FabricResult res;
+    res.index = 9;
+    res.ok = false;
+    res.error = "unknown benchmark 'nope'";
+    const FabricResult back =
+        parseResult(serve::Json::parse(encodeResult(res)));
+    EXPECT_EQ(back.index, 9u);
+    EXPECT_FALSE(back.ok);
+    EXPECT_FALSE(back.hasResult);
+    EXPECT_EQ(back.error, res.error);
+}
+
+TEST(FabricProtocol, BlobDetectsTrailingBytes)
+{
+    const std::string blob =
+        encodeSimResultBlob(smallResult());
+    EXPECT_THROW(decodeSimResultBlob(blob + "x"), FatalError);
+    EXPECT_THROW(
+        decodeSimResultBlob(blob.substr(0, blob.size() - 1)),
+        FatalError);
+}
+
+// ---------------------------------------------------------------
+// Worker job execution (no process plumbing)
+// ---------------------------------------------------------------
+
+TEST(FabricWorker, ExecuteJobMatchesInProcessRunner)
+{
+    FabricJob job;
+    job.kind = FabricJob::Kind::Run;
+    job.index = 0;
+    job.tag = "base";
+    job.benchmark = "art";
+    job.cycles = 50000;
+    job.seed = deriveRunSeed(1, "art", "base");
+
+    ExperimentJob ref;
+    ref.tag = "base";
+    ref.benchmark = "art";
+    ref.config = experiments::iqBase();
+    ref.cycles = 50000;
+    const ExperimentOutcome expected =
+        ExperimentRunner::runJob(ref, 1);
+    ASSERT_TRUE(expected.ok) << expected.error;
+
+    const FabricResult got = executeJob(job);
+    ASSERT_TRUE(got.ok) << got.error;
+    ASSERT_TRUE(got.hasResult);
+    EXPECT_EQ(got.resultHash,
+              experiments::hashSimResult(expected.result));
+}
+
+TEST(FabricWorker, ExecuteJobCapturesSimulationErrors)
+{
+    FabricJob job;
+    job.kind = FabricJob::Kind::Run;
+    job.benchmark = "no_such_benchmark";
+    job.cycles = 1000;
+    const FabricResult got = executeJob(job);
+    EXPECT_FALSE(got.ok);
+    EXPECT_FALSE(got.hasResult);
+    EXPECT_NE(got.error.find("no_such_benchmark"),
+              std::string::npos)
+        << got.error;
+}
+
+TEST(FabricWorker, WarmJobWritesForkableSnapshot)
+{
+    TempDir dir;
+    const std::uint64_t seed = deriveRunSeed(1, "art", "warmup");
+    FabricJob warm;
+    warm.kind = FabricJob::Kind::Warm;
+    warm.index = 0;
+    warm.tag = "warmup";
+    warm.benchmark = "art";
+    warm.cycles = 5000;
+    warm.seed = seed;
+    warm.snapshotPath = dir.path + "/warm_art.ckpt";
+    const FabricResult wres = executeJob(warm);
+    ASSERT_TRUE(wres.ok) << wres.error;
+
+    FabricJob fork;
+    fork.kind = FabricJob::Kind::Run;
+    fork.index = 1;
+    fork.tag = "base";
+    fork.benchmark = "art";
+    fork.cycles = 20000;
+    fork.seed = seed;
+    fork.snapshotPath = warm.snapshotPath;
+    const FabricResult fres = executeJob(fork);
+    ASSERT_TRUE(fres.ok) << fres.error;
+
+    // Reference: the in-process warm-fork pair.
+    SimConfig config = experiments::iqBase();
+    const std::string snapshot =
+        experiments::warmSnapshot(config, "art", seed, 5000);
+    const SimResult expected = experiments::runFromSnapshot(
+        config, "art", seed, snapshot, 20000, true);
+    EXPECT_EQ(fres.resultHash,
+              experiments::hashSimResult(expected));
+}
+
+// ---------------------------------------------------------------
+// Coordinator pool: bit-identity at 1/2/8 workers
+// ---------------------------------------------------------------
+
+TEST(FabricCoordinatorPool, ColdSweepBitIdenticalAcrossWorkerCounts)
+{
+    const std::vector<ExperimentOutcome> reference =
+        smallSweepReference(1);
+    const std::vector<std::uint64_t> expected =
+        hashesOf(reference);
+
+    for (const int workers : {1, 2, 8}) {
+        FabricOptions options;
+        options.workers = workers;
+        options.baseSeed = 1;
+        FabricCoordinator coordinator(options);
+        const std::vector<ExperimentOutcome> outcomes =
+            coordinator.runSweep(smallSweep());
+        ASSERT_EQ(outcomes.size(), reference.size());
+        EXPECT_EQ(hashesOf(outcomes), expected)
+            << "at " << workers << " workers";
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+            EXPECT_EQ(outcomes[i].tag, reference[i].tag);
+            EXPECT_EQ(outcomes[i].benchmark,
+                      reference[i].benchmark);
+            EXPECT_EQ(outcomes[i].seed, reference[i].seed);
+        }
+    }
+}
+
+TEST(FabricCoordinatorPool, WarmForkSweepBitIdenticalToRunner)
+{
+    TempDir fabric_dir;
+    TempDir runner_dir;
+    const SweepSpec spec = smallSweep();
+    const WarmSpec warm_spec{Config{}, 5000, "warmup", true};
+
+    std::vector<std::pair<std::string, SimConfig>> configs;
+    for (const auto& [tag, cfg] : spec.configs)
+        configs.emplace_back(tag, simConfigFromConfig(cfg));
+    experiments::WarmForkOptions wf;
+    wf.warmConfig = simConfigFromConfig(warm_spec.warmConfig);
+    wf.warmupCycles = warm_spec.warmupCycles;
+    wf.spillDir = runner_dir.path;
+    ExperimentRunner::Options roptions;
+    roptions.threads = 2;
+    const std::vector<ExperimentOutcome> reference =
+        experiments::runWarmForkSweep(configs, spec.benchmarks,
+                                      spec.measureCycles, wf,
+                                      roptions);
+
+    FabricOptions options;
+    options.workers = 2;
+    options.spillDir = fabric_dir.path;
+    FabricCoordinator coordinator(options);
+    const std::vector<ExperimentOutcome> outcomes =
+        coordinator.runWarmForkSweep(spec, warm_spec);
+
+    EXPECT_EQ(hashesOf(outcomes), hashesOf(reference));
+    for (std::size_t i = 0; i < outcomes.size(); ++i)
+        EXPECT_EQ(outcomes[i].seed, reference[i].seed);
+}
+
+TEST(FabricCoordinatorPool, WarmForkNeedsSpillDir)
+{
+    FabricCoordinator coordinator(FabricOptions{});
+    EXPECT_THROW(
+        coordinator.runWarmForkSweep(smallSweep(), WarmSpec{}),
+        FatalError);
+}
+
+TEST(FabricCoordinatorPool, SimulationFailureIsNotRetried)
+{
+    SweepSpec spec;
+    spec.configs = {{"base", Config{}}};
+    spec.benchmarks = {"art", "definitely_not_a_benchmark"};
+    spec.measureCycles = 20000;
+
+    std::mutex mu;
+    std::vector<std::string> events;
+    FabricOptions options;
+    options.workers = 2;
+    options.onEvent = [&](const std::string& msg) {
+        const std::lock_guard<std::mutex> lock(mu);
+        events.push_back(msg);
+    };
+    FabricCoordinator coordinator(options);
+    const std::vector<ExperimentOutcome> outcomes =
+        coordinator.runSweep(spec);
+    ASSERT_EQ(outcomes.size(), 2u);
+    EXPECT_TRUE(outcomes[0].ok) << outcomes[0].error;
+    EXPECT_FALSE(outcomes[1].ok);
+    EXPECT_NE(
+        outcomes[1].error.find("definitely_not_a_benchmark"),
+        std::string::npos)
+        << outcomes[1].error;
+    for (const std::string& e : events)
+        EXPECT_EQ(e.find("re-queued"), std::string::npos) << e;
+}
+
+// ---------------------------------------------------------------
+// Failure recovery: death, re-queue, respawn, timeout
+// ---------------------------------------------------------------
+
+TEST(FabricRecovery, KilledWorkerShardsRequeueBitIdentically)
+{
+    const std::vector<std::uint64_t> expected =
+        hashesOf(smallSweepReference(1));
+
+    // Kill the worker that receives the first dispatched shard,
+    // as soon as we see the dispatch event. The coordinator must
+    // re-queue that shard onto a survivor (or respawn) and the
+    // merged sweep must still be bit-identical.
+    std::mutex mu;
+    std::vector<std::string> events;
+    std::atomic<bool> killed{false};
+    FabricOptions options;
+    options.workers = 2;
+    options.baseSeed = 1;
+    options.onEvent = [&](const std::string& msg) {
+        const std::lock_guard<std::mutex> lock(mu);
+        events.push_back(msg);
+        const std::string marker = " to worker ";
+        const std::size_t at = msg.find(marker);
+        if (msg.rfind("dispatched ", 0) == 0 &&
+            at != std::string::npos &&
+            !killed.exchange(true)) {
+            const pid_t pid = static_cast<pid_t>(std::stol(
+                msg.substr(at + marker.size())));
+            kill(pid, SIGKILL);
+        }
+    };
+    FabricCoordinator coordinator(options);
+    const std::vector<ExperimentOutcome> outcomes =
+        coordinator.runSweep(smallSweep());
+
+    EXPECT_EQ(hashesOf(outcomes), expected);
+    bool requeued = false;
+    {
+        const std::lock_guard<std::mutex> lock(mu);
+        for (const std::string& e : events)
+            requeued |= e.find("re-queued") != std::string::npos;
+    }
+    EXPECT_TRUE(requeued)
+        << "the killed worker's shard was never re-queued";
+}
+
+TEST(FabricRecovery, TotalPoolLossRespawnsWorkers)
+{
+    const std::vector<std::uint64_t> expected =
+        hashesOf(smallSweepReference(1));
+
+    // Kill EVERY worker once (by pid, as spawned). The pool hits
+    // zero survivors at least once and must respawn from budget.
+    std::mutex mu;
+    std::vector<std::string> events;
+    std::size_t kills = 0;
+    FabricOptions options;
+    options.workers = 1;
+    options.baseSeed = 1;
+    options.onEvent = [&](const std::string& msg) {
+        const std::lock_guard<std::mutex> lock(mu);
+        events.push_back(msg);
+        const std::string marker = " to worker ";
+        const std::size_t at = msg.find(marker);
+        if (kills < 2 && msg.rfind("dispatched ", 0) == 0 &&
+            at != std::string::npos) {
+            ++kills;
+            const pid_t pid = static_cast<pid_t>(std::stol(
+                msg.substr(at + marker.size())));
+            kill(pid, SIGKILL);
+        }
+    };
+    FabricCoordinator coordinator(options);
+    const std::vector<ExperimentOutcome> outcomes =
+        coordinator.runSweep(smallSweep());
+
+    EXPECT_EQ(hashesOf(outcomes), expected);
+    bool respawned = false;
+    {
+        const std::lock_guard<std::mutex> lock(mu);
+        for (const std::string& e : events)
+            respawned |=
+                e.find("respawning") != std::string::npos;
+    }
+    EXPECT_TRUE(respawned)
+        << "pool never respawned after total loss";
+}
+
+TEST(FabricRecovery, PoisonShardFailsAfterAttemptBudget)
+{
+    // A worker command that dies before saying hello: every
+    // spawn is lost, the respawn budget drains, and the jobs
+    // fail cleanly instead of looping forever.
+    SweepSpec spec;
+    spec.configs = {{"base", Config{}}};
+    spec.benchmarks = {"art"};
+    spec.measureCycles = 1000;
+
+    FabricOptions options;
+    options.workers = 2;
+    options.workerCommand = {"/bin/false"};
+    options.respawnBudget = 2;
+    FabricCoordinator coordinator(options);
+    const std::vector<ExperimentOutcome> outcomes =
+        coordinator.runSweep(spec);
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_FALSE(outcomes[0].ok);
+    EXPECT_FALSE(outcomes[0].error.empty());
+}
+
+TEST(FabricRecovery, HungJobIsKilledByTimeoutAndBounded)
+{
+    // One job big enough to blow the deadline every attempt: the
+    // timeout must SIGKILL the worker, re-queue, and finally
+    // fail the job after maxJobAttempts dispatches.
+    SweepSpec spec;
+    spec.configs = {{"base", Config{}}};
+    spec.benchmarks = {"art"};
+    spec.measureCycles = 2'000'000'000ULL;
+
+    std::mutex mu;
+    std::size_t timeouts = 0;
+    FabricOptions options;
+    options.workers = 1;
+    options.jobTimeoutSeconds = 0.2;
+    options.maxJobAttempts = 2;
+    options.onEvent = [&](const std::string& msg) {
+        const std::lock_guard<std::mutex> lock(mu);
+        if (msg.find("exceeded") != std::string::npos)
+            ++timeouts;
+    };
+    FabricCoordinator coordinator(options);
+    const std::vector<ExperimentOutcome> outcomes =
+        coordinator.runSweep(spec);
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_FALSE(outcomes[0].ok);
+    EXPECT_NE(outcomes[0].error.find("job timeout"),
+              std::string::npos)
+        << outcomes[0].error;
+    EXPECT_EQ(timeouts, 2u);
+}

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Drift guard for the dotted-key config vocabulary now that three
+ * consumers share it (tempest_run, tempest_serve, and the sweep
+ * fabric): every key simConfigFromConfig() accepts must survive
+ * render -> parse -> render unchanged, the defaults must keep
+ * reproducing the experiment preset builders bit-for-bit, and
+ * range validation must stay fatal.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/log.hh"
+#include "sim/experiment.hh"
+#include "sim/sim_config_io.hh"
+
+namespace tempest
+{
+namespace
+{
+
+/** Every documented (key, non-default sample value) pair the
+ * translation accepts. New keys join this list or the round-trip
+ * coverage check below fails the build. */
+std::vector<std::pair<std::string, std::string>>
+allKeys()
+{
+    return {
+        {"floorplan.variant", "regfile"},
+        {"thermal.time_scale", "0.125"},
+        {"thermal.ambient", "308.15"},
+        {"thermal.convection", "0.6"},
+        {"thermal.solver", "euler"},
+        {"sim.sample_interval", "12500"},
+        {"sim.warm_start", "false"},
+        {"run.seed", "12345"},
+        {"dtm.max_temperature", "370.5"},
+        {"dtm.toggling", "true"},
+        {"dtm.toggle_delta", "2.5"},
+        {"dtm.alu_turnoff", "true"},
+        {"dtm.regfile_turnoff", "true"},
+        {"dtm.round_robin", "true"},
+        {"dtm.fetch_throttling", "true"},
+        {"dtm.cooling_time", "0.002"},
+        {"dtm.mapping", "completely-balanced"},
+    };
+}
+
+/** Field-by-field SimConfig comparison (no operator==). */
+void
+expectSameConfig(const SimConfig& a, const SimConfig& b)
+{
+    EXPECT_EQ(a.variant, b.variant);
+    EXPECT_EQ(a.thermal.timeScale, b.thermal.timeScale);
+    EXPECT_EQ(a.thermal.ambient, b.thermal.ambient);
+    EXPECT_EQ(a.thermal.rConvection, b.thermal.rConvection);
+    EXPECT_EQ(a.thermal.maxTemperature, b.thermal.maxTemperature);
+    EXPECT_EQ(a.thermal.solver, b.thermal.solver);
+    EXPECT_EQ(a.sampleIntervalCycles, b.sampleIntervalCycles);
+    EXPECT_EQ(a.warmStart, b.warmStart);
+    EXPECT_EQ(a.dtm.maxTemperature, b.dtm.maxTemperature);
+    EXPECT_EQ(a.dtm.iqToggling, b.dtm.iqToggling);
+    EXPECT_EQ(a.dtm.toggleDeltaK, b.dtm.toggleDeltaK);
+    EXPECT_EQ(a.dtm.aluTurnoff, b.dtm.aluTurnoff);
+    EXPECT_EQ(a.dtm.regfileTurnoff, b.dtm.regfileTurnoff);
+    EXPECT_EQ(a.dtm.roundRobin, b.dtm.roundRobin);
+    EXPECT_EQ(a.dtm.fetchThrottling, b.dtm.fetchThrottling);
+    EXPECT_EQ(a.dtm.coolingTime, b.dtm.coolingTime);
+    EXPECT_EQ(a.dtm.mapping, b.dtm.mapping);
+}
+
+TEST(SimConfigIo, EveryKeySurvivesRenderParseRender)
+{
+    Config cfg;
+    for (const auto& [key, value] : allKeys())
+        cfg.set(key, value);
+
+    const std::string once = cfg.render();
+    Config back;
+    back.parseText(once);
+    EXPECT_EQ(back.entries(), cfg.entries());
+    EXPECT_EQ(back.render(), once);
+
+    // And the re-parsed config still names the same simulation.
+    expectSameConfig(simConfigFromConfig(back),
+                     simConfigFromConfig(cfg));
+}
+
+TEST(SimConfigIo, SampleListCoversEveryAcceptedKey)
+{
+    // A non-default value for every key must actually change the
+    // translated SimConfig relative to the defaults — proving
+    // each list entry names a live key (a typo'd key would be
+    // silently ignored by the default-taking getters).
+    const SimConfig defaults = simConfigFromConfig(Config{});
+    for (const auto& [key, value] : allKeys()) {
+        Config cfg;
+        cfg.set(key, value);
+        if (key == "run.seed") {
+            EXPECT_NE(simConfigFromConfig(cfg).runSeed,
+                      defaults.runSeed);
+            continue;
+        }
+        const SimConfig translated = simConfigFromConfig(cfg);
+        const bool differs =
+            translated.variant != defaults.variant ||
+            translated.thermal.timeScale !=
+                defaults.thermal.timeScale ||
+            translated.thermal.ambient !=
+                defaults.thermal.ambient ||
+            translated.thermal.rConvection !=
+                defaults.thermal.rConvection ||
+            translated.thermal.solver !=
+                defaults.thermal.solver ||
+            translated.sampleIntervalCycles !=
+                defaults.sampleIntervalCycles ||
+            translated.warmStart != defaults.warmStart ||
+            translated.dtm.maxTemperature !=
+                defaults.dtm.maxTemperature ||
+            translated.dtm.iqToggling !=
+                defaults.dtm.iqToggling ||
+            translated.dtm.toggleDeltaK !=
+                defaults.dtm.toggleDeltaK ||
+            translated.dtm.aluTurnoff !=
+                defaults.dtm.aluTurnoff ||
+            translated.dtm.regfileTurnoff !=
+                defaults.dtm.regfileTurnoff ||
+            translated.dtm.roundRobin !=
+                defaults.dtm.roundRobin ||
+            translated.dtm.fetchThrottling !=
+                defaults.dtm.fetchThrottling ||
+            translated.dtm.coolingTime !=
+                defaults.dtm.coolingTime ||
+            translated.dtm.mapping != defaults.dtm.mapping;
+        EXPECT_TRUE(differs)
+            << key << "=" << value
+            << " did not change the translated SimConfig";
+    }
+}
+
+TEST(SimConfigIo, DefaultsReproduceIqBase)
+{
+    // The empty config IS the neutral iqBase() preset — the
+    // property the fabric's paper-scale parity rests on.
+    SimConfig expected = experiments::iqBase();
+    SimConfig got = simConfigFromConfig(Config{});
+    got.runSeed = expected.runSeed; // seed is not preset-defined
+    expectSameConfig(got, expected);
+}
+
+TEST(SimConfigIo, DottedTogglingReproducesIqToggling)
+{
+    Config cfg;
+    cfg.set("dtm.toggling", "true");
+    SimConfig expected = experiments::iqToggling();
+    SimConfig got = simConfigFromConfig(cfg);
+    got.runSeed = expected.runSeed;
+    expectSameConfig(got, expected);
+}
+
+TEST(SimConfigIo, RangeValidationStaysFatal)
+{
+    Config bad_interval;
+    bad_interval.set("sim.sample_interval", "0");
+    EXPECT_THROW(simConfigFromConfig(bad_interval), FatalError);
+
+    Config negative_seed;
+    negative_seed.set("run.seed", "-1");
+    EXPECT_THROW(simConfigFromConfig(negative_seed), FatalError);
+
+    Config bad_variant;
+    bad_variant.set("floorplan.variant", "hexagon");
+    EXPECT_THROW(simConfigFromConfig(bad_variant), FatalError);
+
+    Config bad_solver;
+    bad_solver.set("thermal.solver", "magic");
+    EXPECT_THROW(simConfigFromConfig(bad_solver), FatalError);
+
+    Config bad_mapping;
+    bad_mapping.set("dtm.mapping", "sideways");
+    EXPECT_THROW(simConfigFromConfig(bad_mapping), FatalError);
+}
+
+} // namespace
+} // namespace tempest

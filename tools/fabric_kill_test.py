@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Worker-kill integration test for the sweep fabric.
+
+Exercises the property the fabric's failure recovery exists to
+provide: a sweep whose worker process is SIGKILLed mid-shard
+finishes with exactly the same per-job result hashes and final
+sweep_hash (merge-order FNV-1a chain) as an undisturbed run. The
+coordinator must detect the death, re-queue the dead worker's
+shard onto a survivor, and merge by job index — never by arrival
+order — so the recovery is invisible in the results.
+
+Procedure:
+  1. Reference: tempest_sweep --paper-scale to completion at 2
+     workers, record sweep_hash and the per-job hash table.
+  2. Run the same sweep again; as soon as a worker process
+     (tempest_sweep --worker-fd) appears, SIGKILL it. Repeat for
+     a second victim mid-sweep.
+  3. The disturbed run must exit 0, its stderr must show the
+     coordinator re-queueing (or respawning after) the lost
+     shard, and its hashes must equal the reference exactly.
+
+Usage:
+    python3 tools/fabric_kill_test.py [--build-dir build]
+        [--cycles 200000] [--workers 2]
+
+Stdlib only; no third-party dependencies. Exits non-zero on any
+mismatch, so CI can gate on it.
+"""
+
+import argparse
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+
+def repo_root():
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.dirname(here)
+
+
+def sweep_hash(stdout):
+    m = re.search(r"sweep_hash\s+(0x[0-9a-f]{16})", stdout)
+    if not m:
+        sys.exit("fabric-kill: no sweep_hash in output:\n"
+                 + stdout)
+    return m.group(1)
+
+
+def job_hashes(stdout):
+    """(config, bench) -> result_hash rows of the report table."""
+    rows = {}
+    for line in stdout.splitlines():
+        m = re.match(r"(\S+)\s+(\S+)\s+.*(0x[0-9a-f]{16})$", line)
+        if m and m.group(1) != "sweep_hash":
+            rows[(m.group(1), m.group(2))] = m.group(3)
+    return rows
+
+
+def worker_pids(parent_pid):
+    """Child PIDs of the coordinator that are worker processes."""
+    try:
+        out = subprocess.run(
+            ["ps", "-o", "pid=,args=", "--ppid", str(parent_pid)],
+            capture_output=True, text=True).stdout
+    except OSError:
+        return []
+    pids = []
+    for line in out.splitlines():
+        parts = line.strip().split(None, 1)
+        if len(parts) == 2 and "--worker-fd" in parts[1]:
+            pids.append(int(parts[0]))
+    return pids
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--cycles", type=int, default=200_000)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--kills", type=int, default=2,
+                        help="workers to SIGKILL mid-sweep")
+    args = parser.parse_args()
+
+    root = repo_root()
+    binary = os.path.join(root, args.build_dir, "tools",
+                          "tempest_sweep")
+    if not os.path.exists(binary):
+        sys.exit(f"fabric-kill: {binary} not found; build the "
+                 "project first")
+    cmd = [binary, "--paper-scale", str(args.cycles),
+           "--workers", str(args.workers)]
+
+    # 1. Undisturbed reference run.
+    ref = subprocess.run(cmd, capture_output=True, text=True)
+    if ref.returncode != 0:
+        sys.exit("fabric-kill: reference run failed "
+                 f"(rc={ref.returncode}):\n{ref.stderr}")
+    ref_hash = sweep_hash(ref.stdout)
+    ref_rows = job_hashes(ref.stdout)
+    if len(ref_rows) != 12:
+        sys.exit("fabric-kill: expected 12 job rows, got "
+                 f"{len(ref_rows)}:\n{ref.stdout}")
+    print(f"[ok  ] reference sweep: {ref_hash} "
+          f"({len(ref_rows)} jobs)")
+
+    # 2. Disturbed run: SIGKILL worker processes as they appear.
+    proc = subprocess.Popen(cmd, stdout=subprocess.PIPE,
+                            stderr=subprocess.PIPE, text=True)
+    kills = 0
+    victims = set()
+    deadline = time.monotonic() + 120
+    while (kills < args.kills and proc.poll() is None and
+           time.monotonic() < deadline):
+        for pid in worker_pids(proc.pid):
+            if pid in victims or kills >= args.kills:
+                continue
+            # Let the victim get a shard dispatched to it before
+            # it dies, so the re-queue path actually runs.
+            time.sleep(0.05)
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except ProcessLookupError:
+                continue
+            victims.add(pid)
+            kills += 1
+            print(f"[ok  ] SIGKILLed worker {pid}")
+        time.sleep(0.01)
+    out, err = proc.communicate(timeout=300)
+
+    if kills == 0:
+        sys.exit("fabric-kill: never saw a worker process to "
+                 f"kill; stderr:\n{err}")
+    if proc.returncode != 0:
+        sys.exit("fabric-kill: disturbed run failed "
+                 f"(rc={proc.returncode}):\n{err}")
+
+    # 3. Recovery must be visible in events...
+    recovered = ("re-queued" in err) or ("respawning" in err)
+    if not recovered:
+        sys.exit("fabric-kill: killed a worker but the "
+                 "coordinator never re-queued or respawned; "
+                 f"stderr:\n{err}")
+    print("[ok  ] coordinator re-queued the lost shard(s)")
+
+    # ...and invisible in the results.
+    got_hash = sweep_hash(out)
+    got_rows = job_hashes(out)
+    if got_rows != ref_rows:
+        diff = [f"  {k}: {ref_rows.get(k)} != {got_rows.get(k)}"
+                for k in sorted(set(ref_rows) | set(got_rows))
+                if ref_rows.get(k) != got_rows.get(k)]
+        sys.exit("fabric-kill: per-job hashes diverged after "
+                 "worker kill:\n" + "\n".join(diff))
+    if got_hash != ref_hash:
+        sys.exit(f"fabric-kill: sweep_hash diverged: {ref_hash} "
+                 f"!= {got_hash}")
+    print(f"[ok  ] disturbed sweep bit-identical: {got_hash}")
+    print("fabric-kill: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,10 @@ count (see hardware_concurrency in the history entries); comparing
 them across machines conflates oversubscription with regression, so
 a drop only prints a warning.
 
+Fabric (worker-process) rows from the bench's ``fabric`` section
+are advisory for the same reason: process-pool throughput folds in
+fork/IPC cost and the core count, so a drop warns but never fails.
+
 Usage:
     python3 tools/perf_smoke.py [--build-dir build]
         [--history BENCH_wallclock.json] [--threshold 0.10]
@@ -84,6 +88,38 @@ def best_recorded_threaded(history):
             continue
         for t, v in threaded_best(entry.get("runs", [])).items():
             best[t] = max(best.get(t, 0), v)
+    return best
+
+
+def fabric_pools(section):
+    """workers -> sim_cycles_per_second of a bench fabric section.
+
+    The multi-process sweep fabric rows are advisory-only, like
+    thread rows: process-pool throughput depends on the machine's
+    core count and fork/IPC cost, so a drop warns but never fails.
+    """
+    pools = {}
+    if not isinstance(section, dict):
+        return pools
+    for r in section.get("pools", []):
+        if not isinstance(r, dict):
+            continue
+        w = r.get("workers")
+        v = r.get("sim_cycles_per_second")
+        if (isinstance(w, int) and w > 0 and
+                isinstance(v, (int, float))):
+            pools[w] = max(pools.get(w, 0), v)
+    return pools
+
+
+def best_recorded_fabric(history):
+    """Best recorded fabric throughput per worker count."""
+    best = {}
+    for entry in history:
+        if not isinstance(entry, dict):
+            continue
+        for w, v in fabric_pools(entry.get("fabric")).items():
+            best[w] = max(best.get(w, 0), v)
     return best
 
 
@@ -167,6 +203,24 @@ def main():
                   f"throughput is {drop:.0f}% below the best "
                   "recorded bench entry; advisory only (thread "
                   "rows are machine-dependent)", file=sys.stderr)
+
+    # ---- fabric (worker-process) rows: advisory only ----
+    recorded_fabric = best_recorded_fabric(history)
+    for w, v in sorted(fabric_pools(payload.get("fabric")).items()):
+        rec = recorded_fabric.get(w)
+        if not rec:
+            continue
+        ratio = v / rec
+        print(f"perf-smoke: fabric {w}-worker throughput "
+              f"{v / 1e6:.2f} Mcycles/s vs recorded "
+              f"{rec / 1e6:.2f} Mcycles/s ({ratio:.2f}x)")
+        if ratio < 1.0 - args.threshold:
+            drop = (1.0 - ratio) * 100.0
+            print(f"::warning title=perf-smoke::fabric {w}-worker "
+                  f"throughput is {drop:.0f}% below the best "
+                  "recorded bench entry; advisory only (process-"
+                  "pool rows are machine-dependent)",
+                  file=sys.stderr)
 
     # ---- serial rows: hard gate ----
     ratio = current / baseline

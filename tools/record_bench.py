@@ -39,6 +39,22 @@ def git_rev(root):
         return "unknown"
 
 
+def git_dirty(root):
+    """True when the working tree has uncommitted changes.
+
+    A recording from a dirty tree is attributed to a commit that
+    does not contain the measured code, which is exactly the
+    mis-attribution a perf trajectory exists to prevent.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=root, capture_output=True, text=True, check=True)
+        return bool(out.stdout.strip())
+    except (OSError, subprocess.CalledProcessError):
+        return None
+
+
 def run_bench(binary, smoke, cycles):
     env = dict(os.environ)
     if smoke:
@@ -79,10 +95,21 @@ def main():
                  f"bench_wallclock)")
 
     payload = run_bench(binary, args.smoke, args.cycles)
+    dirty = git_dirty(root)
+    if dirty:
+        print("=" * 64, file=sys.stderr)
+        print("WARNING: recording from a DIRTY working tree.\n"
+              "The entry's git_rev names HEAD, but HEAD does not\n"
+              "contain the uncommitted changes being measured.\n"
+              "Commit first, then record, so the trajectory\n"
+              "attributes every number to the code that produced "
+              "it.", file=sys.stderr)
+        print("=" * 64, file=sys.stderr)
     entry = {
         "recorded_at": datetime.datetime.now(
             datetime.timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
         "git_rev": git_rev(root),
+        "dirty": bool(dirty),
         "cycles_per_run": payload.get("cycles_per_run"),
         "benchmarks": payload.get("benchmarks"),
         "hardware_concurrency": payload.get(
@@ -93,6 +120,8 @@ def main():
         entry["note"] = payload["note"]
     if payload.get("warm_fork") is not None:
         entry["warm_fork"] = payload["warm_fork"]
+    if payload.get("fabric") is not None:
+        entry["fabric"] = payload["fabric"]
 
     output = args.output or os.path.join(root,
                                          "BENCH_wallclock.json")
@@ -110,7 +139,8 @@ def main():
 
     best = max(entry["runs"],
                key=lambda r: r["sim_cycles_per_second"])
-    msg = (f"recorded {entry['git_rev']} -> {output} "
+    rev = entry["git_rev"] + ("-dirty" if dirty else "")
+    msg = (f"recorded {rev} -> {output} "
            f"(best {best['sim_cycles_per_second'] / 1e6:.2f} "
            f"Mcycles/s, solver={best['solver']} "
            f"threads={best['threads']}")

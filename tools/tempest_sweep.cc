@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Sharded multi-process sweep driver (DESIGN.md §15).
+ *
+ *   tempest_sweep --paper-scale [measure_cycles]
+ *                 [--workers N] [--base-seed S]
+ *                 [--spill-dir DIR] [--job-timeout SECONDS]
+ *                 [--in-process]
+ *   tempest_sweep --worker-fd N       (internal: worker mode)
+ *
+ * Runs the paper-scale DTM sweep (the same four IQ-floorplan
+ * configurations x three benchmarks as `tempest_run
+ * --paper-scale`, warm-fork discipline included) across a pool of
+ * worker *processes* coordinated by src/sim/fabric. Workers are
+ * exec'd copies of this binary in --worker-fd mode, so the sweep
+ * exercises the exact process topology the fabric uses in CI.
+ *
+ * --in-process runs the identical job graph through the
+ * single-process experiments::runWarmForkSweep instead — the
+ * reference the fabric is gated against. Both paths print one row
+ * per job ending in its result_hash, plus a final `sweep_hash`
+ * (FNV-1a over the per-job hashes in merge order); bit-identity
+ * of the two paths means the sweep_hash lines match at any worker
+ * count and across any failure/recovery history.
+ */
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/log.hh"
+#include "sim/checkpoint/stateio.hh"
+#include "sim/experiment.hh"
+#include "sim/fabric/coordinator.hh"
+#include "sim/fabric/worker.hh"
+#include "sim/runner.hh"
+#include "sim/sim_config_io.hh"
+
+namespace
+{
+
+using namespace tempest;
+
+/** The paper-scale matrix in dotted config keys: exactly the
+ * SimConfigs tempest_run --paper-scale builds (an empty config is
+ * iqBase(); see sim_config_io defaults). */
+std::vector<std::pair<std::string, Config>>
+paperScaleConfigs()
+{
+    auto make = [](bool toggling, bool throttle) {
+        Config cfg;
+        if (toggling)
+            cfg.set("dtm.toggling", "true");
+        if (throttle)
+            cfg.set("dtm.fetch_throttling", "true");
+        return cfg;
+    };
+    return {
+        {"iq_base", make(false, false)},
+        {"iq_toggling", make(true, false)},
+        {"iq_throttle", make(false, true)},
+        {"iq_toggle_throttle", make(true, true)},
+    };
+}
+
+std::uint64_t
+parseCycles(const char* text, const char* what)
+{
+    char* end = nullptr;
+    errno = 0;
+    const std::uint64_t v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE ||
+        text[0] == '-' || v == 0)
+        fatal(what, ": '", text, "' is not a valid cycle count");
+    return v;
+}
+
+/** Print the result table; @return (all ok, sweep hash). */
+std::pair<bool, std::uint64_t>
+report(const std::vector<ExperimentOutcome>& outcomes)
+{
+    bool all_ok = true;
+    std::uint64_t sweep_hash = 0xcbf29ce484222325ULL;
+    std::printf("%-20s %-8s %6s %8s %7s  %s\n", "config", "bench",
+                "ipc", "cycles_M", "wall_s", "result_hash");
+    for (const ExperimentOutcome& o : outcomes) {
+        if (!o.ok) {
+            std::printf("%-20s %-8s FAILED: %s\n", o.tag.c_str(),
+                        o.benchmark.c_str(), o.error.c_str());
+            all_ok = false;
+            continue;
+        }
+        const std::uint64_t h =
+            experiments::hashSimResult(o.result);
+        std::printf("%-20s %-8s %6.3f %8.1f %7.2f  0x%016llx\n",
+                    o.tag.c_str(), o.benchmark.c_str(),
+                    o.result.ipc, o.result.cycles / 1e6,
+                    o.wallSeconds,
+                    static_cast<unsigned long long>(h));
+        // Merge-order hash chain: any reordering, dropped shard,
+        // or bit difference changes the final digest.
+        sweep_hash = fnv1a64(&h, sizeof(h), sweep_hash);
+    }
+    return {all_ok, sweep_hash};
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace tempest;
+
+    if (argc < 2) {
+        std::fprintf(
+            stderr,
+            "usage: tempest_sweep --paper-scale [measure_cycles] "
+            "[--workers N] [--base-seed S] [--spill-dir DIR] "
+            "[--job-timeout SECONDS] [--in-process]\n"
+            "       tempest_sweep --worker-fd N\n");
+        return 2;
+    }
+
+    if (std::strcmp(argv[1], "--worker-fd") == 0) {
+        if (argc < 3) {
+            std::fprintf(stderr,
+                         "--worker-fd needs a descriptor\n");
+            return 2;
+        }
+        const int fd = std::atoi(argv[2]);
+        if (fd < 0) {
+            std::fprintf(stderr, "bad worker fd '%s'\n", argv[2]);
+            return 2;
+        }
+        return fabric::workerMain(fd);
+    }
+
+    if (std::strcmp(argv[1], "--paper-scale") != 0) {
+        std::fprintf(stderr, "unknown mode '%s'\n", argv[1]);
+        return 2;
+    }
+
+    try {
+        std::uint64_t measure_cycles = 100'000'000;
+        int workers = 1;
+        std::uint64_t base_seed = 1;
+        std::string spill_dir;
+        double job_timeout = 0;
+        bool in_process = false;
+        for (int i = 2; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--workers") {
+                if (++i >= argc)
+                    fatal("--workers needs a count");
+                workers = std::atoi(argv[i]);
+                if (workers < 1)
+                    fatal("--workers must be >= 1");
+            } else if (arg == "--base-seed") {
+                if (++i >= argc)
+                    fatal("--base-seed needs a value");
+                base_seed = parseCycles(argv[i], "--base-seed");
+            } else if (arg == "--spill-dir") {
+                if (++i >= argc)
+                    fatal("--spill-dir needs a directory");
+                spill_dir = argv[i];
+            } else if (arg == "--job-timeout") {
+                if (++i >= argc)
+                    fatal("--job-timeout needs seconds");
+                job_timeout = std::atof(argv[i]);
+                if (job_timeout < 0)
+                    fatal("--job-timeout must be >= 0");
+            } else if (arg == "--in-process") {
+                in_process = true;
+            } else {
+                measure_cycles =
+                    parseCycles(argv[i], "--paper-scale");
+            }
+        }
+
+        // The fabric ships warm snapshots by file path; give it a
+        // private spill directory when the caller didn't.
+        char made_dir[] = "/tmp/tempest_sweep_XXXXXX";
+        bool own_spill = false;
+        if (spill_dir.empty() && !in_process) {
+            if (!mkdtemp(made_dir))
+                fatal("cannot create spill dir: errno ", errno);
+            spill_dir = made_dir;
+            own_spill = true;
+        }
+
+        fabric::SweepSpec spec;
+        spec.configs = paperScaleConfigs();
+        spec.benchmarks = {"art", "facerec", "mesa"};
+        spec.measureCycles = measure_cycles;
+        fabric::WarmSpec warm;
+        // warmConfig left empty: the dotted-key default IS the
+        // neutral iqBase() warm-up tempest_run uses.
+        warm.warmupCycles = measure_cycles / 10;
+
+        const std::string pool =
+            in_process ? "in-process"
+                       : std::to_string(workers) +
+                             " worker process(es)";
+        std::printf("paper-scale sweep: %zu configs x %zu "
+                    "benchmarks, %llu warm-up + %llu measure "
+                    "cycles per job, %s\n",
+                    spec.configs.size(), spec.benchmarks.size(),
+                    static_cast<unsigned long long>(
+                        warm.warmupCycles),
+                    static_cast<unsigned long long>(
+                        measure_cycles),
+                    pool.c_str());
+
+        // det:allow is a src/-only lint rule, but keep the idiom:
+        // wall time here is reporting only.
+        const auto start = std::chrono::steady_clock::now();
+        std::vector<ExperimentOutcome> outcomes;
+        if (in_process) {
+            std::vector<std::pair<std::string, SimConfig>>
+                configs;
+            configs.reserve(spec.configs.size());
+            for (const auto& [tag, cfg] : spec.configs)
+                configs.emplace_back(tag,
+                                     simConfigFromConfig(cfg));
+            experiments::WarmForkOptions wf;
+            wf.warmConfig =
+                simConfigFromConfig(warm.warmConfig);
+            wf.warmupCycles = warm.warmupCycles;
+            wf.warmTag = warm.warmTag;
+            wf.spillDir = spill_dir;
+            ExperimentRunner::Options options;
+            options.threads = workers;
+            options.baseSeed = base_seed;
+            outcomes = experiments::runWarmForkSweep(
+                configs, spec.benchmarks, measure_cycles, wf,
+                options);
+        } else {
+            fabric::FabricOptions options;
+            options.workers = workers;
+            options.baseSeed = base_seed;
+            options.spillDir = spill_dir;
+            options.workerCommand = {argv[0]};
+            options.jobTimeoutSeconds = job_timeout;
+            options.onEvent = [](const std::string& msg) {
+                std::fprintf(stderr, "fabric: %s\n", msg.c_str());
+            };
+            fabric::FabricCoordinator coordinator(options);
+            outcomes = coordinator.runWarmForkSweep(spec, warm);
+        }
+        const double wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+
+        const auto [all_ok, sweep_hash] = report(outcomes);
+        std::printf("%zu jobs in %.1f s wall\n", outcomes.size(),
+                    wall);
+        std::printf("sweep_hash 0x%016llx\n",
+                    static_cast<unsigned long long>(sweep_hash));
+
+        if (own_spill) {
+            for (const std::string& b : spec.benchmarks)
+                ::unlink((spill_dir + "/warm_" + b + ".ckpt")
+                             .c_str());
+            ::rmdir(spill_dir.c_str());
+        }
+        return all_ok ? 0 : 1;
+    } catch (const tempest::FatalError&) {
+        return 1;
+    }
+}

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Regression tests for perf_smoke.py's fabric-row handling.
+
+The bench's ``fabric`` section (multi-process sweep fabric at
+1/2/8 workers) feeds advisory-only comparisons. These tests pin
+the selection logic:
+
+- fabric_pools() reads the section's pools rows, keyed by worker
+  count, and skips malformed rows instead of crashing on them (a
+  hand-edited or truncated BENCH_wallclock.json must never take
+  the perf gate down with it).
+- best_recorded_fabric() takes the best throughput per worker
+  count across the WHOLE history, so a slow recording cannot
+  lower the bar, and entries without a fabric section (every
+  entry recorded before the fabric existed) are skipped.
+"""
+
+import importlib.util
+import os
+import sys
+
+failures = []
+
+
+def check(ok, message):
+    tag = "ok  " if ok else "FAIL"
+    print(f"[{tag}] {message}")
+    if not ok:
+        failures.append(message)
+
+
+def load_perf_smoke():
+    path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        os.pardir, "perf_smoke.py")
+    spec = importlib.util.spec_from_file_location(
+        "perf_smoke", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def main():
+    ps = load_perf_smoke()
+
+    section = {
+        "jobs": 12,
+        "in_process_wall_seconds": 2.0,
+        "pools": [
+            {"workers": 1, "sim_cycles_per_second": 3.0e6},
+            {"workers": 2, "sim_cycles_per_second": 5.5e6},
+            {"workers": 8, "sim_cycles_per_second": 9.0e6},
+        ],
+    }
+    check(ps.fabric_pools(section) ==
+          {1: 3.0e6, 2: 5.5e6, 8: 9.0e6},
+          "fabric_pools keys throughput by worker count")
+
+    junk = {
+        "pools": [
+            {"workers": 2, "sim_cycles_per_second": "fast"},
+            {"workers": "two", "sim_cycles_per_second": 1.0e6},
+            {"workers": 0, "sim_cycles_per_second": 1.0e6},
+            "not-a-row",
+            {"workers": 4, "sim_cycles_per_second": 6.0e6},
+        ],
+    }
+    check(ps.fabric_pools(junk) == {4: 6.0e6},
+          "malformed pools rows are skipped, not fatal")
+
+    check(ps.fabric_pools(None) == {},
+          "a missing fabric section yields no rows")
+    check(ps.fabric_pools("fabric") == {},
+          "a non-dict fabric section yields no rows")
+    check(ps.fabric_pools({"jobs": 12}) == {},
+          "a section without pools yields no rows")
+
+    dup = {"pools": [
+        {"workers": 2, "sim_cycles_per_second": 4.0e6},
+        {"workers": 2, "sim_cycles_per_second": 5.0e6},
+    ]}
+    check(ps.fabric_pools(dup) == {2: 5.0e6},
+          "duplicate worker counts keep the best row")
+
+    pre_fabric = {"git_rev": "old1234", "runs": []}
+    fast = {"git_rev": "new5678", "fabric": section}
+    slow = {"git_rev": "reg0001", "fabric": {"pools": [
+        {"workers": 2, "sim_cycles_per_second": 2.0e6},
+        {"workers": 16, "sim_cycles_per_second": 7.0e6},
+    ]}}
+    best = ps.best_recorded_fabric([pre_fabric, fast, slow])
+    check(best == {1: 3.0e6, 2: 5.5e6, 8: 9.0e6, 16: 7.0e6},
+          "best per worker count across the whole history")
+    check(ps.best_recorded_fabric([pre_fabric]) == {},
+          "entries recorded before the fabric existed are skipped")
+    check(ps.best_recorded_fabric([None, "junk", 3]) == {},
+          "non-dict history entries are skipped")
+    check(ps.best_recorded_fabric([]) == {},
+          "empty history -> no fabric baseline")
+
+    if failures:
+        print(f"\n{len(failures)} check(s) FAILED")
+        return 1
+    print("\nall checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
