@@ -7,9 +7,10 @@
  * runs: simulated cycles per wall-clock second over a Table-4
  * style sweep (IQ-constrained base + toggling configurations), for
  * both transient thermal solvers and for serial vs 8-thread
- * execution on the parallel runner. Results go to stdout as a
- * table and to BENCH_wallclock.json so perf regressions are
- * visible across commits (see tools/record_bench.py).
+ * execution on the parallel runner, plus the CMP engine at 1/2/4
+ * cores. Results go to stdout as a table and to
+ * BENCH_wallclock.json so perf regressions are visible across
+ * commits (see tools/record_bench.py).
  *
  * The serial and threaded sweeps must produce bit-identical
  * simulation results (the runner's core guarantee); this binary
@@ -34,6 +35,7 @@
 #include <vector>
 
 #include "common/log.hh"
+#include "sim/cmp/cmp_simulator.hh"
 #include "sim/experiment.hh"
 #include "sim/fabric/coordinator.hh"
 #include "sim/runner.hh"
@@ -367,11 +369,77 @@ timeFabric(const std::vector<std::string>& benchmarks,
     return t;
 }
 
+/** CMP engine throughput at 1/2/4 cores (DESIGN.md §16). */
+struct CmpTiming
+{
+    struct Row
+    {
+        std::string tag;
+        int cores = 0;
+        double wallSeconds = 0.0;
+        std::uint64_t simCycles = 0; ///< summed over cores
+        std::uint64_t hash = 0;
+    };
+    std::vector<Row> rows;
+};
+
+/**
+ * Time 1/2/4-core lockstep runs. Hash-gated like every other
+ * section: the serial pass and a 3-thread runCmpJobs pass must
+ * produce identical result hashes before any number is reported,
+ * so a concurrency bug can't masquerade as a speedup. The reported
+ * wall times come from the serial pass (one simulator per row, no
+ * pool interference).
+ */
+CmpTiming
+timeCmp(std::uint64_t cycles)
+{
+    const std::vector<std::string> mix = {"art", "mesa", "eon",
+                                          "mcf"};
+    std::vector<CmpJob> jobs;
+    for (const int cores : {1, 2, 4}) {
+        CmpJob job;
+        job.tag = std::to_string(cores) + "core";
+        job.config.base = experiments::iqBase();
+        job.config.cores = cores;
+        job.config.benchmarks.assign(mix.begin(),
+                                     mix.begin() + cores);
+        job.config.migration.enabled = cores > 1;
+        job.cycles = cycles;
+        jobs.push_back(std::move(job));
+    }
+
+    const std::vector<CmpJobOutcome> serial = runCmpJobs(jobs, 1);
+    const std::vector<CmpJobOutcome> pooled = runCmpJobs(jobs, 3);
+    if (serial.size() != pooled.size())
+        fatal("cmp bench serial/pooled job counts diverged");
+
+    CmpTiming t;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        if (serial[i].hash != pooled[i].hash)
+            fatal("cmp bench serial vs 3-thread results diverged "
+                  "for job ", serial[i].tag);
+        CmpTiming::Row row;
+        row.tag = serial[i].tag;
+        row.cores = serial[i].result.cores.empty()
+                        ? 0
+                        : static_cast<int>(
+                              serial[i].result.cores.size());
+        row.wallSeconds = serial[i].wallSeconds;
+        for (const SimResult& c : serial[i].result.cores)
+            row.simCycles += c.cycles;
+        row.hash = serial[i].hash;
+        t.rows.push_back(std::move(row));
+    }
+    return t;
+}
+
 void
 writeJson(const std::string& path,
           const std::vector<SweepTiming>& timings,
           const WarmForkTiming& warm_fork,
           const FabricTiming& fabric_timing,
+          const CmpTiming& cmp_timing,
           const std::vector<std::string>& benchmarks,
           std::uint64_t cycles)
 {
@@ -460,7 +528,32 @@ writeJson(const std::string& path,
                      i + 1 < fabric_timing.pools.size() ? ","
                                                         : "");
     }
-    std::fprintf(f, "  ]}\n");
+    std::fprintf(f, "  ]},\n");
+    // CMP rows: lockstep N-core throughput. sim_cycles sums every
+    // core's clock, so per-core slowdown vs the 1-core row is the
+    // shared-network solve cost, not a unit mismatch.
+    std::fprintf(f, "  \"cmp\": [\n");
+    for (std::size_t i = 0; i < cmp_timing.rows.size(); ++i) {
+        const CmpTiming::Row& row = cmp_timing.rows[i];
+        const double rate =
+            row.wallSeconds > 0
+                ? static_cast<double>(row.simCycles) /
+                      row.wallSeconds
+                : 0.0;
+        std::fprintf(f,
+                     "    {\"tag\": \"%s\", \"cores\": %d, "
+                     "\"wall_seconds\": %.4f, "
+                     "\"sim_cycles\": %llu, "
+                     "\"sim_cycles_per_second\": %.0f, "
+                     "\"result_hash\": \"0x%016llx\"}%s\n",
+                     row.tag.c_str(), row.cores, row.wallSeconds,
+                     static_cast<unsigned long long>(
+                         row.simCycles),
+                     rate,
+                     static_cast<unsigned long long>(row.hash),
+                     i + 1 < cmp_timing.rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n");
     std::fprintf(f, "}\n");
     std::fclose(f);
 }
@@ -540,9 +633,22 @@ run()
     }
     std::printf("\n");
 
+    const CmpTiming cmp_timing = timeCmp(cycles);
+    std::printf("cmp engine:");
+    for (const CmpTiming::Row& row : cmp_timing.rows) {
+        const double rate =
+            row.wallSeconds > 0
+                ? row.simCycles / row.wallSeconds / 1e6
+                : 0.0;
+        std::printf(" %s %.2fs (%.2f Mcycles/s)", row.tag.c_str(),
+                    row.wallSeconds, rate);
+    }
+    std::printf("\n");
+
     const char* json = std::getenv("TEMPEST_BENCH_JSON");
     writeJson(json ? json : "BENCH_wallclock.json", timings,
-              warm_fork, fabric_timing, benchmarks, cycles);
+              warm_fork, fabric_timing, cmp_timing, benchmarks,
+              cycles);
     return 0;
 }
 

@@ -1,0 +1,118 @@
+#include "sim/cmp/cmp_dtm.hh"
+
+#include "common/log.hh"
+#include "sim/checkpoint/stateio.hh"
+
+namespace tempest
+{
+
+void
+CmpMigrationConfig::validate() const
+{
+    if (marginK < 0)
+        fatal("cmp.migration.margin must be >= 0");
+    if (minGapK < 0)
+        fatal("cmp.migration.min_gap must be >= 0");
+    if (busBytesPerCycle < 1)
+        fatal("cmp.migration.bytes_per_cycle must be >= 1");
+}
+
+CmpDtmPolicy::CmpDtmPolicy(const CmpMigrationConfig& config,
+                           Kelvin max_temperature, int tiles)
+    : config_(config), maxTemperature_(max_temperature),
+      tiles_(tiles)
+{
+    config_.validate();
+    if (tiles_ < 1)
+        fatal("CmpDtmPolicy needs at least one tile");
+}
+
+CmpDtmPolicy::Decision
+CmpDtmPolicy::evaluate(const std::vector<Kelvin>& tile_hottest,
+                       const std::vector<std::uint8_t>& eligible)
+{
+    if (static_cast<int>(tile_hottest.size()) != tiles_ ||
+        static_cast<int>(eligible.size()) != tiles_)
+        fatal("CmpDtmPolicy::evaluate: tile count mismatch");
+
+    ++stats_.evaluations;
+    Decision decision;
+    if (!config_.enabled || tiles_ < 2)
+        return decision;
+    if (cooldown_ > 0) {
+        --cooldown_;
+        return decision;
+    }
+
+    // Hottest eligible tile (strict >, so ties go to the lowest
+    // index — keeps the decision deterministic).
+    int hot = -1;
+    for (int t = 0; t < tiles_; ++t) {
+        if (!eligible[static_cast<std::size_t>(t)])
+            continue;
+        if (hot < 0 || tile_hottest[static_cast<std::size_t>(t)] >
+                           tile_hottest[static_cast<std::size_t>(
+                               hot)]) {
+            hot = t;
+        }
+    }
+    if (hot < 0)
+        return decision;
+    const Kelvin hot_t = tile_hottest[static_cast<std::size_t>(hot)];
+    if (hot_t < maxTemperature_ - config_.marginK)
+        return decision;
+
+    // Coolest eligible destination (strict <, lowest index wins).
+    int cool = -1;
+    for (int t = 0; t < tiles_; ++t) {
+        if (t == hot || !eligible[static_cast<std::size_t>(t)])
+            continue;
+        if (cool < 0 || tile_hottest[static_cast<std::size_t>(t)] <
+                            tile_hottest[static_cast<std::size_t>(
+                                cool)]) {
+            cool = t;
+        }
+    }
+    if (cool < 0)
+        return decision;
+    if (hot_t - tile_hottest[static_cast<std::size_t>(cool)] <
+        config_.minGapK)
+        return decision;
+
+    cooldown_ = config_.cooldownIntervals;
+    decision.migrate = true;
+    decision.hotTile = hot;
+    decision.coolTile = cool;
+    return decision;
+}
+
+void
+CmpDtmPolicy::recordMigration(std::uint64_t bytes,
+                              std::uint64_t stall_cycles)
+{
+    ++stats_.migrations;
+    stats_.bytesMoved += bytes;
+    stats_.migrationStallCycles += stall_cycles;
+}
+
+void
+CmpDtmPolicy::saveState(StateWriter& w) const
+{
+    w.u64(cooldown_);
+    w.u64(stats_.migrations);
+    w.u64(stats_.migrationStallCycles);
+    w.u64(stats_.bytesMoved);
+    w.u64(stats_.evaluations);
+}
+
+void
+CmpDtmPolicy::loadState(StateReader& r)
+{
+    cooldown_ = r.u64();
+    stats_.migrations = r.u64();
+    stats_.migrationStallCycles = r.u64();
+    stats_.bytesMoved = r.u64();
+    stats_.evaluations = r.u64();
+}
+
+} // namespace tempest

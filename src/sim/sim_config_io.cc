@@ -56,6 +56,20 @@ simConfigFromConfig(const Config& cfg)
         "thermal.convection", sim.thermal.rConvection);
     sim.thermal.solver = parseThermalSolver(
         cfg.getString("thermal.solver", "expm"));
+    const std::int64_t max_cached = cfg.getInt(
+        "thermal.max_cached_propagators",
+        sim.thermal.maxCachedPropagators);
+    if (max_cached < 1) {
+        fatal("thermal.max_cached_propagators must be >= 1 (got ",
+              max_cached, ")");
+    }
+    sim.thermal.maxCachedPropagators =
+        static_cast<int>(max_cached);
+    sim.thermal.rStackBondPerArea = cfg.getDouble(
+        "thermal.r_stack_bond", sim.thermal.rStackBondPerArea);
+    sim.thermal.stackedDieThickness =
+        cfg.getDouble("thermal.stacked_die_thickness",
+                      sim.thermal.stackedDieThickness);
     const std::int64_t sample_interval =
         cfg.getInt("sim.sample_interval", 50000);
     if (sample_interval <= 0) {
@@ -87,6 +101,94 @@ simConfigFromConfig(const Config& cfg)
     dtm.mapping = parsePortMapping(
         cfg.getString("dtm.mapping", "priority"));
     return sim;
+}
+
+namespace
+{
+
+/** Split a comma-separated list, trimming surrounding spaces. */
+std::vector<std::string>
+splitList(const std::string& s)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        std::size_t comma = s.find(',', pos);
+        if (comma == std::string::npos)
+            comma = s.size();
+        std::size_t a = pos;
+        std::size_t b = comma;
+        while (a < b && s[a] == ' ')
+            ++a;
+        while (b > a && s[b - 1] == ' ')
+            --b;
+        if (b > a)
+            out.push_back(s.substr(a, b - a));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+CmpSimConfig
+cmpConfigFromConfig(const Config& cfg)
+{
+    CmpSimConfig cmp;
+    cmp.base = simConfigFromConfig(cfg);
+
+    const std::int64_t cores = cfg.getInt("cmp.cores", 1);
+    if (cores < 1 || cores > 8)
+        fatal("cmp.cores out of range [1, 8] (got ", cores, ")");
+    cmp.cores = static_cast<int>(cores);
+    cmp.sharedL2 = cfg.getBool("cmp.l2", true);
+    cmp.benchmarks = splitList(cfg.getString(
+        "cmp.benchmarks", cfg.getString("run.benchmark", "eon")));
+    if (cmp.benchmarks.empty())
+        fatal("cmp.benchmarks names no benchmarks");
+
+    CmpMigrationConfig& mig = cmp.migration;
+    mig.enabled = cfg.getBool("cmp.migration.enabled", false);
+    mig.marginK =
+        cfg.getDouble("cmp.migration.margin", mig.marginK);
+    mig.minGapK =
+        cfg.getDouble("cmp.migration.min_gap", mig.minGapK);
+    const std::int64_t cooldown =
+        cfg.getInt("cmp.migration.cooldown_intervals",
+                   static_cast<std::int64_t>(
+                       mig.cooldownIntervals));
+    if (cooldown < 0) {
+        fatal("cmp.migration.cooldown_intervals must be >= 0 "
+              "(got ", cooldown, ")");
+    }
+    mig.cooldownIntervals = static_cast<std::uint64_t>(cooldown);
+    const std::int64_t stall = cfg.getInt(
+        "cmp.migration.stall_cycles",
+        static_cast<std::int64_t>(mig.baseStallCycles));
+    if (stall < 0) {
+        fatal("cmp.migration.stall_cycles must be >= 0 (got ",
+              stall, ")");
+    }
+    mig.baseStallCycles = static_cast<std::uint64_t>(stall);
+    const std::int64_t bus = cfg.getInt(
+        "cmp.migration.bytes_per_cycle",
+        static_cast<std::int64_t>(mig.busBytesPerCycle));
+    if (bus < 1) {
+        fatal("cmp.migration.bytes_per_cycle must be >= 1 (got ",
+              bus, ")");
+    }
+    mig.busBytesPerCycle = static_cast<std::uint64_t>(bus);
+
+    CmpStackConfig& stack = cmp.stack;
+    stack.dram = cfg.getBool("stack.dram", false);
+    stack.dramEnergyPerAccess =
+        cfg.getDouble("stack.dram_energy_per_access",
+                      stack.dramEnergyPerAccess);
+    stack.dramStaticW =
+        cfg.getDouble("stack.dram_static_w", stack.dramStaticW);
+
+    cmp.validate();
+    return cmp;
 }
 
 } // namespace tempest

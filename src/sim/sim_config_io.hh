@@ -12,8 +12,17 @@
  *              mapping = priority|balanced|completely-balanced,
  *              max_temperature, toggle_delta, cooling_time
  *   [thermal]  time_scale, ambient, convection,
- *              solver = expm|euler
+ *              solver = expm|euler, max_cached_propagators,
+ *              r_stack_bond, stacked_die_thickness
  *   [sim]      sample_interval, warm_start
+ *
+ * The CMP layer adds (cmpConfigFromConfig):
+ *
+ *   [cmp]      cores, l2, benchmarks (comma-separated, one entry
+ *              replicated across cores)
+ *   [cmp.migration] enabled, margin, min_gap, cooldown_intervals,
+ *              stall_cycles, bytes_per_cycle
+ *   [stack]    dram, dram_energy_per_access, dram_static_w
  *
  * Invalid values are fatal() (user error), including the
  * non-positive sample_interval that would otherwise wrap through
@@ -26,6 +35,7 @@
 #include <string>
 
 #include "common/config.hh"
+#include "sim/cmp/cmp_simulator.hh"
 #include "sim/simulator.hh"
 
 namespace tempest
@@ -47,6 +57,16 @@ PortMapping parsePortMapping(const std::string& name);
  * non-negative, sample_interval must be positive.
  */
 SimConfig simConfigFromConfig(const Config& cfg);
+
+/**
+ * Build a CmpSimConfig from dotted config keys: the base SimConfig
+ * via simConfigFromConfig() plus the cmp.* / cmp.migration.* /
+ * stack.* keys. cmp.benchmarks defaults to run.benchmark (itself
+ * defaulting to "eon") on every core. With cmp.cores = 1 and
+ * stack.dram = false the result names exactly the single-core
+ * simulation of the same keys.
+ */
+CmpSimConfig cmpConfigFromConfig(const Config& cfg);
 
 } // namespace tempest
 

@@ -49,13 +49,16 @@ matmul(const std::vector<double>& a, const std::vector<double>& b,
 
 ExpmSolver::ExpmSolver(std::vector<double> conductance,
                        std::vector<double> capacitance,
-                       std::vector<double> const_heat)
+                       std::vector<double> const_heat,
+                       std::size_t max_cached)
     : capacitance_(std::move(capacitance)),
-      constHeat_(std::move(const_heat))
+      constHeat_(std::move(const_heat)), maxCached_(max_cached)
 {
     n_ = static_cast<int>(capacitance_.size());
     if (n_ < 1)
         fatal("ExpmSolver needs at least one node");
+    if (maxCached_ < 1)
+        fatal("ExpmSolver needs a propagator cache of >= 1");
     if (conductance.size() !=
         static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_))
         fatal("ExpmSolver: conductance matrix size mismatch");
@@ -197,14 +200,14 @@ ExpmSolver::propagatorFor(Seconds dt)
     for (std::size_t i = 0; i < negGOverC_.size(); ++i)
         a_dt[i] = negGOverC_[i] * dt;
     CachedPropagator entry{dt, expm(a_dt, n_)};
-    if (cache_.size() < kMaxCachedPropagators) {
+    if (cache_.size() < maxCached_) {
         cache_.push_back(std::move(entry));
         return cache_.back().phi;
     }
     // Deterministic round-robin eviction; in practice a run sees
     // only the sampling-interval dt plus a few partial chunks.
     const std::size_t slot = evictNext_;
-    evictNext_ = (evictNext_ + 1) % kMaxCachedPropagators;
+    evictNext_ = (evictNext_ + 1) % maxCached_;
     cache_[slot] = std::move(entry);
     return cache_[slot].phi;
 }

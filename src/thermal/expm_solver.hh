@@ -47,10 +47,14 @@ class ExpmSolver
      * @param capacitance per-node heat capacity C (J/K), all > 0
      * @param const_heat per-node constant heat inflow (W): the
      *        ambient injection, zero for non-package nodes
+     * @param max_cached propagator-cache capacity (>= 1); each
+     *        cached Phi costs n^2 doubles, which matters once CMP
+     *        floorplans push n into the hundreds
      */
     ExpmSolver(std::vector<double> conductance,
                std::vector<double> capacitance,
-               std::vector<double> const_heat);
+               std::vector<double> const_heat,
+               std::size_t max_cached = 16);
 
     int numNodes() const { return n_; }
 
@@ -72,6 +76,24 @@ class ExpmSolver
     cachedPropagators() const
     {
         return static_cast<int>(cache_.size());
+    }
+
+    /** Cache capacity (ThermalParams::maxCachedPropagators). */
+    std::size_t maxCachedPropagators() const { return maxCached_; }
+
+    /** Memory footprint of one dense Phi matrix (n^2 doubles). */
+    std::size_t
+    propagatorBytes() const
+    {
+        return static_cast<std::size_t>(n_) *
+               static_cast<std::size_t>(n_) * sizeof(double);
+    }
+
+    /** Memory currently held by the propagator cache. */
+    std::size_t
+    cachedPropagatorBytes() const
+    {
+        return cache_.size() * propagatorBytes();
     }
 
     /**
@@ -103,7 +125,7 @@ class ExpmSolver
 
     std::vector<CachedPropagator> cache_;
     std::size_t evictNext_ = 0;
-    static constexpr std::size_t kMaxCachedPropagators = 16;
+    std::size_t maxCached_;
 
     // Scratch reused across advance() calls.
     std::vector<double> rhs_;

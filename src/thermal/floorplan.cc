@@ -39,13 +39,15 @@ floorplanVariantName(FloorplanVariant variant)
 
 int
 Floorplan::addBlock(const std::string& name, Meter x, Meter y,
-                    Meter width, Meter height)
+                    Meter width, Meter height, int layer)
 {
     if (has(name))
         fatal("duplicate floorplan block '", name, "'");
     if (width <= 0 || height <= 0)
         fatal("block '", name, "' must have positive dimensions");
-    blocks_.push_back({name, x, y, width, height});
+    if (layer < 0)
+        fatal("block '", name, "' has negative layer");
+    blocks_.push_back({name, x, y, width, height, layer});
     return static_cast<int>(blocks_.size()) - 1;
 }
 
@@ -82,6 +84,8 @@ Floorplan::sharedEdge(int a, int b) const
 {
     const Block& p = block(a);
     const Block& q = block(b);
+    if (p.layer != q.layer)
+        return 0.0; // no lateral conduction across layers
 
     auto overlap = [](Meter lo1, Meter hi1, Meter lo2, Meter hi2) {
         return std::max(0.0, std::min(hi1, hi2) - std::max(lo1, lo2));
@@ -101,12 +105,37 @@ Floorplan::sharedEdge(int a, int b) const
 }
 
 SquareMeter
+Floorplan::overlapArea(int a, int b) const
+{
+    const Block& p = block(a);
+    const Block& q = block(b);
+    const double ox = std::min(p.x + p.width, q.x + q.width) -
+                      std::max(p.x, q.x);
+    const double oy = std::min(p.y + p.height, q.y + q.height) -
+                      std::max(p.y, q.y);
+    if (ox <= eps || oy <= eps)
+        return 0.0;
+    return ox * oy;
+}
+
+SquareMeter
 Floorplan::totalArea() const
 {
     SquareMeter total = 0.0;
-    for (const Block& b : blocks_)
-        total += b.area();
+    for (const Block& b : blocks_) {
+        if (b.layer == 0)
+            total += b.area();
+    }
     return total;
+}
+
+int
+Floorplan::numLayers() const
+{
+    int highest = 0;
+    for (const Block& b : blocks_)
+        highest = std::max(highest, b.layer);
+    return highest + 1;
 }
 
 void
@@ -116,6 +145,8 @@ Floorplan::validate() const
         for (int j = i + 1; j < numBlocks(); ++j) {
             const Block& a = block(i);
             const Block& b = block(j);
+            if (a.layer != b.layer)
+                continue; // stacked dies overlap by design
             const double ox =
                 std::min(a.x + a.width, b.x + b.width) -
                 std::max(a.x, b.x);
@@ -244,6 +275,59 @@ Floorplan::ev6Like(FloorplanVariant variant)
                {"IntQ1", int_q}, {"IntExec1", int_exec},
                {"IntExec3", int_exec}, {"IntExec5", int_exec}},
               die_w);
+    fp.validate();
+    return fp;
+}
+
+Floorplan
+Floorplan::cmpTiled(FloorplanVariant variant, int cores,
+                    bool shared_l2, bool dram_layer)
+{
+    if (cores < 1)
+        fatal("cmpTiled needs at least one core");
+
+    const Floorplan tile = ev6Like(variant);
+    if (cores == 1 && !dram_layer)
+        return tile; // bit-identical single-core anchor
+
+    // Tile extents in meters (ev6Like spans an 8x8 grid = 4 mm).
+    const Meter tile_w = 8.0 * gridUnit;
+    const Meter tile_h = 8.0 * gridUnit;
+    // The shared L2 is a strip along the bottom of the chip,
+    // abutting every tile's cache row (ev6Like row A sits at the
+    // bottom of the tile). Only meaningful between >= 2 tiles; a
+    // single core keeps the paper's L2-off-die assumption.
+    const bool l2 = shared_l2 && cores > 1;
+    const Meter l2_h = 2.0 * gridUnit;
+    const Meter tile_y = l2 ? l2_h : 0.0;
+
+    Floorplan fp;
+    for (int k = 0; k < cores; ++k) {
+        const std::string prefix =
+            cores > 1 ? "C" + std::to_string(k) + "." : "";
+        const Meter tile_x =
+            static_cast<double>(k) * tile_w;
+        for (int b = 0; b < tile.numBlocks(); ++b) {
+            const Block& blk = tile.block(b);
+            fp.addBlock(prefix + blk.name, tile_x + blk.x,
+                        tile_y + blk.y, blk.width, blk.height);
+        }
+    }
+    if (l2) {
+        fp.addBlock("L2", 0.0, 0.0,
+                    static_cast<double>(cores) * tile_w, l2_h);
+    }
+    if (dram_layer) {
+        // One DRAM bank per tile footprint, stacked above the
+        // cores (layer 1). The bank's top face is adiabatic: its
+        // heat can only leave through the cores beneath it, which
+        // is what makes memory-bound benchmarks thermally visible.
+        for (int k = 0; k < cores; ++k) {
+            fp.addBlock("DRAM" + std::to_string(k),
+                        static_cast<double>(k) * tile_w, tile_y,
+                        tile_w, tile_h, /*layer=*/1);
+        }
+    }
     fp.validate();
     return fp;
 }

@@ -35,6 +35,10 @@ struct Block
     Meter y = 0;
     Meter width = 0;
     Meter height = 0;
+    /** Stacked-die layer: 0 = core silicon (couples to the
+     * spreader), 1 = a die stacked above it (couples down through
+     * the bond interface). */
+    int layer = 0;
 
     SquareMeter area() const { return width * height; }
 };
@@ -59,7 +63,7 @@ class Floorplan
 
     /** Add a block; returns its index. fatal() on duplicate name. */
     int addBlock(const std::string& name, Meter x, Meter y,
-                 Meter width, Meter height);
+                 Meter width, Meter height, int layer = 0);
 
     int numBlocks() const { return static_cast<int>(blocks_.size()); }
 
@@ -73,14 +77,25 @@ class Floorplan
 
     /**
      * Length of the shared edge between two blocks (0 if they do
-     * not abut). Blocks touching only at a corner share no edge.
+     * not abut). Blocks touching only at a corner share no edge,
+     * and blocks on different layers never share a lateral edge.
      */
     Meter sharedEdge(int a, int b) const;
 
-    /** Total die area covered by blocks. */
+    /**
+     * Footprint overlap area between two blocks, ignoring layers
+     * (the vertical coupling area for stacked dies). 0 if the
+     * projections do not overlap.
+     */
+    SquareMeter overlapArea(int a, int b) const;
+
+    /** Total die area covered by layer-0 blocks. */
     SquareMeter totalArea() const;
 
-    /** fatal() if any two blocks overlap. */
+    /** Number of stacked layers (highest block layer + 1). */
+    int numLayers() const;
+
+    /** fatal() if any two same-layer blocks overlap. */
     void validate() const;
 
     /**
@@ -88,6 +103,25 @@ class Floorplan
      * for a given constraint variant.
      */
     static Floorplan ev6Like(FloorplanVariant variant);
+
+    /**
+     * Tile `cores` copies of ev6Like(variant) laterally into one
+     * die, abutting at shared vertical edges, with an optional
+     * shared-L2 strip along the bottom (under every tile's cache
+     * row) and an optional DRAM die stacked above the tiles
+     * (layer 1, one bank per tile footprint).
+     *
+     * Block order is the CMP layer's indexing contract:
+     *   [k*B, (k+1)*B)  core k's blocks, in ev6Like order,
+     *                   names prefixed "C<k>." when cores > 1
+     *   [cores*B]       "L2" (present iff shared_l2 && cores > 1)
+     *   then            "DRAM<k>", one per tile (iff dram_layer)
+     * where B = ev6Like(variant).numBlocks(). With cores == 1 and
+     * no DRAM layer the result is exactly ev6Like(variant) — the
+     * bit-identity anchor for the N=1 CMP path.
+     */
+    static Floorplan cmpTiled(FloorplanVariant variant, int cores,
+                              bool shared_l2, bool dram_layer);
 
   private:
     std::vector<Block> blocks_;

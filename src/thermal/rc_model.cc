@@ -28,6 +28,12 @@ ThermalParams::validate() const
         fatal("ambient must be an absolute temperature");
     if (timeScale <= 0 || timeScale > 1.0)
         fatal("timeScale must be in (0, 1]");
+    if (rStackBondPerArea < 0)
+        fatal("rStackBondPerArea must be non-negative");
+    if (stackedDieThickness <= 0)
+        fatal("stackedDieThickness must be positive");
+    if (maxCachedPropagators < 1)
+        fatal("maxCachedPropagators must be >= 1");
 }
 
 RcModel::RcModel(const Floorplan& floorplan,
@@ -50,12 +56,20 @@ RcModel::RcModel(const Floorplan& floorplan,
     flux_.assign(static_cast<std::size_t>(numNodes_), 0.0);
 
     // Block nodes: capacitance and vertical path to the spreader.
+    // Stacked-layer blocks (layer >= 1) have no spreader path of
+    // their own — their heat leaves through the die beneath them
+    // (edges added after the lateral pass).
     for (int i = 0; i < numBlocks_; ++i) {
         const Block& b = floorplan.block(i);
         const SquareMeter area = b.area();
+        const Meter thickness = b.layer == 0
+                                    ? params_.dieThickness
+                                    : params_.stackedDieThickness;
         capacitance_[static_cast<std::size_t>(i)] =
-            params_.cvSilicon * params_.dieThickness * area *
+            params_.cvSilicon * thickness * area *
             params_.timeScale;
+        if (b.layer != 0)
+            continue;
 
         // Conduction through the die and interface material, plus
         // constriction spreading into the much larger spreader.
@@ -90,6 +104,32 @@ RcModel::RcModel(const Floorplan& floorplan,
                 (da + db) /
                 (params_.kSilicon * params_.dieThickness * edge);
             addEdge(i, j, 1.0 / r);
+        }
+    }
+
+    // Vertical edges between stacked layers: conduction through
+    // half of each die plus the bond/TSV interface, over the
+    // footprint overlap. Appended after the single-layer edge
+    // groups so a one-layer floorplan assembles the exact same
+    // edge sequence (and thus G matrix bits) as before.
+    for (int i = 0; i < numBlocks_; ++i) {
+        for (int j = i + 1; j < numBlocks_; ++j) {
+            const Block& a = floorplan.block(i);
+            const Block& b = floorplan.block(j);
+            if (std::abs(a.layer - b.layer) != 1)
+                continue;
+            const SquareMeter ov = floorplan.overlapArea(i, j);
+            if (ov <= 0)
+                continue;
+            const Meter lower = std::min(a.layer, b.layer) == 0
+                                    ? params_.dieThickness
+                                    : params_.stackedDieThickness;
+            const double r_per_area =
+                0.5 * lower / params_.kSilicon +
+                params_.rStackBondPerArea +
+                0.5 * params_.stackedDieThickness /
+                    params_.kSilicon;
+            addEdge(i, j, ov / r_per_area);
         }
     }
 
@@ -159,7 +199,9 @@ RcModel::RcModel(const Floorplan& floorplan,
     const_heat[static_cast<std::size_t>(sinkNode_)] =
         gSinkAmbient_ * params_.ambient;
     expm_.emplace(std::move(g), capacitance_,
-                  std::move(const_heat));
+                  std::move(const_heat),
+                  static_cast<std::size_t>(
+                      params_.maxCachedPropagators));
 }
 
 void

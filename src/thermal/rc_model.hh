@@ -97,6 +97,23 @@ struct ThermalParams
 
     Kelvin ambient = 318.15; ///< 45 C, HotSpot's default
 
+    /**
+     * Stacked-die coupling (CoMeT-style 3D scenarios): blocks on
+     * layer >= 1 conduct down through half their own die, the
+     * bond/TSV interface, and half the die beneath, over the
+     * footprint overlap area. Unused by single-layer floorplans.
+     */
+    double rStackBondPerArea = 4.0e-6; ///< K m^2/W
+    Meter stackedDieThickness = 0.1e-3; ///< thinned DRAM die
+
+    /**
+     * Propagator-cache capacity of the expm solver. Each cached
+     * Phi is a dense (blocks+2)^2 double matrix, so CMP floorplans
+     * may want a smaller cap (or larger, for sweeps that mix many
+     * partial-chunk dts). Must be >= 1.
+     */
+    int maxCachedPropagators = 16;
+
     /** Thermal threshold (Table 2: 358 K). Carried here for
      * convenience; enforcement is the DTM layer's job. */
     Kelvin maxTemperature = 358.0;

@@ -3,6 +3,7 @@
 #include <type_traits>
 
 #include "common/log.hh"
+#include "sim/checkpoint/stateio.hh"
 
 namespace tempest
 {
@@ -53,6 +54,86 @@ ActivityRecord::add(const ActivityRecord& other)
         sizeof(ActivityRecord) / sizeof(std::uint64_t);
     for (std::size_t i = 0; i < words; ++i)
         dst[i] += src[i];
+}
+
+void
+saveActivity(StateWriter& w, const ActivityRecord& a)
+{
+    for (int q = 0; q < kNumIssueQueues; ++q) {
+        for (int h = 0; h < 2; ++h) {
+            w.u64(a.iqEntryMoves[q][h]);
+            w.u64(a.iqMuxSelects[q][h]);
+            w.u64(a.iqLongCompactions[q][h]);
+            w.u64(a.iqCounterOps[q][h]);
+            w.u64(a.iqOccupiedCycles[q][h]);
+            w.u64(a.iqDispatchWrites[q][h]);
+        }
+        w.u64(a.iqTagBroadcasts[q]);
+        w.u64(a.iqPayloadAccesses[q]);
+        w.u64(a.iqSelectAccesses[q]);
+        w.u64(a.iqClockGateCycles[q]);
+    }
+    for (int i = 0; i < kMaxIntAlus; ++i)
+        w.u64(a.intAluOps[i]);
+    for (int i = 0; i < kMaxFpAdders; ++i)
+        w.u64(a.fpAddOps[i]);
+    w.u64(a.fpMulOps);
+    for (int i = 0; i < kMaxRegfileCopies; ++i) {
+        w.u64(a.intRegReads[i]);
+        w.u64(a.intRegWrites[i]);
+    }
+    w.u64(a.fpRegReads);
+    w.u64(a.fpRegWrites);
+    w.u64(a.l1iAccesses);
+    w.u64(a.l1dAccesses);
+    w.u64(a.l2Accesses);
+    w.u64(a.bpredAccesses);
+    w.u64(a.renameOps);
+    w.u64(a.lsqOps);
+    w.u64(a.commits);
+    w.u64(a.cycles);
+    w.u64(a.stallCycles);
+    w.u64(a.instructions);
+}
+
+void
+loadActivity(StateReader& r, ActivityRecord& a)
+{
+    for (int q = 0; q < kNumIssueQueues; ++q) {
+        for (int h = 0; h < 2; ++h) {
+            a.iqEntryMoves[q][h] = r.u64();
+            a.iqMuxSelects[q][h] = r.u64();
+            a.iqLongCompactions[q][h] = r.u64();
+            a.iqCounterOps[q][h] = r.u64();
+            a.iqOccupiedCycles[q][h] = r.u64();
+            a.iqDispatchWrites[q][h] = r.u64();
+        }
+        a.iqTagBroadcasts[q] = r.u64();
+        a.iqPayloadAccesses[q] = r.u64();
+        a.iqSelectAccesses[q] = r.u64();
+        a.iqClockGateCycles[q] = r.u64();
+    }
+    for (int i = 0; i < kMaxIntAlus; ++i)
+        a.intAluOps[i] = r.u64();
+    for (int i = 0; i < kMaxFpAdders; ++i)
+        a.fpAddOps[i] = r.u64();
+    a.fpMulOps = r.u64();
+    for (int i = 0; i < kMaxRegfileCopies; ++i) {
+        a.intRegReads[i] = r.u64();
+        a.intRegWrites[i] = r.u64();
+    }
+    a.fpRegReads = r.u64();
+    a.fpRegWrites = r.u64();
+    a.l1iAccesses = r.u64();
+    a.l1dAccesses = r.u64();
+    a.l2Accesses = r.u64();
+    a.bpredAccesses = r.u64();
+    a.renameOps = r.u64();
+    a.lsqOps = r.u64();
+    a.commits = r.u64();
+    a.cycles = r.u64();
+    a.stallCycles = r.u64();
+    a.instructions = r.u64();
 }
 
 } // namespace tempest

@@ -19,6 +19,9 @@
 namespace tempest
 {
 
+class StateWriter;
+class StateReader;
+
 /**
  * Event counts accumulated over one sampling interval.
  *
@@ -90,6 +93,16 @@ struct ActivityRecord
     /** Accumulate another record into this one. */
     void add(const ActivityRecord& other);
 };
+
+/**
+ * Serialize every ActivityRecord counter, field by field in
+ * declaration order (the SIMR checkpoint chunk layout). Shared by
+ * the single-core Simulator and the CMP layer.
+ */
+void saveActivity(StateWriter& w, const ActivityRecord& a);
+
+/** Restore counters saved by saveActivity(). */
+void loadActivity(StateReader& r, ActivityRecord& a);
 
 } // namespace tempest
 

@@ -9,8 +9,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstddef>
 #include <vector>
 
+#include "common/log.hh"
 #include "thermal/expm_solver.hh"
 #include "thermal/rc_model.hh"
 
@@ -207,6 +209,62 @@ TEST(ExpmSolver, PropagatorCacheIsBounded)
     reference.solveSteadyState();
     rc.step(100.0);
     EXPECT_NEAR(rc.temperature(0), reference.temperature(0), 1e-9);
+}
+
+/** ThermalParams::maxCachedPropagators must reach the solver and
+ * bound the cache, with eviction keeping results exact. */
+TEST(ExpmSolver, CacheCapComesFromThermalParams)
+{
+    ThermalParams params;
+    params.maxCachedPropagators = 2;
+    RcModel rc(twoBlocks(), params);
+    EXPECT_EQ(rc.expmSolver().maxCachedPropagators(), 2u);
+
+    rc.setPower(0, 1.0);
+    for (int i = 1; i <= 10; ++i)
+        rc.step(1e-6 * i); // 10 distinct dts, capacity 2
+    EXPECT_LE(rc.expmSolver().cachedPropagators(), 2);
+
+    // The tight cap trades recompute for memory, never accuracy.
+    RcModel reference(twoBlocks(), params);
+    reference.setPower(0, 1.0);
+    reference.solveSteadyState();
+    rc.step(100.0);
+    EXPECT_NEAR(rc.temperature(0), reference.temperature(0), 1e-9);
+}
+
+TEST(ExpmSolver, CacheCapOfZeroIsFatal)
+{
+    ThermalParams params;
+    params.maxCachedPropagators = 0;
+    EXPECT_THROW(RcModel(twoBlocks(), params), FatalError);
+}
+
+/** The reported footprint is the budgeting contract tools rely on:
+ * one dense Phi is n^2 doubles, and the cache holds exactly
+ * cachedPropagators() of them. */
+TEST(ExpmSolver, PropagatorFootprintReporting)
+{
+    ThermalParams params;
+    RcModel rc(twoBlocks(), params);
+    const ExpmSolver& solver = rc.expmSolver();
+
+    // n covers at least the two block nodes plus the package
+    // (spreader/sink) nodes, and the footprint is exactly n^2
+    // doubles for some such n.
+    const std::size_t bytes = solver.propagatorBytes();
+    std::size_t n = 0;
+    while (n * n * sizeof(double) < bytes)
+        ++n;
+    EXPECT_EQ(n * n * sizeof(double), bytes);
+    EXPECT_GT(n, 2u);
+
+    EXPECT_EQ(solver.cachedPropagatorBytes(), 0u);
+    rc.setPower(0, 1.0);
+    rc.step(1e-5);
+    EXPECT_EQ(solver.cachedPropagatorBytes(), bytes);
+    rc.step(2e-5);
+    EXPECT_EQ(solver.cachedPropagatorBytes(), 2 * bytes);
 }
 
 TEST(ExpmSolver, EulerAndExpmShareSteadyState)

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "common/log.hh"
 #include "thermal/floorplan.hh"
 
@@ -157,6 +159,134 @@ TEST(Floorplan, UnknownBlockFatal)
     const Floorplan fp =
         Floorplan::ev6Like(FloorplanVariant::Baseline);
     EXPECT_THROW(fp.indexOf("L3"), FatalError);
+}
+
+/** A 1-core, no-DRAM cmpTiled must be ev6Like verbatim — same
+ * count, names, coordinates. This anchors the CMP layer's N=1
+ * bit-identity proof at the geometry level. */
+TEST(CmpTiled, SingleCoreIsEv6Verbatim)
+{
+    const Floorplan single =
+        Floorplan::ev6Like(FloorplanVariant::IqConstrained);
+    const Floorplan tiled = Floorplan::cmpTiled(
+        FloorplanVariant::IqConstrained, 1, true, false);
+    ASSERT_EQ(tiled.numBlocks(), single.numBlocks());
+    for (int b = 0; b < single.numBlocks(); ++b) {
+        EXPECT_EQ(tiled.block(b).name, single.block(b).name);
+        EXPECT_EQ(tiled.block(b).x, single.block(b).x);
+        EXPECT_EQ(tiled.block(b).y, single.block(b).y);
+        EXPECT_EQ(tiled.block(b).width, single.block(b).width);
+        EXPECT_EQ(tiled.block(b).height, single.block(b).height);
+        EXPECT_EQ(tiled.block(b).layer, 0);
+    }
+}
+
+/** 2-core + shared-L2 geometry golden: block ordering contract,
+ * tile offsets, the L2 strip's span, and total area. */
+TEST(CmpTiled, DualCoreGeometry)
+{
+    const Floorplan fp = Floorplan::cmpTiled(
+        FloorplanVariant::Baseline, 2, true, false);
+    // C0 tile, C1 tile, then the L2 strip.
+    ASSERT_EQ(fp.numBlocks(), 2 * 26 + 1);
+    EXPECT_NO_THROW(fp.validate());
+    EXPECT_EQ(fp.numLayers(), 1);
+
+    const Floorplan tile =
+        Floorplan::ev6Like(FloorplanVariant::Baseline);
+    const double tile_w = 4.0e-3; // 8 x 0.5 mm grid units
+    const double l2_h = 1.0e-3;   // 2 grid units
+    for (int k = 0; k < 2; ++k) {
+        for (int b = 0; b < 26; ++b) {
+            const Block& got = fp.block(k * 26 + b);
+            const Block& want = tile.block(b);
+            EXPECT_EQ(got.name,
+                      "C" + std::to_string(k) + "." + want.name);
+            // Tiles shift right by one tile width per core and up
+            // by the L2 strip's height.
+            EXPECT_NEAR(got.x, want.x + k * tile_w, 1e-12);
+            EXPECT_NEAR(got.y, want.y + l2_h, 1e-12);
+            EXPECT_EQ(got.width, want.width);
+            EXPECT_EQ(got.height, want.height);
+        }
+    }
+    const Block& l2 = fp.block(fp.indexOf("L2"));
+    EXPECT_EQ(l2.x, 0.0);
+    EXPECT_EQ(l2.y, 0.0);
+    EXPECT_NEAR(l2.width, 2 * tile_w, 1e-12);
+    EXPECT_NEAR(l2.height, l2_h, 1e-12);
+    // 2 x (4 mm)^2 tiles + the 8 mm x 1 mm L2 strip.
+    EXPECT_NEAR(fp.totalArea(), 2 * 16.0e-6 + 8.0e-6, 1e-15);
+}
+
+/** The lateral couplings that make it one thermal die: tiles meet
+ * at the seam and the L2 strip abuts both tiles' cache rows. */
+TEST(CmpTiled, CrossTileAndL2Adjacency)
+{
+    const Floorplan fp = Floorplan::cmpTiled(
+        FloorplanVariant::Baseline, 2, true, false);
+    // ev6Like row A: Icache [0, 2 mm), Dcache [2 mm, 4 mm), each
+    // 1.2 mm tall. C0.Dcache's right edge is the seam; C1.Icache
+    // starts there at the same height.
+    EXPECT_NEAR(fp.sharedEdge(fp.indexOf("C0.Dcache"),
+                              fp.indexOf("C1.Icache")),
+                1.2e-3, 1e-12);
+    // Distinct rows across the seam touch only at a corner.
+    EXPECT_EQ(fp.sharedEdge(fp.indexOf("C0.Dcache"),
+                            fp.indexOf("C1.Bpred")),
+              0.0);
+    // The L2 strip runs under every tile's cache row.
+    for (const char* cache :
+         {"C0.Icache", "C0.Dcache", "C1.Icache", "C1.Dcache"}) {
+        EXPECT_NEAR(fp.sharedEdge(fp.indexOf("L2"),
+                                  fp.indexOf(cache)),
+                    2.0e-3, 1e-12)
+            << cache;
+    }
+    // But not blocks a row up.
+    EXPECT_EQ(fp.sharedEdge(fp.indexOf("L2"),
+                            fp.indexOf("C0.Bpred")),
+              0.0);
+}
+
+/** Stacked-DRAM (3D) geometry: one bank per tile on layer 1,
+ * covering the tile footprint. Banks never share lateral edges
+ * with the silicon beneath; they couple by footprint overlap, and
+ * validate() tolerates the by-design cross-layer overlap. */
+TEST(CmpTiled, StackedDramBanksCoverTiles)
+{
+    const Floorplan fp = Floorplan::cmpTiled(
+        FloorplanVariant::Baseline, 2, false, true);
+    ASSERT_EQ(fp.numBlocks(), 2 * 26 + 2);
+    EXPECT_NO_THROW(fp.validate());
+    EXPECT_EQ(fp.numLayers(), 2);
+
+    const double tile_w = 4.0e-3;
+    for (int k = 0; k < 2; ++k) {
+        const Block& bank =
+            fp.block(fp.indexOf("DRAM" + std::to_string(k)));
+        EXPECT_EQ(bank.layer, 1);
+        EXPECT_NEAR(bank.x, k * tile_w, 1e-12);
+        EXPECT_EQ(bank.y, 0.0); // no L2 strip -> tiles at y = 0
+        EXPECT_NEAR(bank.width, tile_w, 1e-12);
+        EXPECT_NEAR(bank.height, tile_w, 1e-12);
+    }
+
+    const int dram0 = fp.indexOf("DRAM0");
+    const int icache0 = fp.indexOf("C0.Icache");
+    // Cross-layer blocks share no lateral edge...
+    EXPECT_EQ(fp.sharedEdge(dram0, icache0), 0.0);
+    // ...their coupling is the footprint overlap: the bank covers
+    // the whole block (Icache is 2 mm x 1.2 mm).
+    EXPECT_NEAR(fp.overlapArea(dram0, icache0), 2.4e-6, 1e-15);
+    // A bank overlaps only its own tile.
+    EXPECT_EQ(fp.overlapArea(dram0, fp.indexOf("C1.Icache")),
+              0.0);
+    // DRAM0 and DRAM1 are same-layer neighbours at the seam.
+    EXPECT_NEAR(fp.sharedEdge(dram0, fp.indexOf("DRAM1")),
+                4.0e-3, 1e-12);
+    // totalArea() counts the silicon die only.
+    EXPECT_NEAR(fp.totalArea(), 2 * 16.0e-6, 1e-15);
 }
 
 } // namespace

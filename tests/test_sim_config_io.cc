@@ -36,6 +36,9 @@ allKeys()
         {"thermal.ambient", "308.15"},
         {"thermal.convection", "0.6"},
         {"thermal.solver", "euler"},
+        {"thermal.max_cached_propagators", "4"},
+        {"thermal.r_stack_bond", "8.0e-6"},
+        {"thermal.stacked_die_thickness", "0.2e-3"},
         {"sim.sample_interval", "12500"},
         {"sim.warm_start", "false"},
         {"run.seed", "12345"},
@@ -61,6 +64,12 @@ expectSameConfig(const SimConfig& a, const SimConfig& b)
     EXPECT_EQ(a.thermal.rConvection, b.thermal.rConvection);
     EXPECT_EQ(a.thermal.maxTemperature, b.thermal.maxTemperature);
     EXPECT_EQ(a.thermal.solver, b.thermal.solver);
+    EXPECT_EQ(a.thermal.maxCachedPropagators,
+              b.thermal.maxCachedPropagators);
+    EXPECT_EQ(a.thermal.rStackBondPerArea,
+              b.thermal.rStackBondPerArea);
+    EXPECT_EQ(a.thermal.stackedDieThickness,
+              b.thermal.stackedDieThickness);
     EXPECT_EQ(a.sampleIntervalCycles, b.sampleIntervalCycles);
     EXPECT_EQ(a.warmStart, b.warmStart);
     EXPECT_EQ(a.dtm.maxTemperature, b.dtm.maxTemperature);
@@ -117,6 +126,12 @@ TEST(SimConfigIo, SampleListCoversEveryAcceptedKey)
                 defaults.thermal.rConvection ||
             translated.thermal.solver !=
                 defaults.thermal.solver ||
+            translated.thermal.maxCachedPropagators !=
+                defaults.thermal.maxCachedPropagators ||
+            translated.thermal.rStackBondPerArea !=
+                defaults.thermal.rStackBondPerArea ||
+            translated.thermal.stackedDieThickness !=
+                defaults.thermal.stackedDieThickness ||
             translated.sampleIntervalCycles !=
                 defaults.sampleIntervalCycles ||
             translated.warmStart != defaults.warmStart ||
@@ -161,6 +176,148 @@ TEST(SimConfigIo, DottedTogglingReproducesIqToggling)
     SimConfig got = simConfigFromConfig(cfg);
     got.runSeed = expected.runSeed;
     expectSameConfig(got, expected);
+}
+
+/** Every cmp.* / stack.* key with a non-default sample value. */
+std::vector<std::pair<std::string, std::string>>
+cmpKeys()
+{
+    return {
+        {"cmp.cores", "4"},
+        {"cmp.l2", "false"},
+        {"cmp.benchmarks", "art, mesa, eon, mcf"},
+        {"cmp.migration.enabled", "true"},
+        {"cmp.migration.margin", "5.5"},
+        {"cmp.migration.min_gap", "0.25"},
+        {"cmp.migration.cooldown_intervals", "7"},
+        {"cmp.migration.stall_cycles", "12345"},
+        {"cmp.migration.bytes_per_cycle", "32"},
+        {"stack.dram", "true"},
+        {"stack.dram_energy_per_access", "1.5e-8"},
+        {"stack.dram_static_w", "2.25"},
+    };
+}
+
+/** Field-by-field CmpSimConfig comparison (base covered above). */
+void
+expectSameCmpConfig(const CmpSimConfig& a, const CmpSimConfig& b)
+{
+    expectSameConfig(a.base, b.base);
+    EXPECT_EQ(a.cores, b.cores);
+    EXPECT_EQ(a.sharedL2, b.sharedL2);
+    EXPECT_EQ(a.benchmarks, b.benchmarks);
+    EXPECT_EQ(a.migration.enabled, b.migration.enabled);
+    EXPECT_EQ(a.migration.marginK, b.migration.marginK);
+    EXPECT_EQ(a.migration.minGapK, b.migration.minGapK);
+    EXPECT_EQ(a.migration.cooldownIntervals,
+              b.migration.cooldownIntervals);
+    EXPECT_EQ(a.migration.baseStallCycles,
+              b.migration.baseStallCycles);
+    EXPECT_EQ(a.migration.busBytesPerCycle,
+              b.migration.busBytesPerCycle);
+    EXPECT_EQ(a.stack.dram, b.stack.dram);
+    EXPECT_EQ(a.stack.dramEnergyPerAccess,
+              b.stack.dramEnergyPerAccess);
+    EXPECT_EQ(a.stack.dramStaticW, b.stack.dramStaticW);
+}
+
+TEST(SimConfigIo, CmpKeysSurviveRenderParseRender)
+{
+    Config cfg;
+    for (const auto& [key, value] : cmpKeys())
+        cfg.set(key, value);
+
+    const std::string once = cfg.render();
+    Config back;
+    back.parseText(once);
+    EXPECT_EQ(back.entries(), cfg.entries());
+    EXPECT_EQ(back.render(), once);
+    expectSameCmpConfig(cmpConfigFromConfig(back),
+                        cmpConfigFromConfig(cfg));
+}
+
+TEST(SimConfigIo, CmpSampleListCoversEveryAcceptedKey)
+{
+    const CmpSimConfig defaults = cmpConfigFromConfig(Config{});
+    for (const auto& [key, value] : cmpKeys()) {
+        Config cfg;
+        cfg.set(key, value);
+        if (key == "cmp.benchmarks") {
+            // A per-core list needs a matching core count; the
+            // benchmarks field still differs from the default.
+            cfg.set("cmp.cores", "4");
+        }
+        const CmpSimConfig t = cmpConfigFromConfig(cfg);
+        const bool differs =
+            t.cores != defaults.cores ||
+            t.sharedL2 != defaults.sharedL2 ||
+            t.benchmarks != defaults.benchmarks ||
+            t.migration.enabled != defaults.migration.enabled ||
+            t.migration.marginK != defaults.migration.marginK ||
+            t.migration.minGapK != defaults.migration.minGapK ||
+            t.migration.cooldownIntervals !=
+                defaults.migration.cooldownIntervals ||
+            t.migration.baseStallCycles !=
+                defaults.migration.baseStallCycles ||
+            t.migration.busBytesPerCycle !=
+                defaults.migration.busBytesPerCycle ||
+            t.stack.dram != defaults.stack.dram ||
+            t.stack.dramEnergyPerAccess !=
+                defaults.stack.dramEnergyPerAccess ||
+            t.stack.dramStaticW != defaults.stack.dramStaticW;
+        EXPECT_TRUE(differs)
+            << key << "=" << value
+            << " did not change the translated CmpSimConfig";
+    }
+}
+
+TEST(SimConfigIo, CmpDefaultsNameTheSingleCoreSimulation)
+{
+    const CmpSimConfig cmp = cmpConfigFromConfig(Config{});
+    EXPECT_EQ(cmp.cores, 1);
+    EXPECT_TRUE(cmp.sharedL2);
+    EXPECT_EQ(cmp.benchmarks,
+              std::vector<std::string>{"eon"});
+    EXPECT_FALSE(cmp.migration.enabled);
+    EXPECT_FALSE(cmp.stack.dram);
+}
+
+TEST(SimConfigIo, CmpBenchmarksFollowRunBenchmark)
+{
+    Config cfg;
+    cfg.set("run.benchmark", "art");
+    cfg.set("cmp.cores", "2");
+    const CmpSimConfig cmp = cmpConfigFromConfig(cfg);
+    EXPECT_EQ(cmp.benchmarks,
+              std::vector<std::string>{"art"});
+}
+
+TEST(SimConfigIo, CmpRangeValidationStaysFatal)
+{
+    Config zero_cores;
+    zero_cores.set("cmp.cores", "0");
+    EXPECT_THROW(cmpConfigFromConfig(zero_cores), FatalError);
+
+    Config too_many;
+    too_many.set("cmp.cores", "9");
+    EXPECT_THROW(cmpConfigFromConfig(too_many), FatalError);
+
+    Config bad_bus;
+    bad_bus.set("cmp.migration.bytes_per_cycle", "0");
+    EXPECT_THROW(cmpConfigFromConfig(bad_bus), FatalError);
+
+    Config negative_stall;
+    negative_stall.set("cmp.migration.stall_cycles", "-1");
+    EXPECT_THROW(cmpConfigFromConfig(negative_stall), FatalError);
+
+    Config mismatched;
+    mismatched.set("cmp.cores", "4");
+    mismatched.set("cmp.benchmarks", "art,mesa");
+    EXPECT_THROW(cmpConfigFromConfig(mismatched), FatalError);
+
+    Config bad_cache;
+    bad_cache.set("thermal.max_cached_propagators", "0");
+    EXPECT_THROW(simConfigFromConfig(bad_cache), FatalError);
 }
 
 TEST(SimConfigIo, RangeValidationStaysFatal)

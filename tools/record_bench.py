@@ -23,6 +23,11 @@ import subprocess
 import sys
 import tempfile
 
+try:
+    import resource
+except ImportError:  # non-POSIX: record without the RSS figure
+    resource = None
+
 
 def repo_root():
     here = os.path.dirname(os.path.abspath(__file__))
@@ -56,20 +61,40 @@ def git_dirty(root):
 
 
 def run_bench(binary, smoke, cycles):
+    """Run the bench binary; return (payload, peak RSS in bytes).
+
+    Peak RSS comes from getrusage(RUSAGE_CHILDREN) deltas around
+    the subprocess, so it covers the bench process itself (the
+    dense Phi propagator caches dominate it; a 4-core CMP network
+    is ~16x the matrix footprint of a single core, which is what
+    this figure is meant to catch drifting).
+    """
     env = dict(os.environ)
     if smoke:
         env["TEMPEST_SMOKE"] = "1"
     if cycles:
         env["TEMPEST_CYCLES"] = str(cycles)
+    before = (resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+              if resource else 0)
     with tempfile.NamedTemporaryFile(
             mode="r", suffix=".json", delete=False) as tmp:
         env["TEMPEST_BENCH_JSON"] = tmp.name
         try:
             subprocess.run([binary], env=env, check=True)
             tmp.seek(0)
-            return json.load(tmp)
+            payload = json.load(tmp)
         finally:
             os.unlink(tmp.name)
+    peak_rss = None
+    if resource:
+        after = resource.getrusage(
+            resource.RUSAGE_CHILDREN).ru_maxrss
+        # ru_maxrss is a high-water mark, not a sum: it only grew
+        # if the bench out-sized every earlier child. Linux reports
+        # KiB (macOS reports bytes; this tooling targets Linux CI).
+        if after >= before:
+            peak_rss = after * 1024
+    return payload, peak_rss
 
 
 def main():
@@ -94,7 +119,7 @@ def main():
                  f"(cmake --build {args.build_dir} --target "
                  f"bench_wallclock)")
 
-    payload = run_bench(binary, args.smoke, args.cycles)
+    payload, peak_rss = run_bench(binary, args.smoke, args.cycles)
     dirty = git_dirty(root)
     if dirty:
         print("=" * 64, file=sys.stderr)
@@ -122,6 +147,10 @@ def main():
         entry["warm_fork"] = payload["warm_fork"]
     if payload.get("fabric") is not None:
         entry["fabric"] = payload["fabric"]
+    if payload.get("cmp") is not None:
+        entry["cmp"] = payload["cmp"]
+    if peak_rss is not None:
+        entry["peak_rss_bytes"] = peak_rss
 
     output = args.output or os.path.join(root,
                                          "BENCH_wallclock.json")
@@ -147,6 +176,8 @@ def main():
     warm = entry.get("warm_fork")
     if warm and warm.get("speedup"):
         msg += f", warm-fork speedup {warm['speedup']:.2f}x"
+    if peak_rss is not None:
+        msg += f", peak RSS {peak_rss / 2**20:.0f} MiB"
     print(msg + ")")
 
 

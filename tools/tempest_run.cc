@@ -4,6 +4,7 @@
  *
  * Usage:
  *   tempest_run <config.ini> [key=value ...]
+ *   tempest_run <config.ini> --cores N [key=value ...]
  *   tempest_run --paper-scale [measure_cycles] [--threads N]
  *
  * --paper-scale runs the paper-scale DTM sweep (four IQ-floorplan
@@ -24,8 +25,21 @@
  *              mapping = priority|balanced|completely-balanced,
  *              max_temperature, toggle_delta, cooling_time
  *   [thermal]  time_scale, ambient, convection,
- *              solver = expm|euler
+ *              solver = expm|euler, max_cached_propagators,
+ *              r_stack_bond, stacked_die_thickness
  *   [sim]      sample_interval, warm_start
+ *   [cmp]      cores, l2, benchmarks,
+ *              migration.{enabled,margin,min_gap,
+ *              cooldown_intervals,stall_cycles,bytes_per_cycle}
+ *   [stack]    dram, dram_energy_per_access, dram_static_w
+ *
+ * `--cores N` is sugar for the `cmp.cores = N` override. When the
+ * effective config asks for more than one core tile (or a stacked
+ * DRAM die), the run goes through the CMP engine: N cores in
+ * lockstep on one shared thermal network, per-core DTM plus the
+ * cross-core migration policy, one result block per core. A 1-core
+ * CMP run is bit-identical to the single-core engine, so --cores 1
+ * and no flag print the same result_hash.
  *
  * Checkpointing (resumable runs, see DESIGN.md §11):
  *
@@ -56,6 +70,7 @@
 #include "common/config.hh"
 #include "common/log.hh"
 #include "sim/checkpoint/checkpoint.hh"
+#include "sim/cmp/cmp_simulator.hh"
 #include "sim/experiment.hh"
 #include "sim/runner.hh"
 #include "sim/sim_config_io.hh"
@@ -151,6 +166,89 @@ runPaperScale(std::uint64_t measure_cycles, int threads)
     return 0;
 }
 
+/**
+ * The CMP run path: one lockstep simulation over the shared die,
+ * same checkpoint-every/resume discipline as the single-core path
+ * (CmpSimulator checkpoints capture every engine, the thermal
+ * network, sensors, placement, and any in-flight stall).
+ */
+int
+runCmp(const Config& cfg, std::uint64_t cycles,
+       std::uint64_t checkpoint_every,
+       const std::string& checkpoint_dir, bool resume)
+{
+    const CmpSimConfig config = cmpConfigFromConfig(cfg);
+    CmpSimulator sim(config);
+    const std::string ckpt_path = checkpoint_dir + "/cmp.ckpt";
+
+    if (resume) {
+        std::ifstream probe(ckpt_path, std::ios::binary);
+        if (probe) {
+            probe.close();
+            sim.restoreCheckpoint(readCheckpointFile(ckpt_path));
+            std::printf("resumed       %s @ cycle %llu\n",
+                        ckpt_path.c_str(),
+                        static_cast<unsigned long long>(
+                            sim.cycle()));
+        } else {
+            inform("--resume: no checkpoint at '", ckpt_path,
+                   "', starting from cycle 0");
+        }
+    }
+
+    if (checkpoint_every > 0) {
+        while (sim.cycle() < cycles) {
+            const std::uint64_t stop =
+                std::min(cycles, sim.cycle() + checkpoint_every);
+            sim.runTo(stop);
+            writeCheckpointFile(ckpt_path, sim.saveCheckpoint());
+        }
+    } else {
+        sim.runTo(cycles);
+    }
+    const CmpResult r = sim.result();
+
+    std::printf("cores        %d\n", config.cores);
+    std::printf("cycles       %llu\n",
+                static_cast<unsigned long long>(r.cycles));
+    std::printf("%-5s %-8s %4s %6s %7s %-10s %7s %7s\n", "core",
+                "bench", "tile", "ipc", "stall%", "hot", "max_K",
+                "stalls");
+    for (std::size_t j = 0; j < r.cores.size(); ++j) {
+        const SimResult& c = r.cores[j];
+        const BlockTempStats& hot = *std::max_element(
+            c.blocks.begin(), c.blocks.end(),
+            [](const BlockTempStats& a, const BlockTempStats& b) {
+                return a.max < b.max;
+            });
+        std::printf("%-5zu %-8s %4d %6.3f %6.1f%% %-10s %7.2f "
+                    "%7llu\n",
+                    j, c.benchmark.c_str(), r.tileOfJob[j], c.ipc,
+                    100.0 * c.stallCycles / c.cycles,
+                    hot.name.c_str(), hot.max,
+                    static_cast<unsigned long long>(
+                        c.dtm.globalStalls));
+    }
+    for (const BlockTempStats& b : r.shared) {
+        std::printf("shared %-10s avg %7.2f K   max %7.2f K\n",
+                    b.name.c_str(), b.avg, b.max);
+    }
+    std::printf("migrations   %llu (%llu stall cycles, %llu "
+                "bytes moved, %llu evaluations)\n",
+                static_cast<unsigned long long>(
+                    r.migration.migrations),
+                static_cast<unsigned long long>(
+                    r.migration.migrationStallCycles),
+                static_cast<unsigned long long>(
+                    r.migration.bytesMoved),
+                static_cast<unsigned long long>(
+                    r.migration.evaluations));
+    std::printf("result_hash  0x%016llx\n",
+                static_cast<unsigned long long>(
+                    hashCmpResult(r)));
+    return 0;
+}
+
 } // namespace
 
 int
@@ -159,7 +257,7 @@ main(int argc, char** argv)
     if (argc < 2) {
         std::fprintf(stderr,
                      "usage: tempest_run <config.ini> "
-                     "[key=value ...]\n"
+                     "[--cores N] [key=value ...]\n"
                      "       tempest_run --paper-scale "
                      "[measure_cycles] [--threads N]\n");
         return 2;
@@ -231,6 +329,13 @@ main(int argc, char** argv)
                 checkpoint_dir = argv[i];
             } else if (arg == "--resume") {
                 resume = true;
+            } else if (arg == "--cores") {
+                if (++i >= argc)
+                    fatal("--cores needs a count");
+                // Sugar for the dotted override; range-checked by
+                // cmpConfigFromConfig like any cmp.cores value.
+                cfg.parseText(std::string("cmp.cores = ") +
+                              argv[i]);
             } else {
                 cfg.parseText(arg);
             }
@@ -248,6 +353,19 @@ main(int argc, char** argv)
         }
         const auto cycles =
             static_cast<std::uint64_t>(cycles_signed);
+
+        // More than one core tile (or a stacked DRAM die) routes
+        // through the CMP engine; plain configs keep the original
+        // single-core path and its outputs byte-for-byte.
+        if (cfg.getInt("cmp.cores", 1) > 1 ||
+            cfg.getBool("stack.dram", false)) {
+            if (!cfg.getString("run.trace_csv", "").empty())
+                inform("run.trace_csv is single-core only; "
+                       "ignored for CMP runs");
+            return runCmp(cfg, cycles, checkpoint_every,
+                          checkpoint_dir, resume);
+        }
+
         const std::string ckpt_path =
             checkpoint_dir + "/" + bench + ".ckpt";
 

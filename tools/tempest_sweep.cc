@@ -6,7 +6,16 @@
  *                 [--workers N] [--base-seed S]
  *                 [--spill-dir DIR] [--job-timeout SECONDS]
  *                 [--in-process]
+ *   tempest_sweep --cmp-scale [cycles] [--workers N]
  *   tempest_sweep --worker-fd N       (internal: worker mode)
+ *
+ * --cmp-scale runs the CMP/3D scaling matrix: 1-, 2- and 4-core
+ * dies, flat and with a stacked DRAM layer, cross-core migration
+ * on for every multicore job. Jobs run on an in-process thread
+ * pool (each is one independent lockstep CmpSimulator); rows end
+ * in the job's hashCmpResult and the table ends in a sweep_hash
+ * with the same merge-order chain as --paper-scale, so the
+ * scheduled CI sweep can gate on one digest.
  *
  * Runs the paper-scale DTM sweep (the same four IQ-floorplan
  * configurations x three benchmarks as `tempest_run
@@ -36,6 +45,7 @@
 #include "common/config.hh"
 #include "common/log.hh"
 #include "sim/checkpoint/stateio.hh"
+#include "sim/cmp/cmp_simulator.hh"
 #include "sim/experiment.hh"
 #include "sim/fabric/coordinator.hh"
 #include "sim/fabric/worker.hh"
@@ -110,6 +120,87 @@ report(const std::vector<ExperimentOutcome>& outcomes)
     return {all_ok, sweep_hash};
 }
 
+/**
+ * The CMP/3D scaling matrix: core count x {flat, stacked DRAM},
+ * mixed SPEC2000 benchmarks (one per core, memory-bound first so
+ * the 3D rows heat), migration on for every multicore die.
+ */
+std::vector<CmpJob>
+cmpScaleJobs(std::uint64_t cycles)
+{
+    const std::vector<std::string> mix = {"art", "mesa", "eon",
+                                          "mcf"};
+    std::vector<CmpJob> jobs;
+    for (const int cores : {1, 2, 4}) {
+        for (const bool dram : {false, true}) {
+            CmpJob job;
+            job.tag = std::to_string(cores) + "core" +
+                      (dram ? "_3d" : "");
+            job.config.base = experiments::iqBase();
+            job.config.cores = cores;
+            job.config.benchmarks.assign(
+                mix.begin(), mix.begin() + cores);
+            job.config.migration.enabled = cores > 1;
+            job.config.stack.dram = dram;
+            job.cycles = cycles;
+            jobs.push_back(std::move(job));
+        }
+    }
+    return jobs;
+}
+
+int
+runCmpScale(std::uint64_t cycles, int threads)
+{
+    const std::vector<CmpJob> jobs = cmpScaleJobs(cycles);
+    std::printf("cmp-scale sweep: %zu jobs (1/2/4 cores x "
+                "flat/3d), %llu cycles per job, %d thread%s\n",
+                jobs.size(),
+                static_cast<unsigned long long>(cycles), threads,
+                threads == 1 ? "" : "s");
+
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<CmpJobOutcome> outcomes =
+        runCmpJobs(jobs, threads);
+    const double wall =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+
+    std::uint64_t sweep_hash = 0xcbf29ce484222325ULL;
+    std::printf("%-10s %6s %7s %7s %6s %8s %7s  %s\n", "job",
+                "ipc", "max_K", "stalls", "migr", "cycles_M",
+                "wall_s", "result_hash");
+    for (const CmpJobOutcome& o : outcomes) {
+        double ipc = 0.0;
+        Kelvin max_t = 0.0;
+        std::uint64_t stalls = 0;
+        for (const SimResult& c : o.result.cores) {
+            ipc += c.ipc;
+            stalls += c.dtm.globalStalls;
+            for (const BlockTempStats& b : c.blocks)
+                max_t = std::max(max_t, b.max);
+        }
+        for (const BlockTempStats& b : o.result.shared)
+            max_t = std::max(max_t, b.max);
+        std::printf("%-10s %6.3f %7.2f %7llu %6llu %8.1f %7.2f  "
+                    "0x%016llx\n",
+                    o.tag.c_str(), ipc, max_t,
+                    static_cast<unsigned long long>(stalls),
+                    static_cast<unsigned long long>(
+                        o.result.migration.migrations),
+                    o.result.cycles / 1e6, o.wallSeconds,
+                    static_cast<unsigned long long>(o.hash));
+        sweep_hash =
+            fnv1a64(&o.hash, sizeof(o.hash), sweep_hash);
+    }
+    std::printf("%zu jobs in %.1f s wall\n", outcomes.size(),
+                wall);
+    std::printf("sweep_hash 0x%016llx\n",
+                static_cast<unsigned long long>(sweep_hash));
+    return 0;
+}
+
 } // namespace
 
 int
@@ -123,6 +214,8 @@ main(int argc, char** argv)
             "usage: tempest_sweep --paper-scale [measure_cycles] "
             "[--workers N] [--base-seed S] [--spill-dir DIR] "
             "[--job-timeout SECONDS] [--in-process]\n"
+            "       tempest_sweep --cmp-scale [cycles] "
+            "[--workers N]\n"
             "       tempest_sweep --worker-fd N\n");
         return 2;
     }
@@ -139,6 +232,28 @@ main(int argc, char** argv)
             return 2;
         }
         return fabric::workerMain(fd);
+    }
+
+    if (std::strcmp(argv[1], "--cmp-scale") == 0) {
+        try {
+            std::uint64_t cycles = 10'000'000;
+            int threads = 1;
+            for (int i = 2; i < argc; ++i) {
+                const std::string arg = argv[i];
+                if (arg == "--workers") {
+                    if (++i >= argc)
+                        fatal("--workers needs a count");
+                    threads = std::atoi(argv[i]);
+                    if (threads < 1)
+                        fatal("--workers must be >= 1");
+                } else {
+                    cycles = parseCycles(argv[i], "--cmp-scale");
+                }
+            }
+            return runCmpScale(cycles, threads);
+        } catch (const tempest::FatalError&) {
+            return 1;
+        }
     }
 
     if (std::strcmp(argv[1], "--paper-scale") != 0) {
