@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Clang Thread Safety Analysis macros (DESIGN.md §17).
+ *
+ * These wrap the `-Wthread-safety` attribute vocabulary so lock
+ * discipline is part of a declaration's type, checked at compile
+ * time under clang and expanded to nothing everywhere else:
+ *
+ *   Mutex mutex_;
+ *   std::uint64_t hits_ GUARDED_BY(mutex_) = 0;
+ *   void flush(Connection& c) REQUIRES(c.writeMutex);
+ *
+ * The macros mirror the names in the Clang documentation
+ * (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) and the
+ * semantics the kernel/abseil headers established:
+ *
+ *   CAPABILITY(x)        the annotated class IS a lock (capability)
+ *   SCOPED_CAPABILITY    RAII type that acquires in its constructor
+ *                        and releases in its destructor
+ *   GUARDED_BY(m)        data member readable/writable only while
+ *                        m is held
+ *   PT_GUARDED_BY(m)     pointee (not the pointer) guarded by m
+ *   REQUIRES(m...)       caller must hold m before calling
+ *   ACQUIRE(m...)        function acquires m and does not release
+ *   RELEASE(m...)        function releases m
+ *   TRY_ACQUIRE(b, m...) acquires m iff the return value equals b
+ *   EXCLUDES(m...)       caller must NOT hold m (deadlock guard)
+ *   ASSERT_CAPABILITY(m) runtime assertion that m is held
+ *   RETURN_CAPABILITY(m) function returns a reference to m
+ *   NO_THREAD_SAFETY_ANALYSIS
+ *                        opt a function body out of the analysis
+ *                        (use sparingly; say why in a comment)
+ *
+ * tools/lint/tempest_lint.py's lock-discipline pass reads the same
+ * GUARDED_BY/REQUIRES spellings from the token stream, so every
+ * annotation is enforced twice: by clang in the thread-safety CI
+ * job, and by the linter in GCC-only builds (where these macros
+ * vanish) and inside lambdas (which clang's analysis treats as
+ * opaque separate functions).
+ */
+
+#ifndef TEMPEST_COMMON_THREAD_ANNOTATIONS_HH
+#define TEMPEST_COMMON_THREAD_ANNOTATIONS_HH
+
+#if defined(__clang__) && (!defined(SWIG))
+#define TEMPEST_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define TEMPEST_THREAD_ANNOTATION(x) // no-op off clang
+#endif
+
+#define CAPABILITY(x) TEMPEST_THREAD_ANNOTATION(capability(x))
+
+#define SCOPED_CAPABILITY TEMPEST_THREAD_ANNOTATION(scoped_lockable)
+
+#define GUARDED_BY(x) TEMPEST_THREAD_ANNOTATION(guarded_by(x))
+
+#define PT_GUARDED_BY(x) TEMPEST_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+    TEMPEST_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+    TEMPEST_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+    TEMPEST_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+    TEMPEST_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+    TEMPEST_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+    TEMPEST_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+    TEMPEST_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+    TEMPEST_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+    TEMPEST_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) \
+    TEMPEST_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) \
+    TEMPEST_THREAD_ANNOTATION(assert_capability(x))
+
+#define RETURN_CAPABILITY(x) TEMPEST_THREAD_ANNOTATION(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+    TEMPEST_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif // TEMPEST_COMMON_THREAD_ANNOTATIONS_HH

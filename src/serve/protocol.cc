@@ -109,6 +109,43 @@ parseRequest(const std::string& line)
 }
 
 std::string
+encodeRequest(const Request& req)
+{
+    Json msg;
+    switch (req.op) {
+      case RequestOp::Run:
+        msg["op"] = Json("run");
+        break;
+      case RequestOp::Stats:
+        msg["op"] = Json("stats");
+        break;
+      case RequestOp::Ping:
+        msg["op"] = Json("ping");
+        break;
+      case RequestOp::Shutdown:
+        msg["op"] = Json("shutdown");
+        break;
+    }
+    if (!req.client.empty())
+        msg["client"] = Json(req.client);
+    if (req.op == RequestOp::Run) {
+        msg["benchmark"] = Json(req.benchmark);
+        msg["cycles"] = Json(req.cycles);
+        msg["seed"] = Json(req.seed);
+        msg["warm"] = Json(req.warm);
+        // Config entries are stringly typed, so they encode as
+        // JSON strings and round-trip through parseRequest's
+        // String branch verbatim (run.seed included — the parser
+        // folds it back into req.seed).
+        Json config;
+        for (const auto& [key, value] : req.config.entries())
+            config[key] = Json(value);
+        msg["config"] = config;
+    }
+    return msg.dump();
+}
+
+std::string
 canonicalRunIdentity(const Request& req)
 {
     // Config::render() yields sorted "key = value" lines, so the

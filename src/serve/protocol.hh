@@ -80,6 +80,15 @@ struct Request
 Request parseRequest(const std::string& line);
 
 /**
+ * Encode a request as one wire line — the C++ client side of
+ * parseRequest (tools/serve_hammer.py builds the same shape in
+ * Python). parseRequest(encodeRequest(r)) reproduces r field for
+ * field; the lint protocol-schema pass holds the two key sets in
+ * lockstep.
+ */
+std::string encodeRequest(const Request& req);
+
+/**
  * Canonical text identity of a run request: benchmark, effective
  * seed, cycles, and the full sorted render of the config
  * overlays. Two requests with equal canonical identity name the

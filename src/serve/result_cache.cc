@@ -8,7 +8,7 @@ namespace serve
 std::optional<CachedResult>
 ResultCache::get(const std::string& key)
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = index_.find(key);
     if (it == index_.end()) {
         ++misses_;
@@ -23,7 +23,7 @@ ResultCache::get(const std::string& key)
 void
 ResultCache::put(const std::string& key, CachedResult value)
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = index_.find(key);
     if (it != index_.end()) {
         it->second->value = std::move(value);
@@ -42,7 +42,7 @@ ResultCache::put(const std::string& key, CachedResult value)
 CacheStats
 ResultCache::stats() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     CacheStats s;
     s.hits = hits_;
     s.misses = misses_;

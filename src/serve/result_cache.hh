@@ -21,10 +21,10 @@
 #include <cstdint>
 #include <list>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 
+#include "common/guarded.hh"
 #include "serve/json.hh"
 
 namespace tempest
@@ -91,14 +91,16 @@ class ResultCache
         CachedResult value;
     };
 
-    mutable std::mutex mutex_;
+    mutable Mutex mutex_;
+    /** Immutable after construction; safe to read unlocked. */
     std::size_t capacity_;
     /** Most-recently-used at the front. */
-    std::list<Entry> lru_;
-    std::map<std::string, std::list<Entry>::iterator> index_;
-    std::uint64_t hits_ = 0;
-    std::uint64_t misses_ = 0;
-    std::uint64_t evictions_ = 0;
+    std::list<Entry> lru_ GUARDED_BY(mutex_);
+    std::map<std::string, std::list<Entry>::iterator>
+        index_ GUARDED_BY(mutex_);
+    std::uint64_t hits_ GUARDED_BY(mutex_) = 0;
+    std::uint64_t misses_ GUARDED_BY(mutex_) = 0;
+    std::uint64_t evictions_ GUARDED_BY(mutex_) = 0;
 };
 
 } // namespace serve

@@ -162,8 +162,10 @@ ServeDaemon::requestStop()
 void
 ServeDaemon::waitStopped()
 {
-    std::unique_lock<std::mutex> lock(stopMutex_);
-    stopCv_.wait(lock, [this] {
+    MutexLock lock(stopMutex_);
+    // The predicate only reads the stopping_ atomic (no guarded
+    // state), so the lambda is lock-discipline clean.
+    stopCv_.wait(lock.native(), [this] {
         return stopping_.load(std::memory_order_acquire);
     });
 }
@@ -202,7 +204,7 @@ ServeDaemon::stats() const
     ServeStats s;
     s.cache = cache_.stats();
     {
-        const std::lock_guard<std::mutex> lock(queueMutex_);
+        MutexLock lock(queueMutex_);
         s.queueDepth = queue_.size();
         s.shedQueueFull = shedQueueFull_;
         s.jobsDone = jobsDone_;
@@ -232,8 +234,7 @@ ServeDaemon::pollLoop()
         for (const auto& [fd, conn] : conns_) {
             short events = POLLIN;
             {
-                const std::lock_guard<std::mutex> lock(
-                    conn->writeMutex);
+                MutexLock lock(conn->writeMutex);
                 if (conn->broken) {
                     // Write side gave up on this peer (outbox
                     // overflow or send error); reap it here.
@@ -251,10 +252,9 @@ ServeDaemon::pollLoop()
             if (it == conns_.end())
                 continue;
             {
-                const std::lock_guard<std::mutex> lock(
-                    it->second->writeMutex);
-                ::close(it->second->fd);
-                it->second->fd = -1;
+                MutexLock lock(it->second->writeMutex);
+                ::close(it->second->sock);
+                it->second->sock = -1;
             }
             conns_.erase(it);
         }
@@ -301,8 +301,7 @@ ServeDaemon::pollLoop()
             if (fds[i].revents & POLLOUT) {
                 const auto it = conns_.find(fds[i].fd);
                 if (it != conns_.end()) {
-                    const std::lock_guard<std::mutex> lock(
-                        it->second->writeMutex);
+                    MutexLock lock(it->second->writeMutex);
                     flushLocked(*it->second);
                 }
             }
@@ -315,10 +314,9 @@ ServeDaemon::pollLoop()
     }
     // Close client fds so blocked peers see EOF promptly.
     for (auto& [fd, conn] : conns_) {
-        const std::lock_guard<std::mutex> lock(
-            conn->writeMutex);
-        ::close(conn->fd);
-        conn->fd = -1;
+        MutexLock lock(conn->writeMutex);
+        ::close(conn->sock);
+        conn->sock = -1;
     }
 }
 
@@ -330,7 +328,13 @@ ServeDaemon::acceptOne()
         return;
     auto conn = std::make_shared<Connection>();
     setNonBlocking(fd);
-    conn->fd = fd;
+    {
+        // No other thread can see this connection yet, but sock
+        // is guarded state — take the (uncontended) lock so the
+        // write is provably disciplined.
+        MutexLock lock(conn->writeMutex);
+        conn->sock = fd;
+    }
     conn->name = "conn" + std::to_string(connCounter_++);
     conns_[fd] = std::move(conn);
 }
@@ -338,8 +342,19 @@ ServeDaemon::acceptOne()
 void
 ServeDaemon::readFrom(const ConnPtr& conn)
 {
+    // Snapshot the socket under the lock (the poll thread is the
+    // only writer of sock, but discipline is cheaper than the
+    // exception). recv() itself runs off-lock so a worker
+    // flushing replies is never blocked behind a slow read.
+    int sock = -1;
+    {
+        MutexLock lock(conn->writeMutex);
+        sock = conn->sock;
+    }
+    if (sock < 0)
+        return;
     char buf[65536];
-    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    const ssize_t n = ::recv(sock, buf, sizeof(buf), 0);
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK ||
                   errno == EINTR)) {
         return; // spurious wakeup on a non-blocking fd
@@ -347,14 +362,12 @@ ServeDaemon::readFrom(const ConnPtr& conn)
     if (n <= 0) {
         // EOF or error: forget the connection. Workers holding
         // the ConnPtr will notice `broken`/closed fd on write.
-        const int fd = conn->fd;
         {
-            const std::lock_guard<std::mutex> lock(
-                conn->writeMutex);
-            ::close(conn->fd);
-            conn->fd = -1;
+            MutexLock lock(conn->writeMutex);
+            ::close(conn->sock);
+            conn->sock = -1;
         }
-        conns_.erase(fd);
+        conns_.erase(sock);
         return;
     }
     conn->rx.append(buf, static_cast<std::size_t>(n));
@@ -377,14 +390,12 @@ ServeDaemon::readFrom(const ConnPtr& conn)
     if (conn->rx.size() > kMaxLineBytes) {
         sendLine(conn,
                  encodeError("request line exceeds 1 MiB"));
-        const int fd = conn->fd;
         {
-            const std::lock_guard<std::mutex> lock(
-                conn->writeMutex);
-            ::close(conn->fd);
-            conn->fd = -1;
+            MutexLock lock(conn->writeMutex);
+            ::close(conn->sock);
+            conn->sock = -1;
         }
-        conns_.erase(fd);
+        conns_.erase(sock);
     }
 }
 
@@ -528,7 +539,7 @@ ServeDaemon::handleRun(const ConnPtr& conn, Request req,
     job.key = std::move(key);
     job.id = id;
     {
-        std::unique_lock<std::mutex> lock(queueMutex_);
+        MutexLock lock(queueMutex_);
         const auto flight = inflight_.find(job.key);
         if (flight != inflight_.end()) {
             // Single-flight: attach to the in-progress
@@ -573,12 +584,18 @@ ServeDaemon::workerLoop()
     for (;;) {
         Job job;
         {
-            std::unique_lock<std::mutex> lock(queueMutex_);
-            queueCv_.wait(lock, [this] {
-                return stopping_.load(
-                           std::memory_order_acquire) ||
-                       !queue_.empty();
-            });
+            MutexLock lock(queueMutex_);
+            // An explicit predicate loop instead of the lambda
+            // form: clang's thread-safety analysis treats lambda
+            // bodies as separate unannotated functions, so
+            // touching queue_ inside one would defeat the
+            // GUARDED_BY proof. wait() unlocks and relocks
+            // lock.native(), so queue_ is held at every read.
+            while (!stopping_.load(
+                       std::memory_order_acquire) &&
+                   queue_.empty()) {
+                queueCv_.wait(lock.native());
+            }
             if (stopping_.load(std::memory_order_acquire))
                 return;
             job = std::move(queue_.front());
@@ -655,7 +672,7 @@ ServeDaemon::computeJob(const Job& job)
 
     std::vector<Job> waiters;
     {
-        const std::lock_guard<std::mutex> lock(queueMutex_);
+        MutexLock lock(queueMutex_);
         if (error.empty()) {
             ++jobsDone_;
             computeSecondsTotal_ += seconds;
@@ -696,9 +713,8 @@ ServeDaemon::sendLine(const ConnPtr& conn,
 {
     bool needWake = false;
     {
-        const std::lock_guard<std::mutex> lock(
-            conn->writeMutex);
-        if (conn->fd < 0 || conn->broken)
+        MutexLock lock(conn->writeMutex);
+        if (conn->sock < 0 || conn->broken)
             return;
         if (conn->tx.size() + line.size() + 1 >
             kMaxOutboxBytes) {
@@ -730,12 +746,13 @@ ServeDaemon::sendLine(const ConnPtr& conn,
 
 void
 ServeDaemon::flushLocked(Connection& conn)
+    REQUIRES(conn.writeMutex)
 {
-    if (conn.fd < 0 || conn.broken)
+    if (conn.sock < 0 || conn.broken)
         return;
     while (!conn.tx.empty()) {
         const ssize_t n =
-            ::send(conn.fd, conn.tx.data(), conn.tx.size(),
+            ::send(conn.sock, conn.tx.data(), conn.tx.size(),
                    MSG_NOSIGNAL | MSG_DONTWAIT);
         if (n > 0) {
             conn.tx.erase(0, static_cast<std::size_t>(n));

@@ -39,11 +39,11 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/guarded.hh"
 #include "serve/protocol.hh"
 #include "serve/result_cache.hh"
 #include "serve/throttler.hh"
@@ -125,20 +125,25 @@ class ServeDaemon
     ServeStats stats() const;
 
   private:
-    /** One client connection. The fd is non-blocking; replies go
-     * through `tx`, an outbox flushed opportunistically by
-     * sendLine() and drained on POLLOUT by the poll thread, so a
-     * peer that never reads can never block a daemon thread.
-     * writeMutex guards fd/tx/broken/wakeQueued. */
+    /** One client connection. The socket is non-blocking;
+     * replies go through `tx`, an outbox flushed
+     * opportunistically by sendLine() and drained on POLLOUT by
+     * the poll thread, so a peer that never reads can never
+     * block a daemon thread. writeMutex guards everything both
+     * sides touch (sock/tx/broken/wakeQueued); name and rx stay
+     * poll-thread-only and need no lock. */
     struct Connection
     {
-        int fd = -1;
         std::string name; ///< default rate-limit principal
         std::string rx;   ///< partial-line receive buffer
-        std::mutex writeMutex;
-        std::string tx;      ///< pending unsent reply bytes
-        bool broken = false; ///< write failed; drop silently
-        bool wakeQueued = false; ///< poll-loop wake already sent
+        Mutex writeMutex;
+        int sock GUARDED_BY(writeMutex) = -1;
+        /** Pending unsent reply bytes. */
+        std::string tx GUARDED_BY(writeMutex);
+        /** Write failed; drop silently. */
+        bool broken GUARDED_BY(writeMutex) = false;
+        /** Poll-loop wake already sent. */
+        bool wakeQueued GUARDED_BY(writeMutex) = false;
     };
     using ConnPtr = std::shared_ptr<Connection>;
 
@@ -164,8 +169,9 @@ class ServeDaemon
     void computeJob(const Job& job);
 
     void sendLine(const ConnPtr& conn, const std::string& line);
-    /** Drain conn.tx without blocking (writeMutex held). */
-    void flushLocked(Connection& conn);
+    /** Drain conn.tx without blocking. */
+    void flushLocked(Connection& conn)
+        REQUIRES(conn.writeMutex);
     double nowSeconds() const;
 
     ServeOptions options_;
@@ -184,20 +190,22 @@ class ServeDaemon
     std::map<int, ConnPtr> conns_; ///< poll thread only
 
     // Queue + single-flight registry (one mutex guards both).
-    mutable std::mutex queueMutex_;
+    mutable Mutex queueMutex_;
     std::condition_variable queueCv_;
-    std::deque<Job> queue_;
-    std::map<std::string, std::vector<Job>> inflight_;
+    std::deque<Job> queue_ GUARDED_BY(queueMutex_);
+    std::map<std::string, std::vector<Job>>
+        inflight_ GUARDED_BY(queueMutex_);
 
-    // Stop notification for waitStopped().
-    mutable std::mutex stopMutex_;
+    // Stop notification for waitStopped(). The mutex guards no
+    // data (the predicate is the stopping_ atomic); it exists
+    // only to serialize the cv wait/notify handshake.
+    mutable Mutex stopMutex_;
     std::condition_variable stopCv_;
 
-    // Counters (queueMutex_).
-    std::uint64_t shedQueueFull_ = 0;
-    std::uint64_t jobsDone_ = 0;
-    std::uint64_t jobsFailed_ = 0;
-    double computeSecondsTotal_ = 0;
+    std::uint64_t shedQueueFull_ GUARDED_BY(queueMutex_) = 0;
+    std::uint64_t jobsDone_ GUARDED_BY(queueMutex_) = 0;
+    std::uint64_t jobsFailed_ GUARDED_BY(queueMutex_) = 0;
+    double computeSecondsTotal_ GUARDED_BY(queueMutex_) = 0;
 
     std::int64_t startTick_ = 0; ///< monotonic epoch for now()
 };

@@ -30,7 +30,7 @@ ClientThrottler::acquire(const std::string& client, double now)
 {
     if (rate_ <= 0)
         return AdmitDecision{true, 0.0};
-    const std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = buckets_.find(client);
     if (it == buckets_.end()) {
         it = buckets_
@@ -46,7 +46,7 @@ ClientThrottler::acquire(const std::string& client, double now)
 std::uint64_t
 ClientThrottler::rejected() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return rejected_;
 }
 

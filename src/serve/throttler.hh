@@ -20,8 +20,9 @@
 #include <algorithm>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
+
+#include "common/guarded.hh"
 
 namespace tempest
 {
@@ -76,11 +77,16 @@ class ClientThrottler
     std::uint64_t rejected() const;
 
   private:
+    /** rate_/burst_ are immutable after construction; safe to
+     * read unlocked. TokenBucket itself is unsynchronized — every
+     * bucket is only ever touched through acquire() below, under
+     * mutex_. */
     double rate_;
     double burst_;
-    mutable std::mutex mutex_;
-    std::map<std::string, TokenBucket> buckets_;
-    std::uint64_t rejected_ = 0;
+    mutable Mutex mutex_;
+    std::map<std::string, TokenBucket>
+        buckets_ GUARDED_BY(mutex_);
+    std::uint64_t rejected_ GUARDED_BY(mutex_) = 0;
 };
 
 } // namespace serve

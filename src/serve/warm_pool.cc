@@ -13,7 +13,7 @@ WarmSnapshotPool::get(const std::string& key,
     Future future;
     bool builder = false;
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         const auto it = pool_.find(key);
         if (it != pool_.end()) {
             future = it->second;
@@ -32,7 +32,7 @@ WarmSnapshotPool::get(const std::string& key,
             promise.set_exception(std::current_exception());
             // Drop the failed entry so a later request retries
             // instead of replaying a stale error forever.
-            const std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             pool_.erase(key);
             future.get(); // rethrows to this builder too
         }
@@ -43,14 +43,14 @@ WarmSnapshotPool::get(const std::string& key,
 std::size_t
 WarmSnapshotPool::size() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return pool_.size();
 }
 
 std::uint64_t
 WarmSnapshotPool::builds() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return builds_;
 }
 

@@ -26,8 +26,9 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "common/guarded.hh"
 
 namespace tempest
 {
@@ -57,9 +58,13 @@ class WarmSnapshotPool
     using Future =
         std::shared_future<std::shared_ptr<const std::string>>;
 
-    mutable std::mutex mutex_;
-    std::map<std::string, Future> pool_;
-    std::uint64_t builds_ = 0;
+    mutable Mutex mutex_;
+    /** mutex_ guards the map only; each Future value, once
+     * copied out, is read without the lock (shared_future is
+     * internally synchronized — the snapshot publication
+     * happens-before every waiter's get()). */
+    std::map<std::string, Future> pool_ GUARDED_BY(mutex_);
+    std::uint64_t builds_ GUARDED_BY(mutex_) = 0;
 };
 
 } // namespace serve

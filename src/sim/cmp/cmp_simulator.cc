@@ -19,11 +19,14 @@ namespace
 
 // Checkpoint chunk ids. Per-job chunks vary the last FourCC
 // character ("JB00".."JB07"), which chunkId packs into the high
-// byte.
+// byte. The CMP thermal/sensor chunks get their own tags (CTHM/
+// CSNS) rather than reusing the single-core engine's THRM/SENS:
+// the chunk-registry lint pass requires FourCCs to be globally
+// unique so a reader can never confuse the two formats.
 constexpr std::uint32_t kChunkCmpMeta = chunkId("CMPM");
 constexpr std::uint32_t kChunkCmpDtm = chunkId("CMPD");
-constexpr std::uint32_t kChunkThermal = chunkId("THRM");
-constexpr std::uint32_t kChunkSensors = chunkId("SENS");
+constexpr std::uint32_t kChunkThermal = chunkId("CTHM");
+constexpr std::uint32_t kChunkSensors = chunkId("CSNS");
 
 std::uint32_t
 jobChunkId(int job)
@@ -686,6 +689,10 @@ runCmpJobs(const std::vector<CmpJob>& jobs, int threads)
     threads = std::max(
         1, std::min(threads, static_cast<int>(jobs.size())));
 
+    // Lock-free by construction: the only shared mutable state is
+    // the `next` index counter; each worker owns outcomes[i]
+    // exclusively once it claims i, so no mutex (and no
+    // GUARDED_BY) is needed here.
     std::atomic<std::size_t> next{0};
     auto worker = [&]() {
         for (;;) {

@@ -25,6 +25,12 @@
  *    failed (a poison shard must not crash the pool forever).
  *  - When every worker is dead and shards remain, the coordinator
  *    respawns workers from a bounded budget before giving up.
+ *
+ * Concurrency audit: the coordinator itself is single-threaded —
+ * isolation is process-level (state crosses only the socketpair
+ * wire, in the fabric_protocol format checked by the
+ * protocol-schema lint pass), so unlike the serve daemon there
+ * are no locks to annotate here.
  */
 
 #ifndef TEMPEST_SIM_FABRIC_COORDINATOR_HH

@@ -92,6 +92,9 @@ parseHexU64(const std::string& text)
     return v;
 }
 
+// The "op" routing key is read by the worker dispatch loop before
+// parseJob ever sees the message, so the decoder never reads it.
+// proto:skip(op: routing key consumed by the dispatch loop)
 std::string
 encodeJob(const FabricJob& job)
 {
@@ -142,6 +145,9 @@ parseJob(const serve::Json& doc)
     return job;
 }
 
+// Same asymmetry as encodeJob: the coordinator routes on "op"
+// before handing the document to parseResult.
+// proto:skip(op: routing key consumed by the dispatch loop)
 std::string
 encodeResult(const FabricResult& result)
 {

@@ -4,9 +4,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
-#include <mutex>
 #include <thread>
 
+#include "common/guarded.hh"
 #include "sim/checkpoint/checkpoint.hh"
 #include "workload/profile.hh"
 
@@ -131,7 +131,10 @@ ExperimentRunner::run()
         static_cast<std::size_t>(threads), total));
 
     std::atomic<std::size_t> next{0};
-    std::mutex progress_mutex;
+    // progress_mutex guards `done` and serializes the progress
+    // callback (locals can't carry GUARDED_BY; the lint
+    // lock-discipline pass still checks the acquire pairing).
+    Mutex progress_mutex;
     std::size_t done = 0;
 
     auto worker = [&]() {
@@ -142,8 +145,7 @@ ExperimentRunner::run()
                 return;
             outcomes[i] = runJob(jobs[i], options_.baseSeed);
             if (options_.progress) {
-                const std::lock_guard<std::mutex> lock(
-                    progress_mutex);
+                MutexLock lock(progress_mutex);
                 options_.progress(outcomes[i], ++done, total);
             }
         }
@@ -276,7 +278,7 @@ runWarmForkSweep(
     // benchmark's snapshot. Outcome order matches runSweep.
     const std::size_t total = configs.size() * num_benchmarks;
     std::vector<ExperimentOutcome> outcomes(total);
-    std::mutex progress_mutex;
+    Mutex progress_mutex;
     std::size_t done = 0;
     parallelFor(total, threads, [&](std::size_t i) {
         const std::size_t c = i / num_benchmarks;
@@ -316,8 +318,7 @@ runWarmForkSweep(
                 std::chrono::steady_clock::now() - start)
                 .count();
         if (options.progress) {
-            const std::lock_guard<std::mutex> lock(
-                progress_mutex);
+            MutexLock lock(progress_mutex);
             options.progress(out, ++done, total);
         }
     });

@@ -216,6 +216,52 @@ TEST(ServeProtocol, CanonicalIdentityIsOrderInsensitive)
               canonicalRunIdentity(d));
 }
 
+TEST(ServeProtocol, EncodeRequestRoundTripsThroughParse)
+{
+    // encodeRequest is the C++ client half of the wire schema the
+    // lint protocol-schema pass holds in lockstep with
+    // parseRequest; this proves the lockstep is semantic, not just
+    // syntactic: parse(encode(parse(line))) reproduces the request
+    // field for field. The original goes through parseRequest so
+    // it carries the normalized run.seed config entry.
+    const Request req = parseRequest(
+        R"({"op":"run","benchmark":"eon","cycles":123456,)"
+        R"("seed":305419896,"warm":false,"client":"sweeper-7",)"
+        R"("config":{"dtm.toggling":"true",)"
+        R"("thermal.ambient":"318.15"}})");
+
+    const Request back = parseRequest(encodeRequest(req));
+    EXPECT_EQ(back.op, RequestOp::Run);
+    EXPECT_EQ(back.client, req.client);
+    EXPECT_EQ(back.benchmark, req.benchmark);
+    EXPECT_EQ(back.cycles, req.cycles);
+    EXPECT_EQ(back.seed, req.seed);
+    EXPECT_EQ(back.warm, req.warm);
+    EXPECT_TRUE(back.config.getBool("dtm.toggling", false));
+    // The full config overlay survives verbatim.
+    EXPECT_EQ(back.config.render(), req.config.render());
+    // Same canonical identity: the encoded form names the same
+    // deterministic simulation (and thus the same cache entry).
+    EXPECT_EQ(canonicalRunIdentity(req),
+              canonicalRunIdentity(back));
+
+    // Non-run ops survive too.
+    Request stats;
+    stats.op = RequestOp::Stats;
+    stats.client = "ops";
+    const Request statsBack = parseRequest(encodeRequest(stats));
+    EXPECT_EQ(statsBack.op, RequestOp::Stats);
+    EXPECT_EQ(statsBack.client, "ops");
+    Request ping;
+    ping.op = RequestOp::Ping;
+    EXPECT_EQ(parseRequest(encodeRequest(ping)).op,
+              RequestOp::Ping);
+    Request down;
+    down.op = RequestOp::Shutdown;
+    EXPECT_EQ(parseRequest(encodeRequest(down)).op,
+              RequestOp::Shutdown);
+}
+
 // ---------------------------------------------------------------
 // Result cache
 // ---------------------------------------------------------------

@@ -43,21 +43,66 @@ Three checkers guard the invariants the bit-identity test gates
                once), must not contain `using namespace`, and
                std::endl is banned under src/ (hot-path flush).
 
+  lock         Lock discipline (DESIGN.md §17): every member
+               annotated GUARDED_BY(m) in common/thread_annotations.hh
+               vocabulary may only be referenced inside a scope that
+               acquired m (MutexLock/lock_guard/unique_lock/
+               scoped_lock) or inside a function annotated
+               REQUIRES(m); calls to REQUIRES(m) functions must hold
+               m.  This is the GCC-build / inside-lambda complement
+               of clang's -Wthread-safety, which the thread-safety
+               CI job runs for real.  Known approximations: guard
+               and member matching is by name, not by object
+               identity; bare (un-prefixed) member references are
+               only checked in the declaring file and its .cc/.hh
+               sibling (so locals shadowing a guarded name in other
+               translation units cannot false-positive); manual
+               mutex_.lock() calls are not modeled (the tree locks
+               through RAII only).  Escapes: lint:allow(<reason>)
+               on the offending line.
+
+  protocol     Wire-schema drift (serve JSON protocol + fabric job
+               protocol): for every encodeX with a parseX/decodeX
+               in the same file, the JSON keys the encoder writes
+               (msg["k"] = ...) must equal the keys the decoder
+               reads (find("k") / field(doc, "k")), in the same
+               relative order, and StateWriter/StateReader blob
+               codecs must agree serializer-call-for-call.  A key
+               intentionally read elsewhere (e.g. "op", consumed by
+               the dispatch loop rather than the parser) is
+               exempted with proto:skip(<key>: <reason>) on or near
+               the function.
+
+  chunks       Checkpoint chunk registry: chunkId("XXXX") FourCCs
+               must be globally unique across the tree, and
+               tools/lint/chunk_registry.json pins every class's
+               serializer-call sequence against the current
+               kCheckpointVersion — changing a sequence without
+               bumping the version is a finding; after a bump,
+               --update-chunk-registry re-baselines the registry.
+
+Annotation grammar is enforced centrally: every ckpt:skip /
+det:allow / lint:allow / proto:skip annotation must carry a
+non-empty reason, and proto:skip must use the "key: reason" form.
+
 Backends: the driver prefers libclang (clang.cindex) when importable
 for accurate class/member/method extraction, and falls back to a
 robust tokenizer-based C++ parser otherwise (the default in
 environments without libclang).  Both feed the same analysis core;
-determinism and hygiene are token-based in either backend.
+determinism, hygiene, lock, protocol, and chunks are token-based in
+either backend.
 
 Usage:
   tempest_lint.py --all                      # lint the whole tree
   tempest_lint.py --checkpoint src/uarch/..  # one checker, some files
   tempest_lint.py --backend text fixture.cc  # force the text backend
+  tempest_lint.py --update-chunk-registry    # re-baseline chunks
 
 Exit status: 0 clean, 1 findings, 2 usage/internal error.
 """
 
 import argparse
+import json
 import os
 import re
 import sys
@@ -68,16 +113,19 @@ import sys
 # --------------------------------------------------------------------------
 
 ANNOT_RE = re.compile(
-    r"(ckpt:skip|ckpt:bulk|det:allow|lint:allow)\(([^)]*)\)")
+    r"(ckpt:skip|ckpt:bulk|det:allow|lint:allow|proto:skip)"
+    r"\(([^)]*)\)")
 
 
-def scrub(text):
+def scrub(text, keep_strings=False):
     """Return (scrubbed_text, annotations).
 
     Comments, string literals, and char literals are replaced with
     spaces so offsets and line numbers survive.  annotations maps a
     1-based line number to a list of (kind, reason) pairs found in
-    comments on that line.
+    comments on that line.  With keep_strings the string literals
+    stay in place (the protocol checker reads JSON keys out of
+    them); comments are still blanked either way.
     """
     out = []
     annotations = {}
@@ -112,7 +160,10 @@ def scrub(text):
             while j < n and text[j] != '"':
                 j += 2 if text[j] == "\\" else 1
             j = min(j + 1, n)
-            out.append('""' + " " * (j - i - 2))
+            if keep_strings:
+                out.append(text[i:j])
+            else:
+                out.append('""' + " " * (j - i - 2))
             i = j
         elif c == "'":
             # Digit separator (1'000) is not a literal.
@@ -157,6 +208,76 @@ def tokenize(scrubbed):
 
 def is_ident(t):
     return bool(re.match(r"[A-Za-z_]\w*$", t))
+
+
+# --------------------------------------------------------------------------
+# Thread-safety annotation macros (common/thread_annotations.hh).
+# They are stripped from the token stream before any structural
+# parsing (a GUARDED_BY(m) on a member would otherwise read as a
+# function declaration to the member parser) and recorded so the
+# lock-discipline checker can reconstruct guard relationships.
+# --------------------------------------------------------------------------
+
+TSA_PAREN_MACROS = {
+    "CAPABILITY", "GUARDED_BY", "PT_GUARDED_BY", "REQUIRES",
+    "REQUIRES_SHARED", "ACQUIRE", "ACQUIRE_SHARED", "RELEASE",
+    "RELEASE_SHARED", "TRY_ACQUIRE", "EXCLUDES", "ACQUIRED_BEFORE",
+    "ACQUIRED_AFTER", "ASSERT_CAPABILITY", "RETURN_CAPABILITY",
+}
+
+TSA_BARE_MACROS = {"SCOPED_CAPABILITY", "NO_THREAD_SAFETY_ANALYSIS"}
+
+
+class TsaRecord:
+    """One stripped thread-safety macro.
+
+    idx is the position in the *stripped* token stream where the
+    macro stood: stripped[idx - 1] is the token immediately before
+    it (the member name for GUARDED_BY, usually the signature's
+    closing paren for REQUIRES) and stripped[idx] the token after.
+    """
+
+    def __init__(self, macro, args, line, idx):
+        self.macro = macro
+        self.args = args  # token texts inside the macro's parens
+        self.line = line
+        self.idx = idx
+
+
+def strip_tsa_macros(toks):
+    """Return (stripped_toks, [TsaRecord])."""
+    clean = []
+    records = []
+    i = 0
+    n = len(toks)
+    while i < n:
+        t, ln = toks[i]
+        if t in TSA_BARE_MACROS:
+            records.append(TsaRecord(t, [], ln, len(clean)))
+            i += 1
+            continue
+        if (t in TSA_PAREN_MACROS and i + 1 < n and
+                toks[i + 1][0] == "("):
+            depth = 0
+            j = i + 1
+            args = []
+            while j < n:
+                tt = toks[j][0]
+                if tt == "(":
+                    depth += 1
+                elif tt == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                elif depth >= 1:
+                    args.append(tt)
+                j += 1
+            records.append(TsaRecord(t, args, ln, len(clean)))
+            i = j + 1
+            continue
+        clean.append((t, ln))
+        i += 1
+    return clean, records
 
 
 def has_annotation(annotations, kind, first_line, last_line=None):
@@ -958,6 +1079,642 @@ def check_hygiene(path, raw_text, toks, findings):
 
 
 # --------------------------------------------------------------------------
+# Lock-discipline checker (token-based; DESIGN.md §17).
+#
+# The static complement of clang's -Wthread-safety: it enforces the
+# same GUARDED_BY/REQUIRES vocabulary in builds where the macros
+# expand to nothing (GCC) and in lambda bodies (which clang analyzes
+# as separate, unannotated functions).  Matching is by *name*, not
+# object identity — precise enough for this tree, where guarded
+# member names are unique per guard — and RAII-only: acquisitions
+# are MutexLock/lock_guard/unique_lock/scoped_lock constructions,
+# releases are scope exit or an explicit <lockvar>.unlock().
+# --------------------------------------------------------------------------
+
+LOCK_TYPES = {"MutexLock", "lock_guard", "unique_lock", "scoped_lock"}
+SIG_QUALIFIERS = {"const", "noexcept", "override", "final", "volatile",
+                  "mutable"}
+
+
+def _guard_of(arg_toks):
+    """Guard name of one capability expression: its last identifier
+    (`conn->writeMutex` -> writeMutex, `mutex_` -> mutex_)."""
+    ids = [t for t in arg_toks if is_ident(t)]
+    return ids[-1] if ids else None
+
+
+def _guards_of(arg_toks):
+    """Guard names of a comma-separated capability list."""
+    out, seg = [], []
+    for t in arg_toks:
+        if t == ",":
+            g = _guard_of(seg)
+            if g:
+                out.append(g)
+            seg = []
+        else:
+            seg.append(t)
+    g = _guard_of(seg)
+    if g:
+        out.append(g)
+    return out
+
+
+def _stem(path):
+    return os.path.basename(path).split(".", 1)[0]
+
+
+def _requires_function_name(toks, rec):
+    """Function a REQUIRES record is attached to: walk back over
+    trailing qualifiers to the signature's ')' and take the
+    identifier before the matching '('."""
+    k = rec.idx - 1
+    while k >= 0 and toks[k][0] in SIG_QUALIFIERS:
+        k -= 1
+    if k < 0 or toks[k][0] != ")":
+        return None
+    depth = 0
+    while k >= 0:
+        t = toks[k][0]
+        if t == ")":
+            depth += 1
+        elif t == "(":
+            depth -= 1
+            if depth == 0:
+                break
+        k -= 1
+    if k > 0 and is_ident(toks[k - 1][0]):
+        return toks[k - 1][0]
+    return None
+
+
+def collect_lock_model(files, cache):
+    """Cross-file lock model.
+
+    Returns (guarded, decl_skip, requires_funcs):
+      guarded        member name -> (guard name, declaring path)
+      decl_skip      path -> token indexes of the declarations
+                     themselves (a declaration is not a reference)
+      requires_funcs function name -> ordered guard list callers
+                     must hold (REQUIRES contract)
+    """
+    guarded = {}
+    decl_skip = {}
+    requires_funcs = {}
+    for path in files:
+        apath = os.path.abspath(path)
+        toks, _ann = cache.get_tokens(apath)
+        for rec in cache.get_tsa(apath):
+            if rec.macro in ("GUARDED_BY", "PT_GUARDED_BY"):
+                k = rec.idx - 1
+                if k >= 0 and is_ident(toks[k][0]):
+                    guard = _guard_of(rec.args)
+                    if guard:
+                        guarded[toks[k][0]] = (guard, apath)
+                        decl_skip.setdefault(apath, set()).add(k)
+            elif rec.macro in ("REQUIRES", "REQUIRES_SHARED"):
+                name = _requires_function_name(toks, rec)
+                guards = _guards_of(rec.args)
+                if name and guards:
+                    have = requires_funcs.setdefault(name, [])
+                    for g in guards:
+                        if g not in have:
+                            have.append(g)
+    return guarded, decl_skip, requires_funcs
+
+
+def _requires_body_braces(toks, tsa):
+    """Brace token index -> guards, for REQUIRES on *definitions*
+    (a '{' follows the annotation, possibly past qualifiers)."""
+    out = {}
+    for rec in tsa:
+        if rec.macro not in ("REQUIRES", "REQUIRES_SHARED"):
+            continue
+        j = rec.idx
+        while j < len(toks) and toks[j][0] in SIG_QUALIFIERS:
+            j += 1
+        if j < len(toks) and toks[j][0] == "{":
+            out.setdefault(j, []).extend(_guards_of(rec.args))
+    return out
+
+
+def _lambda_body_braces(toks):
+    """Token indexes of '{' that open lambda bodies.  Outer locks
+    are not visible inside them: a lambda may run on another thread
+    (thread entry, deferred callback), so only locks acquired
+    *inside* the body count.  This is exactly the hole clang's
+    analysis has the other way around (it silently trusts lambdas);
+    the tree's style rule is: no guarded access in lambdas without
+    acquiring the lock in the lambda."""
+    opens = set()
+    n = len(toks)
+    i = 0
+    while i < n:
+        if toks[i][0] != "[":
+            i += 1
+            continue
+        prev = toks[i - 1][0] if i else ""
+        if is_ident(prev) or prev in ("]", ")"):
+            i += 1
+            continue  # array subscript, not a lambda-intro
+        d = 0
+        j = i
+        while j < n:
+            if toks[j][0] == "[":
+                d += 1
+            elif toks[j][0] == "]":
+                d -= 1
+                if d == 0:
+                    break
+            j += 1
+        j += 1
+        if j < n and toks[j][0] == "(":
+            d = 0
+            while j < n:
+                if toks[j][0] == "(":
+                    d += 1
+                elif toks[j][0] == ")":
+                    d -= 1
+                    if d == 0:
+                        break
+                j += 1
+            j += 1
+        # Skip specifiers / trailing return type up to the body.
+        while j < n and toks[j][0] not in ("{", ";", ")", ",", "=",
+                                           "}", "]"):
+            j += 1
+        if j < n and toks[j][0] == "{":
+            opens.add(j)
+        i += 1
+    return opens
+
+
+# Keywords that may directly precede a call expression; an identifier
+# before `name(` that is NOT one of these marks a declaration
+# (`void flushLocked(...)`), which is a contract, not a call.
+CALL_CONTEXT_KEYWORDS = {"return", "throw", "case", "else", "do",
+                         "co_return", "co_await", "co_yield"}
+
+
+def check_lock_discipline(path, toks, tsa, annotations, guarded,
+                          decl_skip, requires_funcs, findings):
+    apath = os.path.abspath(path)
+    skip = decl_skip.get(apath, set())
+    req_bodies = _requires_body_braces(toks, tsa)
+    lambda_opens = _lambda_body_braces(toks)
+
+    def exempt(line):
+        return has_annotation(annotations, "lint:allow", line)
+
+    # Held entries: [entry_depth, guard, lockvar, suspended_at].
+    # suspended_at models `lock.unlock()` inside a nested block
+    # that exits early (shed paths): the lock is invisible until
+    # that block closes, then live again on the fall-through path
+    # that never executed the unlock. An unlock at the acquisition
+    # depth itself is a plain linear early release.
+    held = []
+    barriers = []   # brace depths at which a lambda body opened
+    lockvar_guards = {}  # lock variable -> [guards] (for re-lock)
+    depth = 0
+    n = len(toks)
+    i = 0
+    while i < n:
+        t, ln = toks[i]
+        if t == "{":
+            depth += 1
+            if i in lambda_opens:
+                barriers.append(depth)
+            for g in req_bodies.get(i, []):
+                held.append([depth, g, None, None])
+            i += 1
+            continue
+        if t == "}":
+            held = [h for h in held if h[0] < depth]
+            for h in held:
+                if h[3] is not None and h[3] >= depth:
+                    h[3] = None
+            while barriers and barriers[-1] >= depth:
+                barriers.pop()
+            depth = max(0, depth - 1)
+            i += 1
+            continue
+
+        # RAII acquisition: LockType [<...>] var ( args ) .
+        if t in LOCK_TYPES:
+            j = i + 1
+            if j < n and toks[j][0] == "<":
+                j = skip_template_args(toks, j)
+            if (j + 1 < n and is_ident(toks[j][0]) and
+                    toks[j + 1][0] == "("):
+                var = toks[j][0]
+                d = 0
+                k = j + 1
+                args = []
+                while k < n:
+                    tt = toks[k][0]
+                    if tt == "(":
+                        d += 1
+                    elif tt == ")":
+                        d -= 1
+                        if d == 0:
+                            break
+                    elif d >= 1:
+                        args.append(tt)
+                    k += 1
+                guards = _guards_of(args)
+                if guards:
+                    for g in guards:
+                        held.append([depth, g, var, None])
+                    lockvar_guards[var] = guards
+                i = k + 1
+                continue
+
+        # Explicit early release / re-acquire through a lock var.
+        if (is_ident(t) and t in lockvar_guards and i + 3 < n and
+                toks[i + 1][0] == "." and
+                toks[i + 2][0] in ("unlock", "lock") and
+                toks[i + 3][0] == "("):
+            if toks[i + 2][0] == "unlock":
+                kept = []
+                for h in held:
+                    if h[2] != t:
+                        kept.append(h)
+                    elif h[0] < depth:
+                        h[3] = depth  # early-exit branch release
+                        kept.append(h)
+                held = kept
+            else:
+                held = [h for h in held if h[2] != t]
+                for g in lockvar_guards[t]:
+                    held.append([depth, g, t, None])
+            i += 4
+            continue
+
+        prev = toks[i - 1][0] if i else ""
+        nxt = toks[i + 1][0] if i + 1 < n else ""
+
+        def visible(guard):
+            floor = barriers[-1] if barriers else 0
+            return any(h[1] == guard and h[0] >= floor and
+                       h[3] is None for h in held)
+
+        # Call-site contract: callers of REQUIRES(m) functions must
+        # hold m.
+        if (is_ident(t) and t in requires_funcs and nxt == "(" and
+                prev not in (".", "->", "::") and
+                not (is_ident(prev) and
+                     prev not in CALL_CONTEXT_KEYWORDS)):
+            for g in requires_funcs[t]:
+                if not visible(g) and not exempt(ln):
+                    findings.append(
+                        (apath, ln, "lock",
+                         "call to '%s' REQUIRES(%s) but '%s' is not "
+                         "held here" % (t, g, g)))
+            i += 1
+            continue
+
+        # Guarded-member reference.
+        if is_ident(t) and t in guarded and i not in skip:
+            guard, decl_path = guarded[t]
+            member_access = prev in (".", "->")
+            bare_ref = (prev not in (".", "->", "::") and nxt != "(" and
+                        t.endswith("_") and
+                        _stem(apath) == _stem(decl_path))
+            if (member_access or bare_ref) and not visible(guard) \
+                    and not exempt(ln):
+                findings.append(
+                    (apath, ln, "lock",
+                     "member '%s' (GUARDED_BY %s) referenced without "
+                     "holding '%s' — acquire the lock in this scope, "
+                     "mark the function REQUIRES(%s), or annotate "
+                     "the line lint:allow(<reason>)"
+                     % (t, guard, guard, guard)))
+        i += 1
+
+
+# --------------------------------------------------------------------------
+# Protocol-schema checker: encoder/decoder key sets must match,
+# mirrored-order, and StateWriter/StateReader blob codecs must agree
+# serializer-call-for-call (same discipline as the checkpoint
+# checker, applied to the serve JSON protocol and the fabric wire
+# format).
+# --------------------------------------------------------------------------
+
+PROTO_NAME_RE = re.compile(r"^(encode|parse|decode)[A-Z0-9_]")
+PROTO_WRITE_RE = re.compile(r'\[\s*"([^"]+)"\s*\]\s*=')
+PROTO_READ_RE = re.compile(
+    r'\b(?:find|field)\s*\(\s*(?:[A-Za-z_]\w*\s*,\s*)?"([^"]+)"')
+BLOB_CODEC_TYPES = {"StateWriter", "StateReader"}
+
+
+class ProtoFunc:
+    def __init__(self, name, path, start_line, end_line, toks):
+        self.name = name
+        self.path = path
+        self.start_line = start_line
+        self.end_line = end_line
+        self.toks = toks  # body tokens, braces included
+
+
+def collect_proto_functions(path, toks):
+    """encode*/parse*/decode* function *definitions* in one file."""
+    funcs = {}
+    n = len(toks)
+    i = 0
+    while i < n:
+        t, ln = toks[i]
+        if (is_ident(t) and PROTO_NAME_RE.match(t) and i + 1 < n and
+                toks[i + 1][0] == "("):
+            d = 0
+            j = i + 1
+            while j < n:
+                tt = toks[j][0]
+                if tt == "(":
+                    d += 1
+                elif tt == ")":
+                    d -= 1
+                    if d == 0:
+                        break
+                j += 1
+            k = j + 1
+            while k < n and toks[k][0] in SIG_QUALIFIERS:
+                k += 1
+            if k < n and toks[k][0] == "{":
+                end = match_brace(toks, k)
+                end_line = toks[end - 1][1] if end - 1 < n else ln
+                funcs[t] = ProtoFunc(t, path, ln, end_line,
+                                     toks[k:end])
+                i = end
+                continue
+        i += 1
+    return funcs
+
+
+def _ordered_unique(keys):
+    seen = set()
+    out = []
+    for k in keys:
+        if k not in seen:
+            seen.add(k)
+            out.append(k)
+    return out
+
+
+def _proto_skips(annotations, start_line, end_line):
+    """proto:skip(<key>: <reason>) keys on or near a function (three
+    lines above its signature through its closing brace)."""
+    keys = set()
+    for ln in range(max(1, start_line - 3), end_line + 1):
+        for kind, reason in annotations.get(ln, []):
+            if kind == "proto:skip" and ":" in reason:
+                keys.add(reason.split(":", 1)[0].strip())
+    return keys
+
+
+def _codec_sequence(body_toks):
+    """Serializer calls through locally declared StateWriter /
+    StateReader variables, in order: [(method, line)]."""
+    var_names = set()
+    n = len(body_toks)
+    for i, (t, _ln) in enumerate(body_toks):
+        if t in BLOB_CODEC_TYPES and i + 1 < n and \
+                is_ident(body_toks[i + 1][0]):
+            var_names.add(body_toks[i + 1][0])
+    out = []
+    i = 0
+    while i + 3 < n:
+        if (body_toks[i][0] in var_names and
+                body_toks[i + 1][0] == "." and
+                body_toks[i + 2][0] in SERIALIZER_METHODS and
+                body_toks[i + 3][0] == "("):
+            out.append((body_toks[i + 2][0], body_toks[i][1]))
+        i += 1
+    return out
+
+
+def check_protocol(path, toks, annotations, cache, findings):
+    apath = os.path.abspath(path)
+    funcs = collect_proto_functions(apath, toks)
+    if not funcs:
+        return
+    lines = cache.get_scrubbed_keep_strings(apath).split("\n")
+
+    def body_text(fn):
+        return "\n".join(lines[fn.start_line - 1:fn.end_line])
+
+    for name in sorted(funcs):
+        if not name.startswith("encode"):
+            continue
+        enc = funcs[name]
+        suffix = name[len("encode"):]
+        dec = funcs.get("parse" + suffix) or \
+            funcs.get("decode" + suffix)
+        if dec is None:
+            continue  # one-sided (peer implemented elsewhere, e.g. Python)
+        writes = _ordered_unique(PROTO_WRITE_RE.findall(body_text(enc)))
+        reads = _ordered_unique(PROTO_READ_RE.findall(body_text(dec)))
+        skips = (_proto_skips(annotations, enc.start_line,
+                              enc.end_line) |
+                 _proto_skips(annotations, dec.start_line,
+                              dec.end_line))
+        for k in writes:
+            if k not in reads and k not in skips:
+                findings.append(
+                    (apath, enc.start_line, "protocol",
+                     "%s writes key '%s' that %s never reads — a "
+                     "write-only field silently drifts out of the "
+                     "schema (proto:skip(%s: <reason>) if it is "
+                     "consumed elsewhere)"
+                     % (enc.name, k, dec.name, k)))
+        for k in reads:
+            if k not in writes and k not in skips:
+                findings.append(
+                    (apath, dec.start_line, "protocol",
+                     "%s reads key '%s' that %s never writes"
+                     % (dec.name, k, enc.name)))
+        common_w = [k for k in writes if k in reads]
+        common_r = [k for k in reads if k in writes]
+        for a, b in zip(common_w, common_r):
+            if a != b:
+                findings.append(
+                    (apath, enc.start_line, "protocol",
+                     "key order differs between %s and %s: encoder "
+                     "writes '%s' where decoder reads '%s' first — "
+                     "mirrored order keeps the schema reviewable "
+                     "side by side" % (enc.name, dec.name, a, b)))
+                break
+        eseq = _codec_sequence(enc.toks)
+        dseq = _codec_sequence(dec.toks)
+        if [m for m, _l in eseq] != [m for m, _l in dseq]:
+            k = 0
+            while (k < len(eseq) and k < len(dseq) and
+                   eseq[k][0] == dseq[k][0]):
+                k += 1
+
+            def describe(seq, k):
+                if k >= len(seq):
+                    return ("nothing (sequence ends after %d calls)"
+                            % len(seq))
+                return "%s at line %d" % (seq[k][0], seq[k][1])
+
+            findings.append(
+                (apath, enc.start_line, "protocol",
+                 "blob codec sequences diverge between %s and %s at "
+                 "call #%d: encoder has %s, decoder has %s"
+                 % (enc.name, dec.name, k + 1, describe(eseq, k),
+                    describe(dseq, k))))
+
+
+# --------------------------------------------------------------------------
+# Chunk-registry checker: FourCC uniqueness plus a committed
+# baseline (tools/lint/chunk_registry.json) of every class's
+# serializer-call sequence against the current kCheckpointVersion.
+# A sequence change without a version bump is exactly the failure
+# the versioned checkpoint format exists to prevent: an old-format
+# file read by new code with no way to tell.
+# --------------------------------------------------------------------------
+
+CHUNK_RE = re.compile(r'chunkId\s*\(\s*"([^"]*)"\s*\)')
+VERSION_RE = re.compile(r"kCheckpointVersion\s*=\s*(\d+)")
+
+
+def current_checkpoint_version(root, cache):
+    path = os.path.join(root, "src", "sim", "checkpoint",
+                        "checkpoint.hh")
+    if not os.path.exists(path):
+        return None
+    m = VERSION_RE.search(cache.get_raw(path))
+    return int(m.group(1)) if m else None
+
+
+def collect_fourccs(files, cache):
+    """FourCC tag -> [(path, line)] from chunkId("XXXX") literals."""
+    tags = {}
+    for path in files:
+        apath = os.path.abspath(path)
+        text = cache.get_scrubbed_keep_strings(apath)
+        for lineno, line in enumerate(text.split("\n"), start=1):
+            for m in CHUNK_RE.finditer(line):
+                tags.setdefault(m.group(1), []).append(
+                    (apath, lineno))
+    return tags
+
+
+def serializer_registry(classes):
+    """Class name -> saveState serializer-method sequence."""
+    return {name: [m for m, _l, _i in serializer_sequence(cls.save)]
+            for name, cls in classes.items() if cls.save}
+
+
+def update_chunk_registry(files, cache, classes, registry_path,
+                          root):
+    tags = collect_fourccs(files, cache)
+    data = {
+        "checkpoint_version": current_checkpoint_version(root,
+                                                         cache),
+        "fourccs": {tag: os.path.relpath(sites[0][0], root)
+                    for tag, sites in sorted(tags.items())},
+        "serializers": serializer_registry(classes),
+    }
+    with open(registry_path, "w") as f:
+        json.dump(data, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def check_chunks(files, cache, classes, registry_path, root,
+                 check_registry, findings):
+    tags = collect_fourccs(files, cache)
+    for tag in sorted(tags):
+        sites = tags[tag]
+        for path, line in sites[1:]:
+            _t, ann = cache.get_scrubbed(path)
+            if has_annotation(ann, "lint:allow", line):
+                continue
+            findings.append(
+                (path, line, "chunks",
+                 "chunk FourCC '%s' already used at %s:%d — FourCCs "
+                 "must be globally unique so a reader can never "
+                 "mistake one chunk format for another"
+                 % (tag, os.path.relpath(sites[0][0], root),
+                    sites[0][1])))
+    if not check_registry:
+        return
+    if not os.path.exists(registry_path):
+        findings.append(
+            (registry_path, 1, "chunks",
+             "chunk registry missing; generate it with "
+             "--update-chunk-registry"))
+        return
+    with open(registry_path) as f:
+        reg = json.load(f)
+    version = current_checkpoint_version(root, cache)
+    reg_version = reg.get("checkpoint_version")
+    reg_sers = reg.get("serializers", {})
+    reg_tags = reg.get("fourccs", {})
+    for tag in sorted(tags):
+        if tag not in reg_tags:
+            path, line = tags[tag][0]
+            findings.append(
+                (path, line, "chunks",
+                 "chunk FourCC '%s' is not in the chunk registry — "
+                 "review the format change, then run "
+                 "--update-chunk-registry" % tag))
+    current = serializer_registry(classes)
+    for name in sorted(current):
+        seq = current[name]
+        cls = classes[name]
+        if name not in reg_sers:
+            findings.append(
+                (cls.save.path, cls.save.line, "chunks",
+                 "serializer sequence of class %s is not in the "
+                 "chunk registry — run --update-chunk-registry"
+                 % name))
+        elif reg_sers[name] != seq:
+            if (version is not None and reg_version is not None and
+                    version == reg_version):
+                findings.append(
+                    (cls.save.path, cls.save.line, "chunks",
+                     "class %s changed its serializer call sequence "
+                     "[%s] -> [%s] but kCheckpointVersion is still "
+                     "%d — an old checkpoint would be misread with "
+                     "no way to tell; bump the version in "
+                     "checkpoint.hh, then run --update-chunk-registry"
+                     % (name, ",".join(reg_sers[name]) or "<empty>",
+                        ",".join(seq) or "<empty>", version)))
+            else:
+                findings.append(
+                    (cls.save.path, cls.save.line, "chunks",
+                     "class %s changed its serializer call sequence "
+                     "and kCheckpointVersion was bumped — run "
+                     "--update-chunk-registry to re-baseline"
+                     % name))
+    # Stale registry entries (deleted classes/tags) are not findings:
+    # they cannot corrupt anything, and the next --update cleans them.
+
+
+# --------------------------------------------------------------------------
+# Annotation grammar, centrally enforced: every annotation kind
+# requires a non-empty reason/value (the individual passes used to
+# accept an empty one silently), and proto:skip must name its key.
+# --------------------------------------------------------------------------
+
+
+def check_annotation_grammar(path, annotations, findings):
+    for line in sorted(annotations):
+        for kind, reason in annotations[line]:
+            if not reason.strip():
+                findings.append(
+                    (path, line, "annotation",
+                     "%s() needs a reason: %s(<why this is safe>)"
+                     % (kind, kind)))
+            elif kind == "proto:skip" and ":" not in reason:
+                findings.append(
+                    (path, line, "annotation",
+                     "proto:skip(%s) must use the form "
+                     "proto:skip(<key>: <reason>)" % reason))
+
+
+# --------------------------------------------------------------------------
 # Driver.
 # --------------------------------------------------------------------------
 
@@ -966,7 +1723,9 @@ class FileCache:
     def __init__(self):
         self._raw = {}
         self._scrubbed = {}
+        self._keyed = {}
         self._tokens = {}
+        self._tsa = {}
 
     def get_raw(self, path):
         path = os.path.abspath(path)
@@ -981,12 +1740,32 @@ class FileCache:
             self._scrubbed[path] = scrub(self.get_raw(path))
         return self._scrubbed[path]
 
+    def get_scrubbed_keep_strings(self, path):
+        """Comment-blanked text with string literals intact (the
+        protocol and chunk checkers read keys out of literals)."""
+        path = os.path.abspath(path)
+        if path not in self._keyed:
+            text, _annotations = scrub(self.get_raw(path),
+                                       keep_strings=True)
+            self._keyed[path] = text
+        return self._keyed[path]
+
     def get_tokens(self, path):
+        """Token stream with thread-safety macros stripped (see
+        strip_tsa_macros) plus the comment annotations."""
         path = os.path.abspath(path)
         if path not in self._tokens:
             scrubbed, annotations = self.get_scrubbed(path)
-            self._tokens[path] = (tokenize(scrubbed), annotations)
+            toks, tsa = strip_tsa_macros(tokenize(scrubbed))
+            self._tokens[path] = (toks, annotations)
+            self._tsa[path] = tsa
         return self._tokens[path]
+
+    def get_tsa(self, path):
+        path = os.path.abspath(path)
+        if path not in self._tsa:
+            self.get_tokens(path)
+        return self._tsa[path]
 
 
 def collect_files(root, explicit):
@@ -1025,6 +1804,20 @@ def main(argv):
                     help="run the determinism checker")
     ap.add_argument("--hygiene", action="store_true",
                     help="run the generic hygiene checker")
+    ap.add_argument("--lock", action="store_true",
+                    help="run the lock-discipline checker")
+    ap.add_argument("--protocol", action="store_true",
+                    help="run the protocol-schema checker")
+    ap.add_argument("--chunks", action="store_true",
+                    help="run the chunk-registry checker")
+    ap.add_argument("--chunk-registry", default=None,
+                    help="registry JSON baseline (default: "
+                         "chunk_registry.json next to this script; "
+                         "only compared on full-tree runs unless "
+                         "given explicitly)")
+    ap.add_argument("--update-chunk-registry", action="store_true",
+                    help="re-baseline the chunk registry from the "
+                         "current tree and exit")
     ap.add_argument("--backend", choices=["auto", "libclang", "text"],
                     default="auto")
     ap.add_argument("--compile-commands", default=None,
@@ -1041,18 +1834,30 @@ def main(argv):
         print("tempest_lint: no input files", file=sys.stderr)
         return 2
 
-    run_ckpt = opts.checkpoint or opts.all or not (
-        opts.checkpoint or opts.determinism or opts.hygiene)
-    run_det = opts.determinism or opts.all or not (
-        opts.checkpoint or opts.determinism or opts.hygiene)
-    run_hyg = opts.hygiene or opts.all or not (
-        opts.checkpoint or opts.determinism or opts.hygiene)
+    none_given = not (opts.checkpoint or opts.determinism or
+                      opts.hygiene or opts.lock or opts.protocol or
+                      opts.chunks)
+    run_ckpt = opts.checkpoint or opts.all or none_given
+    run_det = opts.determinism or opts.all or none_given
+    run_hyg = opts.hygiene or opts.all or none_given
+    run_lock = opts.lock or opts.all or none_given
+    run_proto = opts.protocol or opts.all or none_given
+    run_chunks = opts.chunks or opts.all or none_given
+
+    registry_path = opts.chunk_registry or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)),
+        "chunk_registry.json")
+    # Registry comparison needs the whole tree to be meaningful: a
+    # partial file list would mis-read every absent class as
+    # unchanged and every fixture as unregistered. Explicit
+    # --chunk-registry opts in regardless (fixture tests use it).
+    check_registry = bool(opts.chunk_registry) or not opts.files
 
     cache = FileCache()
     findings = []
 
-    if run_ckpt:
-        classes = None
+    classes = None
+    if run_ckpt or run_chunks or opts.update_chunk_registry:
         if opts.backend in ("auto", "libclang"):
             try:
                 classes = build_ir_libclang(files, root,
@@ -1071,16 +1876,39 @@ def main(argv):
                 classes = None
         if classes is None:
             classes = build_ir_text(files, cache)
+
+    if opts.update_chunk_registry:
+        update_chunk_registry(files, cache, classes, registry_path,
+                              root)
+        print("tempest_lint: wrote %s"
+              % os.path.relpath(registry_path, root))
+        return 0
+
+    if run_ckpt:
         check_checkpoint(classes, findings)
+    if run_chunks:
+        check_chunks(files, cache, classes, registry_path, root,
+                     check_registry, findings)
+
+    lock_model = None
+    if run_lock:
+        lock_model = collect_lock_model(files, cache)
 
     for path in files:
+        apath = os.path.abspath(path)
         toks, annotations = cache.get_tokens(path)
+        check_annotation_grammar(apath, annotations, findings)
         if run_det:
-            check_determinism(os.path.abspath(path), toks, annotations,
-                              findings)
+            check_determinism(apath, toks, annotations, findings)
         if run_hyg:
-            check_hygiene(os.path.abspath(path), cache.get_raw(path),
-                          toks, findings)
+            check_hygiene(apath, cache.get_raw(path), toks, findings)
+        if run_lock:
+            guarded, decl_skip, requires_funcs = lock_model
+            check_lock_discipline(apath, toks, cache.get_tsa(apath),
+                                  annotations, guarded, decl_skip,
+                                  requires_funcs, findings)
+        if run_proto:
+            check_protocol(apath, toks, annotations, cache, findings)
 
     findings.sort(key=lambda f: (f[0], f[1]))
     for path, line, checker, msg in findings:

@@ -1,0 +1,23 @@
+// Fixture: two checkpoint chunks claiming the same FourCC. A
+// reader seeking by tag could land on either format; the second
+// use must be flagged.
+#include "stubs.hh"
+
+namespace tempest
+{
+
+std::uint32_t chunkId(const char* tag);
+
+void
+saveAlpha(StateWriter& w)
+{
+    w.u32(chunkId("DUPE"));
+}
+
+void
+saveBeta(StateWriter& w)
+{
+    w.u32(chunkId("DUPE")); // duplicate FourCC: must be flagged
+}
+
+} // namespace tempest

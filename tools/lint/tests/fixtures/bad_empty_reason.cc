@@ -1,0 +1,33 @@
+// Fixture: annotation grammar violations — an escape hatch without
+// a reason and a proto:skip missing its key. Reasons are the audit
+// trail that makes every suppression reviewable; both must be
+// flagged by the central grammar check.
+#include "stubs.hh"
+
+namespace tempest
+{
+
+class SilentSkip
+{
+  public:
+    void
+    saveState(StateWriter& w) const
+    {
+        w.u32(kept_);
+    }
+
+    void
+    loadState(StateReader& r)
+    {
+        kept_ = r.u32();
+    }
+
+  private:
+    std::uint32_t kept_ = 0;
+    std::uint32_t scratch_ = 0; // ckpt:skip()
+};
+
+// proto:skip(op)
+int placeholder();
+
+} // namespace tempest

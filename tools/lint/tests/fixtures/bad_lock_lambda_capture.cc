@@ -1,0 +1,33 @@
+// Fixture: a lock held in the enclosing scope does not protect a
+// lambda body — the lambda may run on another thread after the
+// scope unlocked (thread entry, deferred callback). Touching the
+// guarded member inside it must be flagged; this is the exact hole
+// clang's analysis leaves open (it treats lambdas as separate,
+// unannotated functions and trusts them silently).
+#include "tsa_stubs.hh"
+
+namespace tempest
+{
+
+template <typename F>
+void runLater(F f);
+
+class Publisher
+{
+  public:
+    void
+    publish(int v)
+    {
+        MutexLock lock(mutex_);
+        value_ = v; // fine: lock held
+        runLater([this] {
+            ++value_; // inside lambda: must be flagged
+        });
+    }
+
+  private:
+    Mutex mutex_;
+    int value_ GUARDED_BY(mutex_) = 0;
+};
+
+} // namespace tempest

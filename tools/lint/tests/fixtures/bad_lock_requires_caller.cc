@@ -1,0 +1,38 @@
+// Fixture: a REQUIRES(mutex_) helper called without the lock held.
+// The helper's own body is fine (REQUIRES seeds the held set); the
+// unlocked call site must be flagged.
+#include "tsa_stubs.hh"
+
+namespace tempest
+{
+
+class Queue
+{
+  public:
+    void
+    push(int v)
+    {
+        MutexLock lock(mutex_);
+        pushLocked(v); // fine: lock held
+    }
+
+    void
+    pushRacy(int v)
+    {
+        pushLocked(v); // no lock: must be flagged
+    }
+
+  private:
+    void
+    pushLocked(int v) REQUIRES(mutex_)
+    {
+        last_ = v;
+        ++size_;
+    }
+
+    Mutex mutex_;
+    int last_ GUARDED_BY(mutex_) = 0;
+    int size_ GUARDED_BY(mutex_) = 0;
+};
+
+} // namespace tempest

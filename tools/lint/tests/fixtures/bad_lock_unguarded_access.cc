@@ -1,0 +1,43 @@
+// Fixture: GUARDED_BY members touched without the guard held —
+// a bare reference in a method that never locks, and a ->access
+// from a helper outside any critical section. Both must be
+// flagged by the lock checker.
+#include "tsa_stubs.hh"
+
+namespace tempest
+{
+
+class Counter
+{
+  public:
+    void
+    bump()
+    {
+        MutexLock lock(mutex_);
+        ++count_;
+    }
+
+    long
+    read() const
+    {
+        return count_; // no lock: must be flagged
+    }
+
+  private:
+    mutable Mutex mutex_;
+    long count_ GUARDED_BY(mutex_) = 0;
+};
+
+struct Slot
+{
+    Mutex slotMutex;
+    int value GUARDED_BY(slotMutex) = 0;
+};
+
+inline int
+peek(Slot* slot)
+{
+    return slot->value; // no lock: must be flagged
+}
+
+} // namespace tempest

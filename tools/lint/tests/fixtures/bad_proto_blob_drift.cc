@@ -1,0 +1,36 @@
+// Fixture: a blob codec pair whose serializer call sequences
+// diverge — the writer emits u32 where the reader consumes u64.
+// Exactly the checkpoint save/load discipline applied to wire
+// blobs; must be flagged call-for-call.
+#include "proto_stubs.hh"
+#include "stubs.hh"
+
+namespace tempest
+{
+
+struct Sample
+{
+    std::string tag;
+    std::uint64_t ticks = 0;
+};
+
+std::string
+encodeSampleBlob(const Sample& s)
+{
+    StateWriter w;
+    w.str(s.tag);
+    w.u32(static_cast<std::uint32_t>(s.ticks)); // writer: u32
+    return std::string();
+}
+
+Sample
+decodeSampleBlob(const std::string& bytes)
+{
+    StateReader r;
+    Sample s;
+    s.tag = r.str();
+    s.ticks = r.u64(); // reader: u64 — must be flagged
+    return s;
+}
+
+} // namespace tempest

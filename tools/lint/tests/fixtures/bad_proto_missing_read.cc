@@ -1,0 +1,36 @@
+// Fixture: encoder/decoder key-set drift in both directions — the
+// encoder writes a key the decoder never reads, and the decoder
+// reads a key the encoder never writes. Both must be flagged.
+#include "proto_stubs.hh"
+
+namespace tempest
+{
+
+struct Ticket
+{
+    std::string owner;
+    std::uint64_t cost = 0;
+    bool rush = false;
+};
+
+std::string
+encodeTicket(const Ticket& t)
+{
+    Json msg;
+    msg["owner"] = Json(t.owner);
+    msg["cost"] = Json(t.cost);
+    msg["legacy_flag"] = Json(true); // never read: must be flagged
+    return msg.dump();
+}
+
+Ticket
+parseTicket(const Json& doc)
+{
+    Ticket t;
+    t.owner = field(doc, "owner").asString();
+    t.cost = field(doc, "cost").asUnsigned();
+    t.rush = field(doc, "rush").asBool(); // never written: flagged
+    return t;
+}
+
+} // namespace tempest

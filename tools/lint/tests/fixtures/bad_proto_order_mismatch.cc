@@ -1,0 +1,33 @@
+// Fixture: encoder and decoder agree on the key set but not the
+// order. Mirrored order is the rule that keeps the two halves of a
+// schema reviewable side by side; the swap must be flagged.
+#include "proto_stubs.hh"
+
+namespace tempest
+{
+
+struct Probe
+{
+    std::string name;
+    std::uint64_t cycles = 0;
+};
+
+std::string
+encodeProbe(const Probe& p)
+{
+    Json msg;
+    msg["name"] = Json(p.name);
+    msg["cycles"] = Json(p.cycles);
+    return msg.dump();
+}
+
+Probe
+parseProbe(const Json& doc)
+{
+    Probe p;
+    p.cycles = field(doc, "cycles").asUnsigned(); // swapped order
+    p.name = field(doc, "name").asString();
+    return p;
+}
+
+} // namespace tempest

@@ -1,0 +1,35 @@
+// Fixture: a checkpoint class whose FourCC and serializer sequence
+// match the committed registry baseline exactly. Must lint clean
+// against chunk_registry_good.json.
+#include "stubs.hh"
+
+namespace tempest
+{
+
+std::uint32_t chunkId(const char* tag);
+
+class SteadyClass
+{
+  public:
+    void
+    saveState(StateWriter& w) const
+    {
+        w.u32(chunkId("STDY"));
+        w.u32(count_);
+        w.f64(value_);
+    }
+
+    void
+    loadState(StateReader& r)
+    {
+        (void)r.u32(); // chunk tag, validated by the caller
+        count_ = r.u32();
+        value_ = r.f64();
+    }
+
+  private:
+    std::uint32_t count_ = 0;
+    double value_ = 0.0;
+};
+
+} // namespace tempest

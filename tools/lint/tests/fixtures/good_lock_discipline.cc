@@ -1,0 +1,74 @@
+// Fixture: every lock-discipline shape the checker must accept —
+// RAII sections, a REQUIRES helper used under the lock, an early
+// unlock on a nested early-exit branch (the fall-through path still
+// holds the lock), explicit unlock/relock through the lock
+// variable, a lock acquired inside the lambda that needs it, and a
+// lint:allow escape with a reason. Must lint clean.
+#include "tsa_stubs.hh"
+
+namespace tempest
+{
+
+template <typename F>
+void runLater(F f);
+
+bool shouldShed();
+void replyBusy();
+
+class Pipeline
+{
+  public:
+    void
+    submit(int v)
+    {
+        MutexLock lock(mutex_);
+        if (depth_ > 8) {
+            if (shouldShed()) {
+                lock.unlock();
+                replyBusy(); // lock released on the shed path only
+                return;
+            }
+        }
+        ++depth_; // fall-through path: still locked
+        appendLocked(v);
+    }
+
+    void
+    relock()
+    {
+        MutexLock lock(mutex_);
+        ++depth_;
+        lock.unlock();
+        lock.lock();
+        --depth_; // re-acquired: fine
+    }
+
+    void
+    later(int v)
+    {
+        runLater([this, v] {
+            MutexLock lock(mutex_);
+            appendLocked(v); // lock acquired inside the lambda
+        });
+    }
+
+    int
+    depthRelaxed() const
+    {
+        // lint:allow(monitoring probe, torn reads acceptable here)
+        return depth_;
+    }
+
+  private:
+    void
+    appendLocked(int v) REQUIRES(mutex_)
+    {
+        tail_ = v;
+    }
+
+    mutable Mutex mutex_;
+    int depth_ GUARDED_BY(mutex_) = 0;
+    int tail_ GUARDED_BY(mutex_) = 0;
+};
+
+} // namespace tempest

@@ -1,0 +1,62 @@
+// Fixture: a well-formed protocol pair — mirrored key order, a
+// routing key legitimately consumed elsewhere excused with
+// proto:skip, and a blob codec that matches call-for-call. Must
+// lint clean.
+#include "proto_stubs.hh"
+#include "stubs.hh"
+
+namespace tempest
+{
+
+struct Report
+{
+    std::string host;
+    std::uint64_t jobs = 0;
+    bool healthy = true;
+    std::string payload;
+};
+
+// proto:skip(op: routing key consumed by the dispatch loop)
+std::string
+encodeReport(const Report& r)
+{
+    Json msg;
+    msg["op"] = Json("report");
+    msg["host"] = Json(r.host);
+    msg["jobs"] = Json(r.jobs);
+    msg["healthy"] = Json(r.healthy);
+    return msg.dump();
+}
+
+Report
+parseReport(const Json& doc)
+{
+    Report r;
+    r.host = field(doc, "host").asString();
+    r.jobs = field(doc, "jobs").asUnsigned();
+    r.healthy = field(doc, "healthy").asBool();
+    return r;
+}
+
+std::string
+encodeReportBlob(const Report& rep)
+{
+    StateWriter w;
+    w.str(rep.host);
+    w.u64(rep.jobs);
+    w.boolean(rep.healthy);
+    return std::string();
+}
+
+Report
+decodeReportBlob(const std::string& bytes)
+{
+    StateReader r;
+    Report rep;
+    rep.host = r.str();
+    rep.jobs = r.u64();
+    rep.healthy = r.boolean();
+    return rep;
+}
+
+} // namespace tempest

@@ -1,0 +1,32 @@
+// Minimal JSON stand-in so protocol fixtures parse standalone under
+// the libclang backend; the protocol checker is token-based and
+// only looks at msg["key"] writes and find/field("key") reads.
+#ifndef TEMPEST_LINT_FIXTURE_PROTO_STUBS_HH
+#define TEMPEST_LINT_FIXTURE_PROTO_STUBS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace tempest
+{
+
+struct Json
+{
+    Json();
+    explicit Json(const char* text);
+    explicit Json(const std::string& text);
+    explicit Json(std::uint64_t value);
+    explicit Json(bool value);
+    Json& operator[](const std::string& key);
+    const Json* find(const char* key) const;
+    std::string asString() const;
+    std::uint64_t asUnsigned() const;
+    bool asBool() const;
+    std::string dump() const;
+};
+
+const Json& field(const Json& doc, const char* key);
+
+} // namespace tempest
+
+#endif // TEMPEST_LINT_FIXTURE_PROTO_STUBS_HH

@@ -1,0 +1,38 @@
+// Thread-safety stand-ins so lock fixtures parse standalone under
+// the libclang backend. The lock checker itself is token-based and
+// recognizes the macro names directly, so these definitions are
+// never linted (fixtures are passed as explicit files; headers in
+// this directory are not).
+#ifndef TEMPEST_LINT_FIXTURE_TSA_STUBS_HH
+#define TEMPEST_LINT_FIXTURE_TSA_STUBS_HH
+
+#define CAPABILITY(x)
+#define SCOPED_CAPABILITY
+#define GUARDED_BY(x)
+#define REQUIRES(...)
+#define ACQUIRE(...)
+#define RELEASE(...)
+#define EXCLUDES(...)
+
+namespace tempest
+{
+
+class Mutex
+{
+  public:
+    void lock();
+    void unlock();
+};
+
+class MutexLock
+{
+  public:
+    explicit MutexLock(Mutex& mutex);
+    ~MutexLock();
+    void unlock();
+    void lock();
+};
+
+} // namespace tempest
+
+#endif // TEMPEST_LINT_FIXTURE_TSA_STUBS_HH

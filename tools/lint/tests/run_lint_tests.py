@@ -17,7 +17,55 @@ FIXTURES = os.path.join(HERE, "fixtures")
 ROOT = os.path.abspath(os.path.join(HERE, "..", "..", ".."))
 
 # fixture -> (expected exit, [required diagnostic substrings])
+# or    -> (expected exit, [substrings], [extra lint arguments])
 CASES = {
+    "bad_lock_unguarded_access.cc": (1, [
+        "[lock]",
+        "member 'count_' (GUARDED_BY mutex_) referenced without "
+        "holding 'mutex_'",
+        "member 'value' (GUARDED_BY slotMutex)",
+    ]),
+    "bad_lock_requires_caller.cc": (1, [
+        "call to 'pushLocked' REQUIRES(mutex_) but 'mutex_' is not "
+        "held here",
+    ]),
+    "bad_lock_lambda_capture.cc": (1, [
+        "member 'value_' (GUARDED_BY mutex_) referenced without "
+        "holding 'mutex_'",
+    ]),
+    "good_lock_discipline.cc": (0, []),
+    "bad_proto_missing_read.cc": (1, [
+        "encodeTicket writes key 'legacy_flag' that parseTicket "
+        "never reads",
+        "parseTicket reads key 'rush' that encodeTicket never "
+        "writes",
+    ]),
+    "bad_proto_order_mismatch.cc": (1, [
+        "key order differs between encodeProbe and parseProbe",
+    ]),
+    "bad_proto_blob_drift.cc": (1, [
+        "blob codec sequences diverge between encodeSampleBlob and "
+        "decodeSampleBlob at call #2",
+    ]),
+    "good_proto_roundtrip.cc": (0, []),
+    "bad_chunk_duplicate.cc": (1, [
+        "chunk FourCC 'DUPE' already used at",
+    ]),
+    "bad_chunk_version_drift.cc": (1, [
+        "class DriftClass changed its serializer call sequence",
+        "kCheckpointVersion is still 1",
+    ], ["--chunk-registry",
+        os.path.join(FIXTURES, "chunk_registry_drift.json")]),
+    "good_chunk_registered.cc": (0, [],
+                                 ["--chunk-registry",
+                                  os.path.join(
+                                      FIXTURES,
+                                      "chunk_registry_good.json")]),
+    "bad_empty_reason.cc": (1, [
+        "ckpt:skip() needs a reason",
+        "proto:skip(op) must use the form "
+        "proto:skip(<key>: <reason>)",
+    ]),
     "bad_missing_load_member.cc": (1, [
         "class MissingLoadMember",
         "'lost_' is not referenced in loadState",
@@ -78,9 +126,12 @@ def main():
     failures = []
     backend = ["--backend", os.environ.get("TEMPEST_LINT_BACKEND", "text")]
 
-    for fixture, (want_rc, want_msgs) in sorted(CASES.items()):
+    for fixture, case in sorted(CASES.items()):
+        want_rc, want_msgs = case[0], case[1]
+        extra = list(case[2]) if len(case) > 2 else []
         path = os.path.join(FIXTURES, fixture)
-        r = run_lint(["--all", "--root", ROOT] + backend + [path])
+        r = run_lint(["--all", "--root", ROOT] + backend + extra +
+                     [path])
         label = "fixture %s" % fixture
         if r.returncode != want_rc:
             failures.append("%s: expected exit %d, got %d\nstdout:\n%s"
